@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once (through pytest-benchmark, so wall time is recorded),
+prints the same rows/series the paper reports, and asserts the *shape*
+claims (who wins, direction of effects) — not absolute numbers, since the
+substrate is a simulator, not the authors' testbed (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_rows(rows, fmt: str) -> None:
+    for row in rows:
+        print(fmt % row)

@@ -1,0 +1,120 @@
+"""Ablation: architectural scaling of the simulated machine.
+
+Sweeps SM count, L2 bank count, and DRAM bandwidth on a fixed frame,
+confirming the timing model responds to each resource the way the paper's
+contention arguments require (Fig 14's bandwidth-bound claim only means
+anything if the model actually exposes bandwidth limits).
+"""
+
+from bench_util import print_header, run_once
+
+from repro.config import CacheConfig, RTX_3070_MINI
+from repro.core import CRISP, GRAPHICS_STREAM
+from repro.timing import GPU
+
+
+def _frame_kernels(config):
+    crisp = CRISP(config)
+    return crisp.trace_scene("SPH", "4k").kernels
+
+
+def test_ablation_sm_scaling(benchmark):
+    def run():
+        kernels = _frame_kernels(RTX_3070_MINI)
+        out = {}
+        for sms in (1, 2, 4, 8):
+            cfg = RTX_3070_MINI.replace(name="s%d" % sms, num_sms=sms)
+            gpu = GPU(cfg)
+            gpu.add_stream(GRAPHICS_STREAM, kernels)
+            out[sms] = gpu.run().cycles
+        return out
+
+    cycles = run_once(benchmark, run)
+    print_header("Ablation — frame time vs SM count (SPH @ 4k-scaled)")
+    base = cycles[1]
+    for sms, c in sorted(cycles.items()):
+        print("  %2d SMs : %8d cycles  (%.2fx vs 1 SM)" % (sms, c, base / c))
+    # More SMs must help, with diminishing returns.
+    assert cycles[2] < cycles[1]
+    assert cycles[4] < cycles[2]
+    speedup_2 = cycles[1] / cycles[2]
+    speedup_8 = cycles[4] / cycles[8]
+    assert 1.0 <= speedup_8 <= speedup_2, \
+        "scaling efficiency must not increase with SM count"
+
+
+def test_ablation_dram_bandwidth(benchmark):
+    def run():
+        kernels = _frame_kernels(RTX_3070_MINI)
+        out = {}
+        for bw in (28.0, 112.0, 448.0):
+            cfg = RTX_3070_MINI.replace(name="bw%d" % bw,
+                                        dram_bandwidth_gbps=bw)
+            gpu = GPU(cfg)
+            gpu.add_stream(GRAPHICS_STREAM, kernels)
+            out[bw] = gpu.run().cycles
+        return out
+
+    cycles = run_once(benchmark, run)
+    print_header("Ablation — frame time vs DRAM bandwidth")
+    for bw, c in sorted(cycles.items()):
+        print("  %5.0f GB/s : %8d cycles" % (bw, c))
+    assert cycles[28.0] > cycles[448.0], \
+        "starving DRAM bandwidth must slow the frame"
+
+
+def test_ablation_sectored_l1(benchmark):
+    """Sectored vs line-granular L1 (Accel-Sim's 32B sectors): sparse
+    accesses fetch only touched sectors, cutting DRAM traffic."""
+    from repro.compute import DeviceMemory, KernelBuilder
+
+    def run():
+        out = {}
+        for label, sector in (("line-granular", 0), ("sectored-32B", 32)):
+            cfg = RTX_3070_MINI.replace(
+                name=label,
+                l1=CacheConfig(size_bytes=128 * 1024, assoc=8,
+                               hit_latency=30, sector_size=sector))
+            mem = DeviceMemory(region=14)
+            buf = mem.buffer("x", 1 << 22)
+            kernel = (KernelBuilder("sparse", 16, 128)
+                      .load(buf, "strided").fp(4).build())
+            gpu = GPU(cfg)
+            gpu.add_stream(GRAPHICS_STREAM, [kernel])
+            stats = gpu.run()
+            out[label] = {
+                "cycles": stats.cycles,
+                "dram_bytes": gpu.l2.dram.aggregate_bytes(),
+            }
+        return out
+
+    r = run_once(benchmark, run)
+    print_header("Ablation — sectored L1 on a sparse (strided) kernel")
+    for label, d in r.items():
+        print("  %-14s %8d cycles  %9d DRAM bytes"
+              % (label, d["cycles"], d["dram_bytes"]))
+    assert r["sectored-32B"]["dram_bytes"] < \
+        r["line-granular"]["dram_bytes"] / 2
+
+
+def test_ablation_l2_banks(benchmark):
+    def run():
+        kernels = _frame_kernels(RTX_3070_MINI)
+        out = {}
+        for banks in (1, 4, 8):
+            cfg = RTX_3070_MINI.replace(
+                name="b%d" % banks,
+                l2=CacheConfig(size_bytes=512 * 1024, assoc=16,
+                               hit_latency=120),
+                l2_banks=banks)
+            gpu = GPU(cfg)
+            gpu.add_stream(GRAPHICS_STREAM, kernels)
+            out[banks] = gpu.run().cycles
+        return out
+
+    cycles = run_once(benchmark, run)
+    print_header("Ablation — frame time vs L2 bank count (fixed capacity)")
+    for banks, c in sorted(cycles.items()):
+        print("  %2d banks : %8d cycles" % (banks, c))
+    # Fewer banks = less L2 port bandwidth = slower (the MiG mechanism).
+    assert cycles[1] > cycles[8]

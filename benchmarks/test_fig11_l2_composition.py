@@ -1,0 +1,32 @@
+"""Fig 11: L2 composition under different shading techniques.
+
+Paper claims: in Pistol (PBR, 8 maps) up to ~60% of L2 lines are texture
+data (44% on average); the basic-shaded Sponza holds far fewer texture
+lines; and the complexity shows in hit rate — Sponza ~90% vs Pistol ~75%.
+"""
+
+from bench_util import print_header, run_once
+
+from repro.analysis import peak_fraction
+from repro.harness.experiments import run_fig11
+from repro.isa import DataClass
+
+
+def test_fig11_l2_composition(benchmark):
+    result = run_once(benchmark, run_fig11)
+    print_header("Fig 11 — L2 composition: Pistol (PBR) vs Sponza (basic)")
+    for code in ("PT", "SPL"):
+        peak = peak_fraction(result.snapshots[code], DataClass.TEXTURE)
+        print("%-4s mean texture share = %5.1f%%  peak = %5.1f%%  "
+              "L2 hit rate = %5.1f%%"
+              % (code, result.texture_share[code] * 100, peak * 100,
+                 result.l2_hit_rate[code] * 100))
+
+    # Shape claims.
+    assert result.texture_share["PT"] > 2 * result.texture_share["SPL"], \
+        "PBR must hold a much larger texture share of the L2"
+    assert result.texture_share["PT"] > 0.30
+    assert result.l2_hit_rate["SPL"] > result.l2_hit_rate["PT"], \
+        "the simpler shader should enjoy the higher L2 hit rate"
+    # Both runs actually populated snapshots.
+    assert result.snapshots["PT"] and result.snapshots["SPL"]

@@ -1,0 +1,39 @@
+"""Fig 13: Warped-Slicer's realtime partition ratio / occupancy (PT + VIO).
+
+Paper claims: the dynamic intra-SM ratio is reset at every kernel launch /
+drawcall; overall it favours the rendering shaders over the compute
+kernels; low-occupancy regions are caused by insufficient registers.
+"""
+
+from bench_util import print_header, run_once
+
+from repro.core import GRAPHICS_STREAM
+from repro.harness.experiments import run_fig13
+
+
+def test_fig13_dynamic_ratio(benchmark):
+    result = run_once(benchmark, run_fig13)
+    print_header("Fig 13 — Warped-Slicer occupancy over time (PT + VIO)")
+    print("%10s %10s %10s" % ("cycle", "gfx occ", "vio occ"))
+    step = max(1, len(result.occupancy) // 20)
+    for cycle, gfx, cmp_ in result.occupancy[::step]:
+        bar_g = "#" * int(gfx * 30)
+        bar_c = "." * int(cmp_ * 30)
+        print("%10d %9.1f%% %9.1f%%  |%s%s|" % (cycle, gfx * 100, cmp_ * 100,
+                                                bar_g, bar_c))
+    print("\nsampling phases: %d, completed decisions: %d"
+          % (result.samples_taken, len(result.decisions)))
+    for cycle, frac in result.decisions:
+        print("  cycle %7d -> graphics fraction %.3f" % (cycle, frac))
+
+    # Shape claims.
+    assert result.samples_taken >= 5, \
+        "re-sampling happens at every kernel/drawcall boundary"
+    assert result.occupancy, "occupancy time series must be recorded"
+    # Graphics occupies a substantial share in steady state.
+    mid = result.occupancy[len(result.occupancy) // 4:]
+    mean_gfx = sum(g for _, g, _ in mid) / len(mid)
+    mean_cmp = sum(c for _, _, c in mid) / len(mid)
+    assert mean_gfx > mean_cmp, "the ratio favours the rendering shaders"
+    # Occupancy is never full: registers/quotas bound it below 100%.
+    assert max(g + c for _, g, c in result.occupancy) <= 1.0

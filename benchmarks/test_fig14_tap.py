@@ -1,0 +1,33 @@
+"""Fig 14: TAP L2 partitioning vs MiG vs MPS (RTX 3070).
+
+Paper claims: TAP (set-level partitioning inside every shared bank)
+outperforms MiG (bank-level partitioning) and matches the MPS baseline —
+the workload pairs are bandwidth-bound, not capacity-bound, so MiG's
+slowdown comes from restricting each workload to a subset of L2 banks.
+"""
+
+import numpy as np
+from bench_util import print_header, run_once
+
+from repro.harness.experiments import run_fig14
+
+
+def test_fig14_tap(benchmark):
+    result = run_once(benchmark, run_fig14)
+    norm = result.normalized()
+    print_header("Fig 14 — TAP vs MiG vs MPS (normalised to MPS)")
+    print("%-10s %8s %8s %8s" % ("pair", "mps", "mig", "tap"))
+    for pair in sorted(norm):
+        d = norm[pair]
+        print("%-10s %8.3f %8.3f %8.3f" % (pair, d["mps"], d["mig"], d["tap"]))
+    means = {p: result.mean_speedup(p) for p in ("mps", "mig", "tap")}
+    print("geomean:", {k: round(v, 3) for k, v in means.items()})
+
+    # Shape claims.
+    assert means["tap"] > means["mig"], "TAP outperforms MiG"
+    assert abs(means["tap"] - 1.0) < 0.08, \
+        "TAP matches the MPS baseline (bandwidth-bound, not capacity-bound)"
+    assert means["mig"] < 1.0, "MiG loses L2 bandwidth by splitting banks"
+    # MiG's loss shows on the majority of pairs, not one outlier.
+    mig_losses = sum(1 for p in norm if norm[p]["mig"] < 1.0)
+    assert mig_losses >= len(norm) // 2

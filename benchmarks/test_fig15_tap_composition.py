@@ -1,0 +1,37 @@
+"""Fig 15: normalised L2 composition under TAP (Sponza PBR + Hologram).
+
+Paper claims: HOLO is compute-bound with little memory traffic, so TAP
+allocates most L2 cache lines to the rendering pipeline (HOLO ends up with
+a single set); there is no partition between pipeline data and texture
+data, as both belong to the rendering stream.
+"""
+
+from bench_util import print_header, run_once
+
+from repro.core import COMPUTE_STREAM, GRAPHICS_STREAM
+from repro.harness.experiments import run_fig15
+
+
+def test_fig15_tap_composition(benchmark):
+    result = run_once(benchmark, run_fig15)
+    print_header("Fig 15 — TAP L2 composition (SPH + HOLO)")
+    step = max(1, len(result.composition) // 16)
+    for cycle, gfx, cmp_ in result.composition[::step]:
+        print("%10d  gfx %5.1f%%  holo %5.1f%%  |%s%s|"
+              % (cycle, gfx * 100, cmp_ * 100,
+                 "#" * int(gfx * 40), "." * int(cmp_ * 40)))
+    print("\nmean graphics share = %.1f%%" % (result.mean_graphics_share * 100))
+    print("mean compute share  = %.1f%%" % (result.mean_compute_share * 100))
+    print("final TAP sets per bank:", result.final_ratio)
+
+    # Shape claims.
+    assert result.mean_graphics_share > 0.5, \
+        "TAP allocates most L2 lines to rendering"
+    assert result.mean_graphics_share > 2 * result.mean_compute_share
+    ratio = result.final_ratio
+    assert ratio is not None, "TAP must have repartitioned during the run"
+    gfx_sets = ratio[GRAPHICS_STREAM]
+    holo_sets = ratio[COMPUTE_STREAM]
+    assert gfx_sets > holo_sets
+    # HOLO is squeezed to (near) the minimum set allocation.
+    assert holo_sets <= max(2, gfx_sets // 4)

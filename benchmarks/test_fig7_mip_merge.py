@@ -1,0 +1,18 @@
+"""Fig 7: mipmapping merges texture requests.
+
+Paper example: on a 4x4 texture, four texture loads in one UV quadrant at
+mip level 0 reduce to a single texel at mip level 1.
+"""
+
+from bench_util import print_header, run_once
+
+from repro.harness.experiments import run_fig7
+
+
+def test_fig7_mip_merge(benchmark):
+    result = run_once(benchmark, run_fig7)
+    print_header("Fig 7 — 4x4 texture mip merging")
+    print("distinct texel loads at mip 0: %d" % result.loads_level0)
+    print("distinct texel loads at mip 1: %d" % result.loads_level1)
+    assert result.loads_level0 == 4
+    assert result.loads_level1 == 1

@@ -1,0 +1,35 @@
+"""Fig 9: L1 texture access correlation, LoD on vs off.
+
+Paper claims: with LoD enabled the L1 texture-access MAPE drops from 219%
+to 33% (a 6.6x reduction); without LoD the model always references mip 0
+and can overestimate texture traffic by up to 6x, exaggerating L1 port
+pressure.
+"""
+
+from bench_util import print_header, run_once
+
+from repro.harness.experiments import run_fig9
+
+
+def test_fig9_l1tex_lod(benchmark):
+    result = run_once(benchmark, run_fig9)
+    print_header("Fig 9 — L1 TEX transactions per drawcall (LoD on/off)")
+    print("%-5s %-12s %10s %10s %10s" % ("scene", "draw", "lod-on",
+                                         "lod-off", "reference"))
+    for code, draw, on, off, ref in result.rows[:15]:
+        print("%-5s %-12s %10d %10d %10.0f" % (code, draw, on, off, ref))
+    print("... (%d texturing draws total)" % len(result.rows))
+    print("\nMAPE lod-on  = %6.1f%%" % result.mape_lod_on)
+    print("MAPE lod-off = %6.1f%%" % result.mape_lod_off)
+    print("reduction    = %6.1fx" % result.mape_reduction)
+
+    # Shape claims: LoD slashes the error by a large factor, and the
+    # mip-0-only model overestimates traffic on the texturing draws.
+    assert result.mape_lod_on < 60.0
+    assert result.mape_lod_off > 100.0
+    assert result.mape_reduction > 4.0
+    overestimates = sum(1 for _, _, on, off, _ in result.rows if off > on)
+    assert overestimates > len(result.rows) * 0.8
+    # "Without LoD, L1 texture accesses can be off by up to 6x".
+    worst = max(off / on for _, _, on, off, _ in result.rows if on)
+    assert worst > 3.0

@@ -1,0 +1,19 @@
+"""Table I: simulator capability comparison.
+
+Reprints the paper's capability matrix and verifies the CRISP row against
+this codebase — each claimed feature maps to a predicate over the library.
+"""
+
+from bench_util import print_header, run_once
+
+from repro.harness import format_table, verify_crisp_row
+
+
+def test_table1_capabilities(benchmark):
+    checks = run_once(benchmark, verify_crisp_row)
+    print_header("Table I — simulator capability comparison")
+    print(format_table())
+    print("\nCRISP row verification:")
+    for name, ok in checks.items():
+        print("  %-24s %s" % (name, "OK" if ok else "FAIL"))
+    assert all(checks.values()), "CRISP capability regressed: %s" % checks

@@ -1,0 +1,23 @@
+"""Table II: simulation configurations (RTX 3070 and Jetson Orin)."""
+
+from bench_util import print_header, run_once
+
+from repro.harness.experiments import run_table2
+
+
+def test_table2_configs(benchmark):
+    tables = run_once(benchmark, run_table2)
+    print_header("Table II — simulation configurations")
+    for machine, rows in tables.items():
+        print("\n%s:" % machine)
+        for field, value in rows:
+            print("  %-32s %s" % (field, value))
+    orin = dict(tables["JetsonOrin"])
+    rtx = dict(tables["RTX3070"])
+    # Table II values the paper lists.
+    assert orin["# SMs"] == 14
+    assert rtx["# SMs"] == 46
+    assert orin["# Registers / SM"] == rtx["# Registers / SM"] == 65536
+    assert "200GB/s" in str(orin["Memory BW"])
+    assert "448GB/s" in str(rtx["Memory BW"])
+    assert orin["L2 Cache"] == rtx["L2 Cache"] == "4MB"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare every GPU partitioning policy on a rendering+compute pair.
+
+Reproduces the Section VI-C methodology interactively: pick a scene and a
+compute workload, run them under each policy, and compare total time and
+per-stream slowdowns against MPS.
+
+Run:  python examples/partition_study.py [--scene PT] [--compute NN]
+"""
+
+import argparse
+
+from repro.config import JETSON_ORIN_MINI
+from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM, POLICY_NAMES
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene", default="PT",
+                        choices=("SPH", "PL", "MT", "SPL", "PT", "IT"))
+    parser.add_argument("--compute", default="NN",
+                        choices=("VIO", "HOLO", "NN"))
+    parser.add_argument("--res", default="4k", choices=("2k", "4k"))
+    args = parser.parse_args()
+
+    crisp = CRISP(JETSON_ORIN_MINI)
+    frame = crisp.trace_scene(args.scene, args.res)
+    compute = crisp.trace_compute(args.compute)
+    print("Pair: %s (%d gfx kernels) + %s (%d compute kernels)\n"
+          % (args.scene, len(frame.kernels), args.compute, len(compute)))
+
+    rows = []
+    for policy in POLICY_NAMES:
+        if policy == "shared":
+            continue  # the unpartitioned baseline launches exhaustively
+        result = crisp.run_pair(frame.kernels, compute, policy=policy)
+        rows.append((policy, result.total_cycles,
+                     result.graphics_cycles, result.compute_cycles))
+
+    base = dict((r[0], r[1]) for r in rows)["mps"]
+    print("%-14s %10s %9s %10s %10s" % ("policy", "total", "vs mps",
+                                        "gfx cyc", "cmp cyc"))
+    for policy, total, gfx, cmp_ in rows:
+        print("%-14s %10d %8.3fx %10d %10d"
+              % (policy, total, base / total, gfx, cmp_))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Render every catalog scene and write the framebuffers as PPM images.
+
+The functional pipeline's output (the Fig 5 "Planets rendered by the model"
+analog).  Images land in ``examples/out/``.
+
+Run:  python examples/render_scenes.py [--res 2k|4k]
+"""
+
+import argparse
+import os
+
+import numpy as np
+
+from repro.graphics import GraphicsPipeline
+from repro.scenes import build_scene, resolution, scene_codes, scene_title
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write a (H, W, 4) uint8 RGBA image as binary PPM (RGB)."""
+    h, w = image.shape[:2]
+    with open(path, "wb") as f:
+        f.write(b"P6\n%d %d\n255\n" % (w, h))
+        f.write(image[..., :3].tobytes())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--res", default="2k", choices=("2k", "4k"))
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "out"))
+    args = parser.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+    w, h = resolution(args.res)
+
+    for code in scene_codes():
+        scene = build_scene(code)
+        pipe = GraphicsPipeline(scene.textures)
+        result = pipe.render_frame(scene.draws, scene.camera, w, h)
+        path = os.path.join(args.out, "%s_%s.ppm" % (code, args.res))
+        write_ppm(path, result.framebuffer.as_image())
+        frags = sum(d.fragments for d in result.draw_stats)
+        print("%-4s %-28s %5d tris -> %6d fragments -> %s"
+              % (code, scene_title(code), scene.total_triangles, frags, path))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro: a from-scratch reproduction of CRISP (IISWC 2024) — a concurrent
+rendering and compute simulation platform for GPUs.
+
+Public entry points:
+
+* :class:`repro.core.CRISP` — the platform facade (trace scenes, trace
+  compute workloads, run them concurrently under a partition policy).
+* :mod:`repro.graphics` — the Vulkan-like front-end and rendering pipeline.
+* :mod:`repro.compute` — the CUDA-like kernel tracer and XR workloads.
+* :mod:`repro.timing` — the Accel-Sim-style GPU timing model.
+* :mod:`repro.scenes` — the six rendering workloads of the paper.
+"""
+
+from .core import CRISP
+
+__version__ = "1.0.0"
+__all__ = ["CRISP", "__version__"]

@@ -1,0 +1,39 @@
+"""Static trace analysis: TEX cache lines per CTA (Fig 10).
+
+The paper analyses traces to count the number of distinct 128B cache lines
+referenced by texture instructions in each CTA of a drawcall: most CTAs
+touch 3-5 lines, with means ranging 2.5-21 across drawcalls.  The counts
+are collected at trace-generation time (``DrawStats.tex_lines_per_cta``);
+these helpers turn them into the histogram and summary stats.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+def histogram(lines_per_cta: Sequence[int]) -> Dict[int, int]:
+    """Count of CTAs per distinct-line-count value."""
+    return dict(Counter(int(v) for v in lines_per_cta))
+
+
+def binned_histogram(lines_per_cta: Sequence[int], bin_width: int = 1
+                     ) -> List[Tuple[int, int]]:
+    """(bin_start, count) rows, sorted, for printing Fig 10 style output."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    counts = Counter((int(v) // bin_width) * bin_width for v in lines_per_cta)
+    return sorted(counts.items())
+
+
+def mode(lines_per_cta: Sequence[int]) -> int:
+    if not lines_per_cta:
+        raise ValueError("no CTAs to summarise")
+    return Counter(int(v) for v in lines_per_cta).most_common(1)[0][0]
+
+
+def mean(lines_per_cta: Sequence[int]) -> float:
+    if not lines_per_cta:
+        raise ValueError("no CTAs to summarise")
+    return sum(lines_per_cta) / len(lines_per_cta)

@@ -1,0 +1,293 @@
+"""Command-line driver: the artifact's ``run.sh`` / ``collect.sh`` analog.
+
+Subcommands::
+
+    python -m repro list
+    python -m repro render SPL --res 2k --out spl.ppm --save-trace spl.gz
+    python -m repro trace-compute VIO --save-trace vio.gz
+    python -m repro simulate --graphics spl.gz --compute vio.gz \
+        --policy fg-even --config JetsonOrin-mini --csv stats.csv
+    python -m repro figure fig9
+
+Traces saved by ``render`` / ``trace-compute`` are replayed by
+``simulate`` — collect once, sweep policies many times, exactly the
+artifact workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compute import WORKLOAD_BUILDERS, build_compute_workload
+from .config import PRESETS, get_preset
+from .core import CRISP, POLICY_NAMES, COMPUTE_STREAM, GRAPHICS_STREAM, make_policy
+from .isa import load_traces, save_traces
+from .scenes import RESOLUTIONS, build_scene, scene_codes, scene_title
+from .timing import GPU
+
+#: Figure runners exposed through ``repro figure <id>``.
+FIGURE_IDS = ("table1", "table2", "fig3", "fig6", "fig7", "fig9", "fig10",
+              "fig11", "fig12", "fig13", "fig14", "fig15")
+
+
+def _cmd_list(_args) -> int:
+    print("Scenes:")
+    for code in scene_codes():
+        print("  %-4s %s" % (code, scene_title(code)))
+    print("Compute workloads:")
+    for name in sorted(WORKLOAD_BUILDERS):
+        print("  %s" % name)
+    print("Resolutions: %s" % ", ".join(sorted(RESOLUTIONS)))
+    print("Policies: %s" % ", ".join(POLICY_NAMES))
+    print("Config presets: %s" % ", ".join(sorted(PRESETS)))
+    print("Figures: %s" % ", ".join(FIGURE_IDS))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    crisp = CRISP(get_preset(args.config))
+    frame = crisp.trace_scene(args.scene, args.res,
+                              lod_enabled=not args.no_lod)
+    frags = sum(d.fragments for d in frame.draw_stats)
+    print("rendered %s@%s: %d kernels, %d instructions, %d fragments"
+          % (args.scene, args.res, len(frame.kernels),
+             frame.total_instructions, frags))
+    if args.out:
+        image = frame.framebuffer.as_image()
+        h, w = image.shape[:2]
+        with open(args.out, "wb") as f:
+            f.write(b"P6\n%d %d\n255\n" % (w, h))
+            f.write(image[..., :3].tobytes())
+        print("image -> %s" % args.out)
+    if args.save_trace:
+        save_traces(args.save_trace, frame.kernels,
+                    metadata={"scene": args.scene, "res": args.res,
+                              "lod": not args.no_lod})
+        print("traces -> %s" % args.save_trace)
+    return 0
+
+
+def _cmd_trace_compute(args) -> int:
+    kernels = build_compute_workload(args.workload)
+    print("traced %s: %d kernels, %d instructions"
+          % (args.workload, len(kernels),
+             sum(k.num_instructions for k in kernels)))
+    if args.save_trace:
+        save_traces(args.save_trace, kernels,
+                    metadata={"workload": args.workload})
+        print("traces -> %s" % args.save_trace)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = get_preset(args.config)
+    streams = {}
+    if args.graphics:
+        streams[GRAPHICS_STREAM] = load_traces(args.graphics)
+    if args.compute:
+        streams[COMPUTE_STREAM] = load_traces(args.compute)
+    if not streams:
+        print("error: provide --graphics and/or --compute trace files",
+              file=sys.stderr)
+        return 2
+    policy = (make_policy(args.policy, config, sorted(streams))
+              if len(streams) > 1 else None)
+    gpu = GPU(config, policy=policy, sample_interval=args.sample_interval)
+    for sid, kernels in sorted(streams.items()):
+        gpu.add_stream(sid, kernels)
+    stats = gpu.run()
+    print("simulated %d cycles on %s%s"
+          % (stats.cycles, config.name,
+             " under %s" % args.policy if policy else ""))
+    for sid, summary in stats.summary().items():
+        tag = "graphics" if sid == GRAPHICS_STREAM else "compute"
+        print("  stream %d (%s): %d instr, %d cycles, IPC %.2f, "
+              "L1 hit %.1f%%"
+              % (sid, tag, summary["instructions"], summary["busy_cycles"],
+                 summary["ipc"], summary["l1_hit_rate"] * 100))
+    if args.csv:
+        from .harness.report import write_sim_report
+        write_sim_report(args.csv, stats)
+        print("stats -> %s" % args.csv)
+    if args.vlog:
+        from .harness.visualizer import dump_log
+        n = dump_log(args.vlog, stats,
+                     metadata={"config": args.config, "policy": args.policy})
+        print("visualizer log (%d records) -> %s" % (n, args.vlog))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .harness import experiments as E
+    fig = args.id
+    if fig == "table1":
+        from .harness import format_table
+        print(format_table())
+    elif fig == "table2":
+        for machine, rows in E.run_table2().items():
+            print(machine)
+            for field, value in rows:
+                print("  %-32s %s" % (field, value))
+    elif fig == "fig3":
+        r = E.run_fig3()
+        for bs, corr in sorted(r.correlation_by_batch.items()):
+            print("batch %4d: %.2f%%" % (bs, corr))
+        print("best batch: %d" % r.best_batch)
+    elif fig == "fig6":
+        r = E.run_fig6()
+        for code, res, sim, ref in r.rows:
+            print("%s@%s sim=%d ref=%.0f" % (code, res, sim, ref))
+        print("correlation: %.1f%%" % r.correlation)
+    elif fig == "fig7":
+        r = E.run_fig7()
+        print("mip0 loads: %d, mip1 loads: %d" % (r.loads_level0, r.loads_level1))
+    elif fig == "fig9":
+        r = E.run_fig9()
+        print("MAPE lod-on %.1f%%, lod-off %.1f%% (%.1fx)"
+              % (r.mape_lod_on, r.mape_lod_off, r.mape_reduction))
+    elif fig == "fig10":
+        r = E.run_fig10()
+        print("draw %s: mode %d, mean %.2f" % (r.draw_name, r.mode, r.mean))
+        for lines, count in r.histogram:
+            print("  %3d lines: %d CTAs" % (lines, count))
+    elif fig == "fig11":
+        r = E.run_fig11()
+        for code in r.texture_share:
+            print("%s: texture share %.1f%%, hit rate %.1f%%"
+                  % (code, r.texture_share[code] * 100,
+                     r.l2_hit_rate[code] * 100))
+    elif fig == "fig12":
+        r = E.run_fig12()
+        for pair, d in sorted(r.normalized().items()):
+            print(pair, {k: round(v, 3) for k, v in d.items()})
+    elif fig == "fig13":
+        r = E.run_fig13()
+        print("sampling phases: %d" % r.samples_taken)
+        for cycle, frac in r.decisions:
+            print("  cycle %d -> %.3f" % (cycle, frac))
+    elif fig == "fig14":
+        r = E.run_fig14()
+        for pair, d in sorted(r.normalized().items()):
+            print(pair, {k: round(v, 3) for k, v in d.items()})
+    elif fig == "fig15":
+        r = E.run_fig15()
+        print("graphics %.1f%%, compute %.1f%%, final ratio %s"
+              % (r.mean_graphics_share * 100, r.mean_compute_share * 100,
+                 r.final_ratio))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CRISP reproduction command-line driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenes, workloads, policies, presets")
+
+    p = sub.add_parser("render", help="render a scene and save its traces")
+    p.add_argument("scene", choices=scene_codes())
+    p.add_argument("--res", default="2k", choices=sorted(RESOLUTIONS))
+    p.add_argument("--config", default="JetsonOrin-mini",
+                   choices=sorted(PRESETS))
+    p.add_argument("--no-lod", action="store_true",
+                   help="disable mipmapped sampling (Fig 9's lod-off)")
+    p.add_argument("--out", help="write the framebuffer as PPM")
+    p.add_argument("--save-trace", help="write shader traces (gzipped)")
+
+    p = sub.add_parser("trace-compute", help="trace a compute workload")
+    p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--save-trace", help="write kernel traces (gzipped)")
+
+    p = sub.add_parser("simulate", help="replay saved traces, possibly "
+                                        "concurrently")
+    p.add_argument("--graphics", help="graphics trace file")
+    p.add_argument("--compute", help="compute trace file")
+    p.add_argument("--policy", default="mps", choices=POLICY_NAMES)
+    p.add_argument("--config", default="JetsonOrin-mini",
+                   choices=sorted(PRESETS))
+    p.add_argument("--sample-interval", type=int, default=None)
+    p.add_argument("--csv", help="write per-stream stats CSV")
+    p.add_argument("--vlog", help="write a visualizer log of the sampled "
+                                  "time series (requires --sample-interval)")
+
+    p = sub.add_parser("figure", help="run one table/figure experiment")
+    p.add_argument("id", choices=FIGURE_IDS)
+
+    p = sub.add_parser("reproduce", help="run every experiment and write "
+                                         "RESULTS.md")
+    p.add_argument("--out", default="results")
+    p.add_argument("--only", nargs="*", default=None,
+                   help="subset of experiment ids")
+
+    p = sub.add_parser("inspect", help="summarise a saved trace file")
+    p.add_argument("trace", help="trace file written by render/trace-compute")
+    p.add_argument("--config", default="JetsonOrin-mini",
+                   choices=sorted(PRESETS),
+                   help="machine used for the occupancy column")
+    return parser
+
+
+def _cmd_reproduce(args) -> int:
+    from .harness.reproduce import reproduce_all
+    records = reproduce_all(args.out, only=args.only)
+    for rec in records:
+        print("[%s] %-7s %s (%.1fs)"
+              % ("PASS" if rec.ok else "CHECK", rec.exp_id, rec.headline,
+                 rec.seconds))
+    print("report -> %s/RESULTS.md" % args.out)
+    return 0 if all(r.ok for r in records) else 1
+
+
+def _cmd_inspect(args) -> int:
+    from .isa import load_metadata
+    from .timing.occupancy import occupancy_of
+    config = get_preset(args.config)
+    kernels = load_traces(args.trace)
+    meta = load_metadata(args.trace)
+    if meta:
+        print("metadata: %s" % meta)
+    print("%d kernels, %d instructions total"
+          % (len(kernels), sum(k.num_instructions for k in kernels)))
+    print("%-16s %5s %6s %8s %6s %9s %s"
+          % ("kernel", "ctas", "warps", "instr", "regs", "occupancy",
+             "limiter"))
+    for k in kernels:
+        occ = occupancy_of(k, config)
+        print("%-16s %5d %6d %8d %6d %8.0f%% %s"
+              % (k.name[:16], k.num_ctas, k.warps_per_cta, k.num_instructions,
+                 k.regs_per_thread, occ.occupancy * 100, occ.limiter))
+    # Aggregate memory footprint per data class.
+    totals = {}
+    for k in kernels:
+        for cls, n in k.memory_footprint().items():
+            totals[cls] = totals.get(cls, 0) + n
+    if totals:
+        print("footprint (distinct 128B lines):")
+        for cls, n in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print("  %-12s %7d lines (%d KB)"
+                  % (cls.value, n, n * 128 // 1024))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "render": _cmd_render,
+    "trace-compute": _cmd_trace_compute,
+    "simulate": _cmd_simulate,
+    "figure": _cmd_figure,
+    "reproduce": _cmd_reproduce,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

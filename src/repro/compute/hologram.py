@@ -1,0 +1,53 @@
+"""HOLO — hologram generation (Section V-B).
+
+Holographic processing (the AR bottleneck per HoloAR) computes, for every
+hologram pixel, a phase accumulation over the scene's 3D point sources:
+long chains of sin/cos and FMA with almost no memory traffic.  The paper's
+findings hinge on HOLO being *extremely compute-bound*: it saturates the FP
+and SFU pipes (Fig 12: FP bottleneck under FG sharing) and barely touches
+the L2 (Fig 14/15: TAP gives it a single set).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import KernelTrace
+from .builder import DeviceMemory, KernelBuilder
+
+#: Hologram tile dimensions (scaled from real 1080p holograms).
+HOLO_W, HOLO_H = 96, 64
+#: 3D point sources folded into each phase-accumulation kernel.
+POINTS_PER_PASS = 16
+
+
+def build_hologram_kernels(passes: int = 3) -> List[KernelTrace]:
+    """Phase accumulation + final normalisation, in launch order."""
+    mem = DeviceMemory()
+    pixels = HOLO_W * HOLO_H
+    points = mem.buffer("point_sources", POINTS_PER_PASS * passes * 16)
+    phase = mem.buffer("phase_acc", pixels * 8)
+    out = mem.buffer("hologram", pixels * 4)
+
+    warps = 8                      # 256-thread blocks
+    grid = max(1, pixels // (warps * 32))
+    kernels: List[KernelTrace] = []
+    for p in range(passes):
+        b = KernelBuilder("holo_phase_p%d" % p, grid, warps * 32,
+                          regs_per_thread=40)
+        b.load(points, "broadcast", words=2)   # point list fits in one line
+        b.load(phase, "coalesced", words=2)    # running accumulator
+        for _ in range(POINTS_PER_PASS):
+            # Per point: distance (FMA chain + rsqrt) and phase (sin + cos).
+            b.fp(6).sfu(3)
+        b.fp(8)
+        b.store(phase)
+        kernels.append(b.build())
+    kernels.append(
+        KernelBuilder("holo_normalize", grid, warps * 32, regs_per_thread=24)
+        .load(phase, "coalesced", words=2)
+        .fp(10)
+        .sfu(2)
+        .store(out)
+        .build())
+    return kernels

@@ -1,0 +1,109 @@
+"""NN — RITnet eye-segmentation inference (Section V-B).
+
+RITnet: a 248K-parameter CNN segmenting per-eye camera images.  The paper's
+characterisation: memory-bound CNN layers, a batch size pinned to two (one
+image per eye) that keeps occupancy low, and matmul kernels that lean on
+shared memory — which is why the NN pair shows the biggest intra-SM sharing
+win (Fig 12: "MatMul kernels use shared memory extensively, while rendering
+uses the remaining L1 as texture cache").
+
+The full network is too large to simulate; like the paper we apply
+Principal Kernel Selection (:mod:`repro.compute.pka`) to a per-layer kernel
+list and keep the dominant ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..isa import KernelTrace
+from .builder import DeviceMemory, KernelBuilder
+from .pka import principal_kernels
+
+#: Eye-image input, scaled from RITnet's 400x640.
+EYE_W, EYE_H = 64, 96
+BATCH = 2  # one image per eye — fixed, the occupancy limiter
+
+#: (name, channels_in, channels_out, spatial_scale, est_weight) per layer of
+#: the down/up CNN.  est_weight approximates the layer's share of runtime.
+_LAYERS: List[Tuple[str, int, int, int, float]] = [
+    ("down1", 1, 32, 1, 0.18),
+    ("down2", 32, 32, 2, 0.16),
+    ("down3", 32, 32, 4, 0.10),
+    ("bottleneck_mm", 32, 64, 8, 0.22),
+    ("up3", 64, 32, 4, 0.12),
+    ("up2", 32, 32, 2, 0.12),
+    ("up1", 32, 2, 1, 0.10),
+]
+
+
+def _conv_kernel(mem: DeviceMemory, name: str, c_in: int, c_out: int,
+                 scale: int) -> KernelBuilder:
+    """A memory-bound conv layer: wide loads, modest arithmetic."""
+    pixels = (EYE_W // scale) * (EYE_H // scale) * BATCH
+    act_in = mem.buffer(name + "_in", pixels * c_in)
+    weights = mem.buffer(name + "_w", c_in * c_out * 9 * 2)
+    act_out = mem.buffer(name + "_out", pixels * c_out)
+    warps = 4
+    # Small batch -> few CTAs: the low-occupancy trait.
+    grid = max(1, pixels // (warps * 32 * 4))
+    b = KernelBuilder(name, grid, warps * 32, regs_per_thread=40)
+    loads = max(2, min(6, c_in // 8))
+    for i in range(loads):
+        b.load(act_in, "coalesced", words=2, streaming=True)
+    b.load(weights, "broadcast", words=2)
+    b.fp(4 * loads + 8)
+    b.store(act_out)
+    return b
+
+
+def _matmul_kernel(mem: DeviceMemory, name: str, c_in: int, c_out: int,
+                   scale: int) -> KernelBuilder:
+    """Shared-memory tiled matmul (the bottleneck 1x1-conv-as-GEMM)."""
+    pixels = (EYE_W // scale) * (EYE_H // scale) * BATCH
+    a = mem.buffer(name + "_A", pixels * c_in)
+    w = mem.buffer(name + "_B", c_in * c_out * 2)
+    out = mem.buffer(name + "_C", pixels * c_out)
+    warps = 8
+    grid = max(1, pixels * c_out // (warps * 32 * 64))
+    b = KernelBuilder(name, grid, warps * 32, regs_per_thread=56,
+                      shared_mem=16 * 1024)
+    for _tile in range(3):
+        b.load(a, "coalesced", words=2, streaming=True)
+        b.load(w, "strided", streaming=True)
+        b.shared_store(2)
+        b.barrier()
+        b.shared_load(4)
+        b.fp(16)
+        b.tensor(4)
+        b.barrier()
+    b.store(out)
+    return b
+
+
+def build_nn_kernels(coverage: float = 0.85,
+                     inferences: int = 1) -> List[KernelTrace]:
+    """RITnet principal kernels (PKA-selected), in launch order.
+
+    ``inferences`` repeats the selected principal kernels, modelling the
+    steady-state per-eye-frame inference loop.
+    """
+    if inferences < 1:
+        raise ValueError("inferences must be >= 1")
+    mem = DeviceMemory()
+    weighted = []
+    for name, c_in, c_out, scale, weight in _LAYERS:
+        if name.endswith("_mm"):
+            builder = _matmul_kernel(mem, name, c_in, c_out, scale)
+        else:
+            builder = _conv_kernel(mem, name, c_in, c_out, scale)
+        weighted.append((builder, weight))
+    selected = principal_kernels(weighted, coverage=coverage)
+    out: List[KernelTrace] = []
+    for _ in range(inferences):
+        out.extend(b.build() for b in selected)
+    return out
+
+
+def full_layer_count() -> int:
+    return len(_LAYERS)

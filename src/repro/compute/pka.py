@@ -1,0 +1,55 @@
+"""Principal Kernel Analysis (Avalos Baddouh et al., used in Section V-B).
+
+Full applications are too large to simulate cycle-level; PKA selects the
+subset of kernels that dominates runtime and simulates only those.  The
+paper uses it to shrink RITnet ("we used Principal Kernel Selection to
+select principle kernels that dominate the performance of the NN").
+
+``principal_kernels`` keeps the smallest prefix of the weight-sorted kernel
+list whose cumulative weight reaches ``coverage``, preserving launch order
+among the survivors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def principal_kernels(weighted: Sequence[Tuple[T, float]],
+                      coverage: float = 0.9) -> List[T]:
+    """Select kernels covering ``coverage`` of the total weight.
+
+    ``weighted`` is ``(kernel, weight)`` in launch order; weights are
+    arbitrary positive magnitudes (e.g. profiled runtimes).  Returns the
+    selected kernels in their original launch order.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    if not weighted:
+        return []
+    if any(w <= 0 for _, w in weighted):
+        raise ValueError("kernel weights must be positive")
+    total = sum(w for _, w in weighted)
+    # Pick heaviest-first until coverage is reached...
+    by_weight = sorted(range(len(weighted)), key=lambda i: -weighted[i][1])
+    chosen = set()
+    acc = 0.0
+    for i in by_weight:
+        chosen.add(i)
+        acc += weighted[i][1]
+        if acc >= coverage * total - 1e-12:
+            break
+    # ...then restore launch order.
+    return [weighted[i][0] for i in sorted(chosen)]
+
+
+def coverage_of(weighted: Sequence[Tuple[T, float]], selected: Sequence[T]
+                ) -> float:
+    """Fraction of total weight the selected kernels account for."""
+    total = sum(w for _, w in weighted)
+    if total <= 0:
+        return 0.0
+    sel = {id(k) for k in selected}
+    return sum(w for k, w in weighted if id(k) in sel) / total

@@ -1,0 +1,59 @@
+"""ATW — asynchronous timewarp (Section II-A background, extension workload).
+
+Timewarp is the post-process every shipping XR system runs: after the frame
+renders, a compute shader re-projects ("warps") the image to the user's
+latest head pose to cut motion-to-photon latency.  It reads the rendered
+framebuffer (a gather with pose-dependent displacement), applies a small
+amount of per-pixel matrix math, and writes the warped image.
+
+Characteristics that matter for concurrency studies: short, bandwidth-lean
+but latency-critical, and — unlike VIO — it *reads the framebuffer*, so it
+genuinely shares data with the rendering stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa import KernelTrace
+from .builder import DeviceMemory, KernelBuilder
+
+#: Warped eye-buffer dimensions (scaled).
+EYE_W, EYE_H = 96, 64
+
+
+def build_timewarp_kernels(frames: int = 1,
+                           framebuffer_base: Optional[int] = None
+                           ) -> List[KernelTrace]:
+    """One reprojection pass per frame.
+
+    When ``framebuffer_base`` is given, the gather reads that address range
+    (the rendering stream's real framebuffer) instead of a private buffer —
+    producing genuine inter-stream L2 sharing.
+    """
+    mem = DeviceMemory()
+    pixels = EYE_W * EYE_H
+    if framebuffer_base is None:
+        src = mem.buffer("rendered_eye", pixels * 4)
+    else:
+        # Alias the rendering stream's framebuffer region.
+        src = mem.buffer("fb_alias", 4)
+        src.base = framebuffer_base
+        src.size = pixels * 4
+    pose = mem.buffer("pose_matrix", 64)
+    out = mem.buffer("warped_eye", pixels * 4)
+
+    warps = 4
+    grid = max(1, pixels // (warps * 32))
+    kernels: List[KernelTrace] = []
+    for _ in range(frames):
+        kernels.append(
+            KernelBuilder("atw_reproject", grid, warps * 32,
+                          regs_per_thread=28)
+            .load(pose, "broadcast", words=4)   # head pose, one line
+            .fp(12)                              # per-pixel reprojection math
+            .load(src, "random", words=2)        # displaced gather + bilerp
+            .fp(8)
+            .store(out)
+            .build())
+    return kernels

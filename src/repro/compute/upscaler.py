@@ -1,0 +1,78 @@
+"""DLSS-style neural upscaler (Section II background, extension workload).
+
+The paper motivates async compute with DLSS: render at low resolution, then
+super-sample with a neural network on the tensor cores while the next
+frame's fragment work uses the FP units.  This workload reproduces that
+resource signature: tensor-core-dominated matrix math over the low-res
+frame, shared-memory tiling, modest bandwidth.
+
+Paired with a rendering stream under fine-grained sharing it is the
+canonical "complementary units" case (tensor + FP), the same argument the
+paper makes for running DLSS concurrently with the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import KernelTrace
+from .builder import DeviceMemory, KernelBuilder
+
+#: Low-resolution input and 2x upscaled output (scaled sizes).
+IN_W, IN_H = 96, 54
+SCALE = 2
+
+
+def build_upscaler_kernels(frames: int = 1) -> List[KernelTrace]:
+    """Feature extraction + tensor upsampling + output blend, per frame."""
+    mem = DeviceMemory()
+    in_pixels = IN_W * IN_H
+    out_pixels = in_pixels * SCALE * SCALE
+    lowres = mem.buffer("lowres_frame", in_pixels * 8)
+    motion = mem.buffer("motion_vectors", in_pixels * 4)
+    history = mem.buffer("history_frame", out_pixels * 8)
+    weights = mem.buffer("network_weights", 64 * 1024)
+    upscaled = mem.buffer("upscaled_frame", out_pixels * 4)
+
+    warps = 8
+    grid_in = max(1, in_pixels // (warps * 32 * 2))
+    grid_out = max(1, out_pixels // (warps * 32 * 4))
+    kernels: List[KernelTrace] = []
+    for _ in range(frames):
+        # 1. Feature extraction: conv over the low-res frame.
+        kernels.append(
+            KernelBuilder("dlss_features", grid_in, warps * 32,
+                          regs_per_thread=48, shared_mem=8 * 1024)
+            .load(lowres, "coalesced", words=2, streaming=True)
+            .load(motion, "coalesced")
+            .shared_store(2)
+            .barrier()
+            .shared_load(3)
+            .fp(10)
+            .tensor(8)
+            .store(lowres)
+            .build())
+        # 2. Tensor upsampling: the GEMM-heavy core.
+        kernels.append(
+            KernelBuilder("dlss_upsample", grid_out, warps * 32,
+                          regs_per_thread=56, shared_mem=16 * 1024)
+            .load(weights, "broadcast", words=4)
+            .load(lowres, "coalesced", words=2, streaming=True)
+            .shared_store(2)
+            .barrier()
+            .shared_load(4)
+            .tensor(16)
+            .fp(6)
+            .barrier()
+            .store(upscaled)
+            .build())
+        # 3. Temporal blend with the history buffer.
+        kernels.append(
+            KernelBuilder("dlss_blend", grid_out, warps * 32,
+                          regs_per_thread=32)
+            .load(upscaled, "coalesced")
+            .load(history, "coalesced", streaming=True)
+            .fp(8)
+            .store(history)
+            .build())
+    return kernels

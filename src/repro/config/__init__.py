@@ -1,0 +1,24 @@
+"""GPU configuration presets and value objects (Table II)."""
+
+from .gpuconfig import CacheConfig, GPUConfig
+from .presets import (
+    JETSON_ORIN,
+    JETSON_ORIN_MINI,
+    PRESETS,
+    RTX_3070,
+    RTX_3070_MINI,
+    RTX_3070_NANO,
+    get_preset,
+)
+
+__all__ = [
+    "CacheConfig",
+    "GPUConfig",
+    "JETSON_ORIN",
+    "JETSON_ORIN_MINI",
+    "PRESETS",
+    "RTX_3070",
+    "RTX_3070_MINI",
+    "RTX_3070_NANO",
+    "get_preset",
+]

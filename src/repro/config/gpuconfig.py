@@ -1,0 +1,131 @@
+"""GPU configuration model.
+
+Mirrors the parameters Accel-Sim exposes through ``gpgpusim.config`` for the
+subset of the architecture CRISP models (Table II of the paper).  A
+:class:`GPUConfig` is an immutable value object: experiments derive variants
+with :meth:`GPUConfig.replace` rather than mutating a shared instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level.
+
+    ``line_size`` is in bytes; the paper analyses 128-byte lines throughout
+    (Fig 10 counts "cache lines (128B/line)").
+    """
+
+    size_bytes: int
+    assoc: int
+    line_size: int = 128
+    mshr_entries: int = 64
+    hit_latency: int = 30
+    #: 0 = whole-line granularity; 32 = sectored (Accel-Sim's model):
+    #: only touched 32B sectors are fetched, and a resident line can
+    #: sector-miss.
+    sector_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.assoc <= 0 or self.line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.assoc * self.line_size):
+            raise ValueError(
+                "cache size %d is not divisible into %d-way sets of %dB lines"
+                % (self.size_bytes, self.assoc, self.line_size)
+            )
+        if self.sector_size and (self.sector_size <= 0
+                                 or self.line_size % self.sector_size):
+            raise ValueError("sector_size must divide line_size")
+
+    @property
+    def sectors_per_line(self) -> int:
+        return self.line_size // self.sector_size if self.sector_size else 1
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Full GPU configuration (Table II parameters plus timing knobs)."""
+
+    name: str
+    num_sms: int
+    # Per-SM resources.
+    registers_per_sm: int = 65536
+    max_warps_per_sm: int = 64
+    max_ctas_per_sm: int = 32
+    shared_mem_per_sm: int = 100 * 1024
+    max_threads_per_sm: int = 2048
+    schedulers_per_sm: int = 4
+    # Execution units, per SM (paper: 4 FPs, 4 SFUs, 4 INTs, 4 TENSORs).
+    fp_units: int = 4
+    int_units: int = 4
+    sfu_units: int = 4
+    tensor_units: int = 4
+    ldst_units: int = 4
+    # Clocks (MHz).  The timing model counts core-clock cycles.
+    core_clock_mhz: float = 1300.0
+    # L1 is unified data + texture (post-Volta, Section III).
+    l1: CacheConfig = CacheConfig(size_bytes=128 * 1024, assoc=8, hit_latency=30)
+    l2: CacheConfig = CacheConfig(size_bytes=4 * 1024 * 1024, assoc=16, hit_latency=120)
+    l2_banks: int = 16
+    # Interconnect latency SM <-> L2 (cycles each way).
+    icnt_latency: int = 40
+    # DRAM model.
+    dram_latency: int = 220
+    dram_bandwidth_gbps: float = 448.0
+    dram_channels: int = 8
+    # Warp width.
+    warp_size: int = 32
+    # Warp scheduler policy: "gto" (greedy-then-oldest) or "lrr".
+    scheduler_policy: str = "gto"
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.scheduler_policy not in ("gto", "lrr"):
+            raise ValueError("scheduler_policy must be 'gto' or 'lrr'")
+        if self.max_warps_per_sm % self.schedulers_per_sm:
+            raise ValueError("warps per SM must divide evenly among schedulers")
+        if self.l2_banks <= 0 or self.l2.num_sets % self.l2_banks:
+            raise ValueError("L2 sets must divide evenly among banks")
+
+    def replace(self, **changes: object) -> "GPUConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def warps_per_scheduler(self) -> int:
+        return self.max_warps_per_sm // self.schedulers_per_sm
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bytes deliverable per core-clock cycle."""
+        return self.dram_bandwidth_gbps * 1e9 / (self.core_clock_mhz * 1e6)
+
+    def summary_rows(self) -> list:
+        """Rows for the Table II style configuration summary."""
+        return [
+            ("# SMs", self.num_sms),
+            ("# Registers / SM", self.registers_per_sm),
+            ("L1 Data Cache + Shared Memory",
+             "%dKB" % ((self.l1.size_bytes + self.shared_mem_per_sm) // 1024)),
+            ("# Warps / SM", self.max_warps_per_sm),
+            ("# Schedulers / SM", self.schedulers_per_sm),
+            ("# Exec Units", "%d FPs, %d SFUs, %d INTs, %d TENSORs"
+             % (self.fp_units, self.sfu_units, self.int_units, self.tensor_units)),
+            ("L2 Cache", "%dMB" % (self.l2.size_bytes // (1024 * 1024))),
+            ("Compute Core Clock", "%d MHz" % self.core_clock_mhz),
+            ("Memory BW", "%.0fGB/s" % self.dram_bandwidth_gbps),
+        ]

@@ -1,0 +1,182 @@
+"""GPU partitioning methods (Section III-A / Fig 4).
+
+Three families, mirroring the hardware mechanisms CRISP models:
+
+* **MPS** — coarse-grained inter-SM: each SM is dedicated to one workload;
+  the L2 and everything below stays shared.
+* **MiG** — inter-SM plus full memory partitioning: each workload is routed
+  to a disjoint subset of L2 banks (capacity *and* bandwidth split).
+* **FG**  — fine-grained intra-SM: every SM runs both workloads, with the
+  CTA scheduler enforcing per-stream ceilings on thread slots, registers
+  and shared memory.  The ratio is static (:class:`FGEvenPolicy`) or
+  adjustable at runtime (:class:`FGDynamicPolicy`), with the drain
+  semantics of Section III-A handled by the CTA scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GPUConfig
+from ..isa import CTAResources
+from ..timing.cta import PartitionPolicy
+from ..timing.sm import SM
+
+
+def even_sm_split(num_sms: int, streams: Sequence[int]) -> Dict[int, List[int]]:
+    """Assign SMs to streams as evenly as possible, in contiguous blocks."""
+    streams = list(streams)
+    if not streams:
+        raise ValueError("no streams to split SMs among")
+    if num_sms < len(streams):
+        raise ValueError("fewer SMs than streams")
+    out: Dict[int, List[int]] = {}
+    base = num_sms // len(streams)
+    extra = num_sms % len(streams)
+    start = 0
+    for i, sid in enumerate(streams):
+        count = base + (1 if i < extra else 0)
+        out[sid] = list(range(start, start + count))
+        start += count
+    return out
+
+
+def even_bank_split(num_banks: int, streams: Sequence[int]) -> Dict[int, List[int]]:
+    """Assign L2 banks to streams evenly (MiG bank-level partitioning)."""
+    return even_sm_split(num_banks, streams)
+
+
+class MPSPolicy(PartitionPolicy):
+    """Inter-SM partitioning; L2 and memory stay fully shared."""
+
+    name = "mps"
+    interleave = True
+
+    def __init__(self, sm_assignment: Dict[int, List[int]]) -> None:
+        if not sm_assignment:
+            raise ValueError("MPS needs an SM assignment")
+        claimed: set = set()
+        for sid, sms in sm_assignment.items():
+            if not sms:
+                raise ValueError("stream %d assigned zero SMs" % sid)
+            overlap = claimed.intersection(sms)
+            if overlap:
+                raise ValueError("SMs %s assigned twice" % sorted(overlap))
+            claimed.update(sms)
+        self.sm_assignment = {k: list(v) for k, v in sm_assignment.items()}
+
+    @classmethod
+    def even(cls, num_sms: int, streams: Sequence[int]) -> "MPSPolicy":
+        return cls(even_sm_split(num_sms, streams))
+
+    def allowed_sms(self, stream: int, num_sms: int) -> Sequence[int]:
+        return self.sm_assignment.get(stream, range(num_sms))
+
+
+class MiGPolicy(MPSPolicy):
+    """MPS-style SM split plus bank-level L2 partitioning."""
+
+    name = "mig"
+
+    def __init__(self, sm_assignment: Dict[int, List[int]],
+                 bank_assignment: Optional[Dict[int, List[int]]] = None) -> None:
+        super().__init__(sm_assignment)
+        self.bank_assignment = bank_assignment
+
+    @classmethod
+    def even(cls, num_sms: int, streams: Sequence[int],
+             num_banks: Optional[int] = None) -> "MiGPolicy":
+        banks = even_bank_split(num_banks, streams) if num_banks else None
+        return cls(even_sm_split(num_sms, streams), banks)
+
+    def configure_memory(self, l2, stream_ids: Sequence[int]) -> None:
+        assignment = self.bank_assignment
+        if assignment is None:
+            assignment = even_bank_split(l2.num_banks, list(stream_ids))
+        l2.partition_banks(assignment)
+
+
+class FGEvenPolicy(PartitionPolicy):
+    """Static fine-grained intra-SM partitioning (async-compute style).
+
+    Each stream receives a fixed fraction of every SM's thread slots,
+    registers, shared memory and warp slots.
+    """
+
+    name = "fg-even"
+    interleave = True
+
+    def __init__(self, fractions: Dict[int, float]) -> None:
+        if not fractions:
+            raise ValueError("FG needs per-stream fractions")
+        total = sum(fractions.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError("fractions sum to %.3f > 1" % total)
+        if any(f <= 0 for f in fractions.values()):
+            raise ValueError("fractions must be positive")
+        self.fractions = dict(fractions)
+
+    @classmethod
+    def even(cls, streams: Sequence[int]) -> "FGEvenPolicy":
+        streams = list(streams)
+        return cls({sid: 1.0 / len(streams) for sid in streams})
+
+    def quota(self, sm: SM, stream: int, config: GPUConfig
+              ) -> Optional[CTAResources]:
+        frac = self.fractions.get(stream)
+        if frac is None:
+            return None
+        return CTAResources(
+            threads=int(config.max_threads_per_sm * frac),
+            registers=int(config.registers_per_sm * frac),
+            shared_mem=int(config.shared_mem_per_sm * frac),
+            warps=int(config.max_warps_per_sm * frac),
+        )
+
+
+class FGDynamicPolicy(FGEvenPolicy):
+    """Fine-grained partitioning whose ratio can change during the run.
+
+    ``set_fraction`` adjusts a stream's ceiling; the CTA scheduler enforces
+    the new ceiling at the next issue, draining over-quota streams by
+    attrition (no CTA preemption) exactly as Section III-A describes.
+    Subclasses (Warped-Slicer) decide *when* and *to what* to change it.
+    """
+
+    name = "fg-dynamic"
+
+    def __init__(self, fractions: Dict[int, float],
+                 per_sm_overrides: Optional[Dict[int, Dict[int, float]]] = None
+                 ) -> None:
+        super().__init__(fractions)
+        #: sm_id -> {stream: fraction}; lets sampling phases give each SM a
+        #: different ratio (the Warped-Slicer measurement trick).
+        self.per_sm_overrides = per_sm_overrides or {}
+        #: History of (cycle, {stream: fraction}) ratio changes.
+        self.ratio_history: List = []
+
+    def set_fraction(self, stream: int, fraction: float,
+                     cycle: int = 0) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fractions[stream] = fraction
+        self.ratio_history.append((cycle, dict(self.fractions)))
+
+    def set_sm_override(self, sm_id: int, fractions: Dict[int, float]) -> None:
+        self.per_sm_overrides[sm_id] = dict(fractions)
+
+    def clear_sm_overrides(self) -> None:
+        self.per_sm_overrides = {}
+
+    def quota(self, sm: SM, stream: int, config: GPUConfig
+              ) -> Optional[CTAResources]:
+        override = self.per_sm_overrides.get(sm.sm_id)
+        if override is not None and stream in override:
+            frac = override[stream]
+            return CTAResources(
+                threads=int(config.max_threads_per_sm * frac),
+                registers=int(config.registers_per_sm * frac),
+                shared_mem=int(config.shared_mem_per_sm * frac),
+                warps=int(config.max_warps_per_sm * frac),
+            )
+        return super().quota(sm, stream, config)

@@ -1,0 +1,136 @@
+"""CRISP platform facade: the library's main entry point.
+
+Ties the pieces together the way Fig 1 does: the Vulkan front-end renders a
+frame and produces shader traces; the compute tracer produces CUDA kernel
+traces; both are registered as streams on one Accel-Sim-style GPU model and
+executed under a chosen partition policy.
+
+Typical use::
+
+    crisp = CRISP(JETSON_ORIN_MINI)
+    frame = crisp.trace_scene("SPL", "2k")
+    vio = crisp.trace_compute("VIO")
+    result = crisp.run_pair(frame.kernels, vio, policy="fg-even")
+    print(result.graphics_cycles, result.compute_cycles)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..compute import build_compute_workload
+from ..config import GPUConfig, JETSON_ORIN_MINI
+from ..graphics.pipeline import GraphicsPipeline, PipelineConfig
+from ..graphics.tracegen import FrameResult
+from ..isa import KernelTrace
+from ..scenes import build_scene, resolution
+from ..timing import GPU, GPUStats, PartitionPolicy
+from .partition import FGEvenPolicy, MiGPolicy, MPSPolicy
+from .streams import COMPUTE_STREAM, GRAPHICS_STREAM
+from .tap import TAPPolicy
+from .warped_slicer import WarpedSlicerPolicy
+
+#: Policies runnable by name; each factory gets (config, stream_ids).
+POLICY_NAMES = ("shared", "mps", "mig", "fg-even", "warped-slicer", "tap")
+
+
+def make_policy(name: str, config: GPUConfig,
+                streams: Sequence[int]) -> PartitionPolicy:
+    """Construct a partition policy by its experiment name."""
+    streams = list(streams)
+    if name == "shared":
+        return PartitionPolicy()
+    if name == "mps":
+        return MPSPolicy.even(config.num_sms, streams)
+    if name == "mig":
+        return MiGPolicy.even(config.num_sms, streams, config.l2_banks)
+    if name == "fg-even":
+        return FGEvenPolicy.even(streams)
+    if name == "warped-slicer":
+        return WarpedSlicerPolicy(streams)
+    if name == "tap":
+        return TAPPolicy.even(config.num_sms, streams)
+    raise KeyError("unknown policy %r; known: %s" % (name, POLICY_NAMES))
+
+
+class PairResult:
+    """Outcome of one concurrent run."""
+
+    def __init__(self, stats: GPUStats, policy: PartitionPolicy) -> None:
+        self.stats = stats
+        self.policy = policy
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def graphics_cycles(self) -> int:
+        return self.stats.stream_cycles(GRAPHICS_STREAM)
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.stats.stream_cycles(COMPUTE_STREAM)
+
+    def __repr__(self) -> str:
+        return "PairResult(policy=%s, total=%d, gfx=%d, compute=%d)" % (
+            self.policy.name, self.total_cycles,
+            self.graphics_cycles, self.compute_cycles)
+
+
+class CRISP:
+    """Concurrent Rendering and Compute Simulation Platform."""
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 pipeline_config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or JETSON_ORIN_MINI
+        self.pipeline_config = pipeline_config or PipelineConfig()
+
+    # -- trace collection ----------------------------------------------------
+    def trace_scene(self, code: str, res: str = "2k",
+                    lod_enabled: Optional[bool] = None) -> FrameResult:
+        """Render one frame of a catalog scene, returning its traces."""
+        scene = build_scene(code)
+        cfg = self.pipeline_config
+        if lod_enabled is not None and lod_enabled != cfg.lod_enabled:
+            cfg = PipelineConfig(
+                batch_size=cfg.batch_size, tile_size=cfg.tile_size,
+                lod_enabled=lod_enabled, early_z=cfg.early_z,
+                warp_size=cfg.warp_size)
+        pipe = GraphicsPipeline(scene.textures, config=cfg)
+        w, h = resolution(res)
+        return pipe.render_frame(scene.draws, scene.camera, w, h)
+
+    def trace_compute(self, name: str) -> List[KernelTrace]:
+        """Build a compute workload's kernel traces by its paper code."""
+        return build_compute_workload(name)
+
+    # -- execution ------------------------------------------------------------
+    def run(self, streams: Dict[int, Sequence[KernelTrace]],
+            policy: Optional[PartitionPolicy] = None,
+            sample_interval: Optional[int] = None) -> GPUStats:
+        """Run arbitrary streams on a fresh GPU instance."""
+        gpu = GPU(self.config, policy=policy, sample_interval=sample_interval)
+        for sid, kernels in sorted(streams.items()):
+            gpu.add_stream(sid, kernels)
+        return gpu.run()
+
+    def run_single(self, kernels: Sequence[KernelTrace],
+                   sample_interval: Optional[int] = None) -> GPUStats:
+        """Run one workload alone (stream 0), fully owning the GPU."""
+        return self.run({GRAPHICS_STREAM: kernels},
+                        sample_interval=sample_interval)
+
+    def run_pair(
+        self,
+        graphics: Sequence[KernelTrace],
+        compute: Sequence[KernelTrace],
+        policy: str = "mps",
+        sample_interval: Optional[int] = None,
+    ) -> PairResult:
+        """Run rendering + compute concurrently under a named policy."""
+        streams = {GRAPHICS_STREAM: list(graphics),
+                   COMPUTE_STREAM: list(compute)}
+        pol = make_policy(policy, self.config, sorted(streams))
+        stats = self.run(streams, policy=pol, sample_interval=sample_interval)
+        return PairResult(stats, pol)

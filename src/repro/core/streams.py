@@ -1,0 +1,42 @@
+"""Stream conventions for concurrent rendering + compute.
+
+Accel-Sim streams are in-order command queues; CRISP maps the rendering
+pipeline's batches onto one stream and each CUDA workload onto another, and
+collects statistics per stream (Section III-A).  This module fixes the
+stream-id conventions the experiments use and bundles a rendering+compute
+pairing into one object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..isa import KernelTrace
+
+#: Stream ids used throughout the experiments.
+GRAPHICS_STREAM = 0
+COMPUTE_STREAM = 1
+
+
+class WorkloadPair:
+    """One graphics workload paired with one compute workload."""
+
+    def __init__(self, name: str, graphics: Sequence[KernelTrace],
+                 compute: Sequence[KernelTrace]) -> None:
+        if not graphics or not compute:
+            raise ValueError("a pair needs both graphics and compute kernels")
+        self.name = name
+        self.graphics = list(graphics)
+        self.compute = list(compute)
+
+    def streams(self) -> Dict[int, List[KernelTrace]]:
+        return {GRAPHICS_STREAM: self.graphics, COMPUTE_STREAM: self.compute}
+
+    @property
+    def total_instructions(self) -> int:
+        return (sum(k.num_instructions for k in self.graphics)
+                + sum(k.num_instructions for k in self.compute))
+
+    def __repr__(self) -> str:
+        return "WorkloadPair(%r, %d gfx kernels, %d compute kernels)" % (
+            self.name, len(self.graphics), len(self.compute))

@@ -1,0 +1,190 @@
+"""TAP: TLP-aware cache partitioning applied to the L2 (Section VI-C).
+
+Lee & Kim's TAP partitions a shared cache between a CPU and a GPU.  Its two
+ingredients are (1) utility monitors estimating how many extra hits each
+client would get from more cache, and (2) access-rate normalisation so the
+client with a vastly higher access rate (the GPU) does not automatically
+win every set.  The paper observes the same rate mismatch *between
+rendering and compute streams on one GPU* and applies TAP to the L2 on top
+of MPS inter-SM sharing: all banks stay shared, but the sets inside every
+bank are divided between the two streams by the TAP ratio (Fig 14/15).
+
+The utility monitor is a sampled Auxiliary Tag Directory: for a subset of
+sets it simulates a full-associativity-stack LRU and histograms hit stack
+distances; ``utility(w)`` is then the hits the stream would have collected
+with ``w`` ways.  The partition step runs the classic lookahead algorithm
+on rate-normalised utilities and converts the way split into a per-bank
+set split (minimum one set per stream — HOLO's single set in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..memory.l2 import L2Cache
+from .partition import MPSPolicy
+
+
+class UtilityMonitor:
+    """Sampled-ATD stack-distance histogram for one stream."""
+
+    def __init__(self, assoc: int, num_sets: int, line_size: int,
+                 sample_every: int = 8) -> None:
+        if assoc <= 0 or num_sets <= 0:
+            raise ValueError("assoc and num_sets must be positive")
+        self.assoc = assoc
+        self.num_sets = num_sets
+        self.line_size = line_size
+        self.sample_every = max(1, sample_every)
+        # Sampled set -> LRU stack (most recent first) of tags.
+        self._stacks: Dict[int, List[int]] = {}
+        self.hit_histogram = [0] * assoc
+        self.accesses = 0
+        self.misses = 0
+
+    def observe(self, line_addr: int) -> None:
+        set_idx = (line_addr // self.line_size) % self.num_sets
+        if set_idx % self.sample_every:
+            return
+        self.accesses += 1
+        tag = line_addr // (self.line_size * self.num_sets)
+        stack = self._stacks.get(set_idx)
+        if stack is None:
+            stack = []
+            self._stacks[set_idx] = stack
+        try:
+            pos = stack.index(tag)
+        except ValueError:
+            self.misses += 1
+            stack.insert(0, tag)
+            if len(stack) > self.assoc:
+                stack.pop()
+            return
+        self.hit_histogram[pos] += 1
+        del stack[pos]
+        stack.insert(0, tag)
+
+    def utility(self, ways: int) -> int:
+        """Hits this stream would get with ``ways`` ways per set."""
+        ways = max(0, min(ways, self.assoc))
+        return sum(self.hit_histogram[:ways])
+
+    def marginal_utility(self, ways_from: int, ways_to: int) -> float:
+        """Lookahead metric: utility gained per extra way."""
+        if ways_to <= ways_from:
+            return 0.0
+        return (self.utility(ways_to) - self.utility(ways_from)) / (
+            ways_to - ways_from)
+
+    def reset(self) -> None:
+        self.hit_histogram = [0] * self.assoc
+        self.accesses = 0
+        self.misses = 0
+        self._stacks.clear()
+
+
+def lookahead_partition(monitors: Dict[int, UtilityMonitor], assoc: int,
+                        normalize_rates: bool = True) -> Dict[int, int]:
+    """UCP's greedy lookahead over rate-normalised utilities.
+
+    Returns ways per stream (each >= 1, summing to ``assoc``).  With
+    ``normalize_rates`` each stream's utility is divided by its access
+    count, which is TAP's TLP-aware correction: raw hit counts would always
+    favour the stream that simply accesses more.
+    """
+    streams = sorted(monitors)
+    if not streams:
+        raise ValueError("no monitors to partition among")
+    if assoc < len(streams):
+        raise ValueError("fewer ways than streams")
+    ways = {sid: 1 for sid in streams}
+    remaining = assoc - len(streams)
+
+    def norm(sid: int) -> float:
+        acc = monitors[sid].accesses
+        return 1.0 / acc if (normalize_rates and acc) else 1.0
+
+    while remaining > 0:
+        best_sid = None
+        best_gain = -1.0
+        for sid in streams:
+            mon = monitors[sid]
+            gain = mon.marginal_utility(ways[sid], ways[sid] + 1) * norm(sid)
+            if gain > best_gain:
+                best_gain = gain
+                best_sid = sid
+        assert best_sid is not None
+        ways[best_sid] += 1
+        remaining -= 1
+    return ways
+
+
+class TAPPolicy(MPSPolicy):
+    """MPS inter-SM sharing with TAP set-partitioning in every L2 bank."""
+
+    name = "tap"
+
+    def __init__(self, sm_assignment: Dict[int, List[int]],
+                 epoch_interval: int = 2000, sample_every: int = 4) -> None:
+        super().__init__(sm_assignment)
+        self.epoch_interval = epoch_interval
+        self.sample_every = sample_every
+        self.monitors: Dict[int, UtilityMonitor] = {}
+        self._l2: Optional[L2Cache] = None
+        #: History of (cycle, {stream: sets-per-bank}) decisions.
+        self.partition_history: List = []
+
+    @classmethod
+    def even(cls, num_sms: int, streams: Sequence[int], **kw) -> "TAPPolicy":
+        from .partition import even_sm_split
+        return cls(even_sm_split(num_sms, streams), **kw)
+
+    # -- wiring ------------------------------------------------------------
+    def configure_memory(self, l2: L2Cache, stream_ids: Sequence[int]) -> None:
+        self._l2 = l2
+        sets_per_bank = l2.sets_per_bank
+        self.monitors = {
+            sid: UtilityMonitor(
+                assoc=l2.config.l2.assoc,
+                num_sets=sets_per_bank,
+                line_size=l2.config.l2.line_size,
+                sample_every=self.sample_every,
+            )
+            for sid in stream_ids
+        }
+        l2.access_observer = self._observe
+        # Start from an even set split.
+        streams = sorted(stream_ids)
+        base = sets_per_bank // len(streams)
+        ratios = {sid: base for sid in streams}
+        l2.partition_sets(ratios)
+
+    def _observe(self, line_addr: int, stream: int) -> None:
+        mon = self.monitors.get(stream)
+        if mon is not None:
+            mon.observe(line_addr)
+
+    # -- periodic repartition -------------------------------------------------
+    def on_epoch(self, gpu, cycle: int) -> None:
+        if self._l2 is None or len(self.monitors) < 2:
+            return
+        if all(m.accesses == 0 for m in self.monitors.values()):
+            return
+        assoc = self._l2.config.l2.assoc
+        ways = lookahead_partition(self.monitors, assoc)
+        sets_per_bank = self._l2.sets_per_bank
+        ratios: Dict[int, int] = {}
+        allocated = 0
+        streams = sorted(ways)
+        for sid in streams[:-1]:
+            share = max(1, round(sets_per_bank * ways[sid] / assoc))
+            ratios[sid] = share
+            allocated += share
+        ratios[streams[-1]] = max(1, sets_per_bank - allocated)
+        self._l2.partition_sets(ratios)
+        self.partition_history.append((cycle, dict(ratios)))
+        for mon in self.monitors.values():
+            mon.reset()
+
+    def current_ratio(self) -> Optional[Dict[int, int]]:
+        return self.partition_history[-1][1] if self.partition_history else None

@@ -1,0 +1,49 @@
+"""The CRISP graphics pipeline: Vulkan front-end, functional rendering,
+shader translation, and trace generation."""
+
+from .framebuffer import Framebuffer
+from .geometry import INSTANCE_STRIDE, VERTEX_STRIDE, DrawCall, InstanceSet, Mesh
+from .lod import lod_from_gradients, select_mip
+from .pipeline import Camera, GraphicsPipeline, PipelineConfig, SequenceResult
+from .texture import Texture2D, checkerboard, downsample, mip_level_count, noise_texture
+from .tracegen import DrawStats, FrameResult, TraceGenerator
+from .vertex_batch import (
+    DEFAULT_BATCH_SIZE,
+    VertexBatch,
+    build_batches,
+    total_shader_invocations,
+    unique_vertex_count,
+)
+from .vulkan import CommandBuffer, Device, Queue, VulkanError
+
+__all__ = [
+    "Camera",
+    "CommandBuffer",
+    "DEFAULT_BATCH_SIZE",
+    "Device",
+    "DrawCall",
+    "DrawStats",
+    "Framebuffer",
+    "FrameResult",
+    "GraphicsPipeline",
+    "INSTANCE_STRIDE",
+    "InstanceSet",
+    "Mesh",
+    "PipelineConfig",
+    "Queue",
+    "SequenceResult",
+    "Texture2D",
+    "TraceGenerator",
+    "VERTEX_STRIDE",
+    "VertexBatch",
+    "VulkanError",
+    "build_batches",
+    "checkerboard",
+    "downsample",
+    "lod_from_gradients",
+    "mip_level_count",
+    "noise_texture",
+    "select_mip",
+    "total_shader_invocations",
+    "unique_vertex_count",
+]

@@ -1,0 +1,130 @@
+"""Meshes, vertex layouts, and draw-call descriptions.
+
+A :class:`Mesh` stores the CPU-side arrays the functional pipeline consumes.
+Vertex data is modelled as interleaved (position, normal, uv) records in a
+GPU-visible vertex buffer, so trace generation can emit real, stride-exact
+vertex-fetch addresses.  Instanced draws (Planets, Section V-A) add a
+per-instance attribute stream: common per-vertex attributes are reused
+across instances (temporal locality) while instance attributes stream
+(the access-pattern mix the paper highlights).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Interleaved vertex record: float3 pos + float3 normal + float2 uv.
+VERTEX_STRIDE = 32
+#: Per-instance record: float3 offset + float scale + uint layer + pad.
+INSTANCE_STRIDE = 32
+
+
+class Mesh:
+    """Indexed triangle mesh."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        normals: np.ndarray,
+        uvs: np.ndarray,
+        indices: np.ndarray,
+        name: str = "mesh",
+    ) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        normals = np.asarray(normals, dtype=np.float64)
+        uvs = np.asarray(uvs, dtype=np.float64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must be (N, 3)")
+        if normals.shape != positions.shape:
+            raise ValueError("normals must match positions")
+        if uvs.shape != (len(positions), 2):
+            raise ValueError("uvs must be (N, 2)")
+        if indices.ndim != 2 or indices.shape[1] != 3:
+            raise ValueError("indices must be (M, 3) triangles")
+        if indices.size and (indices.min() < 0 or indices.max() >= len(positions)):
+            raise ValueError("index out of range")
+        self.positions = positions
+        self.normals = normals
+        self.uvs = uvs
+        self.indices = indices
+        self.name = name
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.positions)
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.indices)
+
+    def vertex_buffer_bytes(self) -> int:
+        return self.num_vertices * VERTEX_STRIDE
+
+    def index_buffer_bytes(self) -> int:
+        return self.indices.size * 4
+
+    def __repr__(self) -> str:
+        return "Mesh(%r, %d verts, %d tris)" % (
+            self.name, self.num_vertices, self.num_triangles)
+
+
+class InstanceSet:
+    """Per-instance data for instanced draws."""
+
+    def __init__(self, offsets: np.ndarray, scales: np.ndarray,
+                 layers: np.ndarray) -> None:
+        offsets = np.asarray(offsets, dtype=np.float64)
+        scales = np.asarray(scales, dtype=np.float64)
+        layers = np.asarray(layers, dtype=np.int64)
+        if offsets.ndim != 2 or offsets.shape[1] != 3:
+            raise ValueError("offsets must be (K, 3)")
+        if scales.shape != (len(offsets),) or layers.shape != (len(offsets),):
+            raise ValueError("scales/layers must be (K,)")
+        self.offsets = offsets
+        self.scales = scales
+        self.layers = layers
+
+    @property
+    def count(self) -> int:
+        return len(self.offsets)
+
+    def buffer_bytes(self) -> int:
+        return self.count * INSTANCE_STRIDE
+
+
+class DrawCall:
+    """One recorded draw: a mesh with its shading state.
+
+    ``texture_slots`` names the textures the fragment shader samples (one
+    for basic shading, eight maps for PBR).  ``model`` is the object-to-world
+    matrix applied before the frame's view-projection.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        model: Optional[np.ndarray] = None,
+        texture_slots: Optional[Sequence[str]] = None,
+        shader: str = "basic",
+        instances: Optional[InstanceSet] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.mesh = mesh
+        self.model = np.eye(4) if model is None else np.asarray(model, dtype=float)
+        if self.model.shape != (4, 4):
+            raise ValueError("model must be a 4x4 matrix")
+        self.texture_slots: List[str] = list(texture_slots or [])
+        self.shader = shader
+        self.instances = instances
+        self.name = name or mesh.name
+
+    @property
+    def instance_count(self) -> int:
+        return self.instances.count if self.instances is not None else 1
+
+    def __repr__(self) -> str:
+        return "DrawCall(%r, shader=%s, %d tris x %d inst)" % (
+            self.name, self.shader, self.mesh.num_triangles, self.instance_count)

@@ -1,0 +1,39 @@
+"""Level-of-Detail calculation.
+
+Hardware computes LoD from texture-coordinate derivatives (ddx, ddy) within
+a 2x2 quad.  CRISP does not strictly enforce quads; because fragments are
+sorted by screen position into warps, quads form naturally, but runtime
+derivative exchange is not modelled.  Instead the LoD of every fragment is
+computed *during rasterization* from the analytic UV gradients of its
+triangle, and the texture unit later looks up this pre-calculated LoD when
+a texel is sampled (Section III, stage 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lod_from_gradients(
+    dudx: np.ndarray,
+    dvdx: np.ndarray,
+    dudy: np.ndarray,
+    dvdy: np.ndarray,
+    tex_width: int,
+    tex_height: int,
+) -> np.ndarray:
+    """Per-fragment LoD from screen-space UV gradients.
+
+    The standard GL/Vulkan formula: ``lod = log2(max(|ddx|, |ddy|))`` where
+    the derivative lengths are measured in *texel* units.
+    """
+    dx = np.hypot(dudx * tex_width, dvdx * tex_height)
+    dy = np.hypot(dudy * tex_width, dvdy * tex_height)
+    rho = np.maximum(dx, dy)
+    rho = np.maximum(rho, 1e-12)
+    return np.maximum(np.log2(rho), 0.0)
+
+
+def select_mip(lod: np.ndarray, num_levels: int) -> np.ndarray:
+    """Nearest-mip selection, clamped to the chain length."""
+    return np.clip(np.rint(lod), 0, num_levels - 1).astype(np.int64)

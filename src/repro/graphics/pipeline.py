@@ -1,0 +1,233 @@
+"""The rendering pipeline front door: configure once, render frames.
+
+:class:`GraphicsPipeline` owns the address space, texture placement, and a
+:class:`~repro.graphics.tracegen.TraceGenerator`; :meth:`render_frame`
+executes a list of draw calls against a framebuffer and returns both the
+functional image and the shader traces for timing simulation.  This is what
+``vkQueueSubmit`` triggers in the Vulkan front-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..memory.address import AddressAllocator
+from .framebuffer import Framebuffer
+from .geometry import DrawCall
+from .tracegen import DrawStats, FrameResult, TraceGenerator
+from .texture import Texture2D
+from .transform import look_at, perspective
+
+#: Address-space region reserved for graphics workloads.
+GRAPHICS_REGION = 1
+
+
+@dataclass
+class PipelineConfig:
+    """Tunable pipeline parameters (defaults follow the paper)."""
+
+    batch_size: int = 96          # vertex batch size (Fig 3: best correlation)
+    tile_size: int = 16           # ITR screen tile edge, pixels
+    lod_enabled: bool = True      # mipmapped texturing (Fig 9 studies both)
+    early_z: bool = True
+    warp_size: int = 32
+    tex_filter: str = "nearest"   # "nearest" | "bilinear" | "trilinear"
+    #: Run a position-only depth pre-pass before the color pass, so the
+    #: color pass shades only the visible surface (a standard engine
+    #: technique built on the early-Z hardware the paper models).
+    depth_prepass: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 3:
+            raise ValueError("batch_size must fit a triangle")
+        if self.tile_size < 2 or self.tile_size & 1:
+            raise ValueError("tile_size must be an even integer >= 2")
+        if self.tex_filter not in ("nearest", "bilinear", "trilinear"):
+            raise ValueError(
+                "tex_filter must be 'nearest', 'bilinear' or 'trilinear'")
+
+
+@dataclass
+class SequenceResult:
+    """A rendered multi-frame sequence, ready for one-stream replay."""
+
+    kernels: List
+    frames: List[FrameResult]
+    #: Per-frame (start, end) index ranges into ``kernels``.
+    frame_spans: List[tuple]
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    def frame_kernel_names(self, frame: int) -> List[str]:
+        start, end = self.frame_spans[frame]
+        return [k.name for k in self.kernels[start:end]]
+
+
+class Camera:
+    """View + projection description for a frame."""
+
+    def __init__(
+        self,
+        eye=(0.0, 1.0, -4.0),
+        target=(0.0, 0.0, 0.0),
+        up=(0.0, 1.0, 0.0),
+        fov_y: float = 1.05,
+        near: float = 0.1,
+        far: float = 100.0,
+    ) -> None:
+        self.eye = eye
+        self.target = target
+        self.up = up
+        self.fov_y = fov_y
+        self.near = near
+        self.far = far
+
+    def view_projection(self, width: int, height: int) -> np.ndarray:
+        aspect = width / height
+        return (perspective(self.fov_y, aspect, self.near, self.far)
+                @ look_at(self.eye, self.target, self.up))
+
+
+class GraphicsPipeline:
+    """A configured rendering pipeline bound to a set of textures."""
+
+    def __init__(
+        self,
+        textures: Dict[str, Texture2D],
+        config: Optional[PipelineConfig] = None,
+        allocator: Optional[AddressAllocator] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.allocator = allocator or AddressAllocator(region=GRAPHICS_REGION)
+        self.textures = dict(textures)
+        self.tracegen = TraceGenerator(
+            self.allocator,
+            self.textures,
+            batch_size=self.config.batch_size,
+            tile_size=self.config.tile_size,
+            lod_enabled=self.config.lod_enabled,
+            early_z=self.config.early_z,
+            warp_size=self.config.warp_size,
+            tex_filter=self.config.tex_filter,
+        )
+
+    def render_frame(
+        self,
+        draws: Sequence[DrawCall],
+        camera: Camera,
+        width: int,
+        height: int,
+        framebuffer: Optional[Framebuffer] = None,
+    ) -> FrameResult:
+        """Render ``draws`` in order; returns traces + image + stats."""
+        if not draws:
+            raise ValueError("a frame needs at least one draw call")
+        fb = framebuffer or Framebuffer(width, height)
+        if fb.color_base < 0:
+            fb.place(self.allocator)
+        fb.clear()
+        view_proj = camera.view_projection(width, height)
+        kernels = []
+        stats: List[DrawStats] = []
+        depth_func = "less"
+        if self.config.depth_prepass:
+            for draw in draws:
+                pre_kernels, _ = self.tracegen.execute_draw(
+                    draw, view_proj, fb, depth_only=True)
+                kernels.extend(pre_kernels)
+            # The visible surfaces' depths are already resident: the color
+            # pass passes on equality.
+            depth_func = "lequal"
+        for draw in draws:
+            draw_kernels, draw_stats = self.tracegen.execute_draw(
+                draw, view_proj, fb, depth_func=depth_func)
+            kernels.extend(draw_kernels)
+            stats.append(draw_stats)
+        return FrameResult(kernels=kernels, draw_stats=stats, framebuffer=fb)
+
+    def render_sequence(
+        self,
+        draws: Sequence[DrawCall],
+        cameras: Sequence[Camera],
+        width: int,
+        height: int,
+        double_buffer: bool = True,
+    ) -> "SequenceResult":
+        """Render several frames as one pipelined stream (a swapchain).
+
+        Each frame's first vertex kernel carries ``depends_on_prev=False``,
+        so frame N+1's vertex work overlaps frame N's fragment shading —
+        the cross-frame pipelining real swapchains enable (and the
+        mechanism behind the paper's DLSS frame-generation background:
+        the GPU keeps busy across frame boundaries).  With
+        ``double_buffer`` the frames alternate between two framebuffers,
+        so the overlap never races on one color target.
+        """
+        if not cameras:
+            raise ValueError("need at least one camera (one per frame)")
+        buffers = [Framebuffer(width, height)]
+        if double_buffer and len(cameras) > 1:
+            buffers.append(Framebuffer(width, height))
+        for fb in buffers:
+            fb.place(self.allocator)
+        kernels = []
+        frames: List[FrameResult] = []
+        spans: List[tuple] = []
+        for i, camera in enumerate(cameras):
+            fb = buffers[i % len(buffers)]
+            result = self.render_frame(draws, camera, width, height,
+                                       framebuffer=fb)
+            start = len(kernels)
+            for k in result.kernels:
+                k.name = "f%d/%s" % (i, k.name)
+            kernels.extend(result.kernels)
+            spans.append((start, len(kernels)))
+            frames.append(result)
+        return SequenceResult(kernels=kernels, frames=frames,
+                              frame_spans=spans)
+
+    def render_shadow_map(
+        self,
+        draws: Sequence[DrawCall],
+        light_camera: Camera,
+        size: int = 128,
+        name: str = "shadow_map",
+    ):
+        """Render a depth-only pass from the light and expose it as a
+        texture (render-to-texture).
+
+        The returned :class:`Texture2D` aliases the shadow framebuffer's
+        depth storage, so fragment shaders sampling it generate real reads
+        of the render target — the cross-pass L2 reuse pattern of tiled
+        renderers.  Returns ``(kernels, texture)``; the kernels are the
+        shadow pass's vertex work and must run before the main pass.
+        """
+        if size & (size - 1):
+            raise ValueError("shadow map size must be a power of two")
+        if name in self.textures:
+            raise ValueError("texture %r already exists" % name)
+        shadow_fb = Framebuffer(size, size)
+        shadow_fb.place(self.allocator)
+        shadow_fb.clear()
+        view_proj = light_camera.view_projection(size, size)
+        kernels = []
+        for draw in draws:
+            draw_kernels, _ = self.tracegen.execute_draw(
+                draw, view_proj, shadow_fb, depth_only=True)
+            kernels.extend(draw_kernels)
+        depth = shadow_fb.depth
+        norm = np.where(np.isinf(depth), 1.0, np.clip(depth, 0.0, 1.0))
+        image = np.repeat(norm[:, :, None].astype(np.float32), 4, axis=2)
+        image[..., 3] = 1.0
+        tex = Texture2D(name, image, generate_mips=False)
+        # Alias the depth render target: sampling the shadow map touches
+        # the same lines the shadow pass wrote.
+        tex.level_bases = [shadow_fb.depth_base]
+        self.textures[name] = tex
+        self.tracegen.textures[name] = tex
+        return kernels, tex

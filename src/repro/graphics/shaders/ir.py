@@ -1,0 +1,106 @@
+"""Shader intermediate representation.
+
+The real CRISP obtains shaders through Mesa's NIR and Vulkan-Sim's
+NIR-to-PTX translator, then maps executed PTX onto SASS trace instructions.
+This reproduction expresses shaders in a compact IR of the same shape: a
+linear list of operations whose memory behaviour is bound to real addresses
+at trace-generation time.  The IR deliberately matches driver-produced
+(unoptimised) code, as the paper's shaders do (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ...isa import Unit
+
+
+@dataclass(frozen=True)
+class SOp:
+    """Base class for shader IR operations."""
+
+
+@dataclass(frozen=True)
+class AttrLoad(SOp):
+    """Vertex stage: fetch one vertex attribute from the vertex buffer."""
+
+    attr: str  # "position" | "normal" | "uv" | "instance"
+
+
+@dataclass(frozen=True)
+class VaryingLoad(SOp):
+    """Fragment stage: fetch interpolated attributes from pipeline memory."""
+
+    words: int  # 32-bit words per fragment
+
+
+@dataclass(frozen=True)
+class VaryingStore(SOp):
+    """Vertex stage: write transformed outputs for the rasterizer (via L2)."""
+
+    words: int
+
+
+@dataclass(frozen=True)
+class Alu(SOp):
+    """A run of arithmetic instructions on one unit, dependency-chained."""
+
+    unit: Unit
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.unit is Unit.MEM:
+            raise ValueError("Alu cannot target the memory unit")
+        if self.count <= 0:
+            raise ValueError("Alu count must be positive")
+
+
+@dataclass(frozen=True)
+class TexSample(SOp):
+    """Sample texture ``slot``; LoD was pre-computed at rasterization."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class ColorStore(SOp):
+    """Fragment stage: write the shaded color to the framebuffer."""
+
+
+class ShaderProgram:
+    """A straight-line shader: name, stage, and its IR operations."""
+
+    VERTEX = "vertex"
+    FRAGMENT = "fragment"
+
+    def __init__(self, name: str, stage: str, ops: List[SOp]) -> None:
+        if stage not in (self.VERTEX, self.FRAGMENT):
+            raise ValueError("unknown shader stage %r" % stage)
+        if not ops:
+            raise ValueError("shader %r has no operations" % name)
+        self._validate(stage, ops)
+        self.name = name
+        self.stage = stage
+        self.ops = list(ops)
+
+    @staticmethod
+    def _validate(stage: str, ops: List[SOp]) -> None:
+        for op in ops:
+            if stage == ShaderProgram.VERTEX and isinstance(
+                    op, (VaryingLoad, TexSample, ColorStore)):
+                raise ValueError("%r not allowed in a vertex shader" % (op,))
+            if stage == ShaderProgram.FRAGMENT and isinstance(
+                    op, (AttrLoad, VaryingStore)):
+                raise ValueError("%r not allowed in a fragment shader" % (op,))
+
+    @property
+    def texture_slots(self) -> Tuple[int, ...]:
+        return tuple(op.slot for op in self.ops if isinstance(op, TexSample))
+
+    @property
+    def alu_count(self) -> int:
+        return sum(op.count for op in self.ops if isinstance(op, Alu))
+
+    def __repr__(self) -> str:
+        return "ShaderProgram(%r, %s, %d ops)" % (self.name, self.stage, len(self.ops))

@@ -1,0 +1,148 @@
+"""Shader library: the vertex/fragment programs the workloads use.
+
+Instruction budgets approximate what Mesa's unoptimised NIR produces for the
+corresponding GLSL (Section IV notes the driver's redundant loads/stores —
+the budgets below include that slack deliberately):
+
+* ``basic``     — single diffuse texture, Blinn-Phong-ish lighting.  Used by
+  the Khronos Sponza (SPL) and the simpler scenes.
+* ``pbr``       — physically-based shading referencing eight maps
+  (irradiance, BRDF LUT, albedo, normal, prefilter, ambient occlusion,
+  metallic, roughness), as in Pistol (PT) and Sponza PBR (SPH).
+* ``instanced`` — vertex shader variant that additionally fetches a
+  per-instance record and texture-array layer index (Planets, IT).
+"""
+
+from __future__ import annotations
+
+from ...isa import Unit
+from .ir import (
+    Alu,
+    AttrLoad,
+    ColorStore,
+    ShaderProgram,
+    TexSample,
+    VaryingLoad,
+    VaryingStore,
+)
+
+#: Names of the eight PBR maps, in sampling order (Section VI-B).
+PBR_MAPS = (
+    "irradiance", "brdf", "albedo", "normal",
+    "prefilter", "ambient_occlusion", "metallic", "roughness",
+)
+
+#: 32-bit words of interpolated data passed from vertex to fragment stage:
+#: clip position (4) + normal (3) + uv (2) - packed to 8 by the driver.
+VARYING_WORDS = 8
+
+
+def vertex_basic() -> ShaderProgram:
+    """Standard transform: fetch attributes, two mat4 multiplies, export."""
+    return ShaderProgram("vs_basic", ShaderProgram.VERTEX, [
+        AttrLoad("position"),
+        AttrLoad("normal"),
+        AttrLoad("uv"),
+        Alu(Unit.FP, 32),          # model + view-projection (2 x mat4*vec4)
+        Alu(Unit.FP, 6),           # normal transform (mat3*vec3, folded)
+        VaryingStore(VARYING_WORDS),
+    ])
+
+
+def vertex_depth_only() -> ShaderProgram:
+    """Position-only transform for the depth pre-pass (no attributes
+    beyond position, no lighting setup)."""
+    return ShaderProgram("vs_depth", ShaderProgram.VERTEX, [
+        AttrLoad("position"),
+        Alu(Unit.FP, 16),          # single mat4*vec4 (model-view-projection)
+        VaryingStore(4),           # clip position only
+    ])
+
+
+def vertex_instanced() -> ShaderProgram:
+    """Instanced variant: extra per-instance fetch + offset/scale math."""
+    return ShaderProgram("vs_instanced", ShaderProgram.VERTEX, [
+        AttrLoad("position"),
+        AttrLoad("normal"),
+        AttrLoad("uv"),
+        AttrLoad("instance"),
+        Alu(Unit.FP, 8),           # apply instance offset/scale/rotation
+        Alu(Unit.FP, 32),
+        Alu(Unit.FP, 6),
+        VaryingStore(VARYING_WORDS),
+    ])
+
+
+def fragment_basic() -> ShaderProgram:
+    """One diffuse texture + simple lighting."""
+    return ShaderProgram("fs_basic", ShaderProgram.FRAGMENT, [
+        VaryingLoad(VARYING_WORDS),
+        Alu(Unit.FP, 4),           # uv setup / perspective fixups
+        TexSample(0),
+        Alu(Unit.FP, 10),          # N.L diffuse + ambient
+        Alu(Unit.SFU, 1),          # normalize (rsqrt)
+        ColorStore(),
+    ])
+
+
+def fragment_pbr() -> ShaderProgram:
+    """Physically-based shading: eight maps and the full BRDF evaluation."""
+    ops = [VaryingLoad(VARYING_WORDS), Alu(Unit.FP, 6)]
+    for slot in range(len(PBR_MAPS)):
+        ops.append(TexSample(slot))
+        ops.append(Alu(Unit.FP, 4))   # unpack / space conversion per map
+    ops.extend([
+        Alu(Unit.FP, 36),             # Cook-Torrance terms, fresnel, energy
+        Alu(Unit.SFU, 6),             # pow/exp/rsqrt chains
+        Alu(Unit.FP, 8),              # tone map + gamma
+        ColorStore(),
+    ])
+    return ShaderProgram("fs_pbr", ShaderProgram.FRAGMENT, ops)
+
+
+def fragment_textured_lit(num_textures: int) -> ShaderProgram:
+    """Parametric N-texture shader (Material/Platformer mid-complexity)."""
+    if num_textures < 1:
+        raise ValueError("need at least one texture")
+    ops = [VaryingLoad(VARYING_WORDS), Alu(Unit.FP, 4)]
+    for slot in range(num_textures):
+        ops.append(TexSample(slot))
+        ops.append(Alu(Unit.FP, 3))
+    ops.extend([Alu(Unit.FP, 12), Alu(Unit.SFU, 2), ColorStore()])
+    return ShaderProgram("fs_tex%d" % num_textures, ShaderProgram.FRAGMENT, ops)
+
+
+def fragment_shadowed() -> ShaderProgram:
+    """Basic lighting plus a shadow-map lookup: one diffuse texture and
+    one depth-comparison sample against the shadow map (slot 1)."""
+    return ShaderProgram("fs_shadowed", ShaderProgram.FRAGMENT, [
+        VaryingLoad(VARYING_WORDS),
+        Alu(Unit.FP, 6),           # shadow-space projection of the fragment
+        TexSample(1),              # shadow-map depth fetch
+        Alu(Unit.FP, 3),           # depth compare + bias
+        TexSample(0),              # diffuse texture
+        Alu(Unit.FP, 10),          # N.L diffuse modulated by shadow factor
+        Alu(Unit.SFU, 1),
+        ColorStore(),
+    ])
+
+
+#: Registry used by draw calls ("shader" field of DrawCall).
+SHADER_PAIRS = {
+    "basic": (vertex_basic, fragment_basic),
+    "pbr": (vertex_basic, fragment_pbr),
+    "instanced": (vertex_instanced, fragment_basic),
+    "lit2": (vertex_basic, lambda: fragment_textured_lit(2)),
+    "lit3": (vertex_basic, lambda: fragment_textured_lit(3)),
+    "shadowed": (vertex_basic, fragment_shadowed),
+}
+
+
+def shader_pair(name: str):
+    """Vertex+fragment programs for a draw-call shader name."""
+    try:
+        vs_f, fs_f = SHADER_PAIRS[name]
+    except KeyError:
+        raise KeyError("unknown shader %r; known: %s"
+                       % (name, sorted(SHADER_PAIRS))) from None
+    return vs_f(), fs_f()

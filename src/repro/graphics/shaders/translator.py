@@ -1,0 +1,186 @@
+"""Shader IR -> trace-instruction translator.
+
+The analog of Vulkan-Sim's NIR-to-PTX translator extended for vertex and
+fragment shaders (Section III): each IR operation expands into one or more
+SASS-analog :class:`~repro.isa.instructions.WarpInstruction` records whose
+memory operands are bound to concrete addresses supplied by the functional
+pipeline.  Register allocation produces realistic dependency chains: loads
+feed the ALU stream, ALU ops chain through a small rotating register window,
+and stores read the last produced value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...isa import (
+    DataClass,
+    MemAccess,
+    Op,
+    Unit,
+    WarpInstruction,
+    WarpTrace,
+)
+from ...memory.address import coalesce_array, coalesce_sectors
+from .ir import (
+    Alu,
+    AttrLoad,
+    ColorStore,
+    ShaderProgram,
+    TexSample,
+    VaryingLoad,
+    VaryingStore,
+)
+
+#: ALU opcode used per unit class (representative of the dominant op).
+_ALU_OP = {
+    Unit.FP: Op.FFMA,
+    Unit.INT: Op.IMAD,
+    Unit.SFU: Op.MUFU_RSQ,
+    Unit.TENSOR: Op.HMMA,
+}
+
+#: Rotating register window for ALU chains.
+_WINDOW = 8
+_FIRST_ALU_REG = 16
+
+
+class WarpBindings:
+    """Concrete per-warp memory operands for one shader invocation.
+
+    ``attr_addresses``   attr name -> (lanes,) byte addresses (vertex stage)
+    ``varying_addresses``(lanes,) base addresses of interpolant records
+    ``tex_lines``        slot -> already-merged cache-line addresses
+    ``color_addresses``  (lanes,) framebuffer byte addresses
+    ``active``           live lanes in this warp
+    """
+
+    def __init__(
+        self,
+        active: int,
+        attr_addresses: Optional[Dict[str, np.ndarray]] = None,
+        varying_addresses: Optional[np.ndarray] = None,
+        tex_lines: Optional[Dict[int, Sequence[int]]] = None,
+        color_addresses: Optional[np.ndarray] = None,
+        varying_store_addresses: Optional[np.ndarray] = None,
+        tex_sectors: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> None:
+        if not 0 < active <= 32:
+            raise ValueError("active lanes must be in 1..32")
+        self.active = active
+        self.attr_addresses = attr_addresses or {}
+        self.varying_addresses = varying_addresses
+        self.tex_lines = tex_lines or {}
+        self.color_addresses = color_addresses
+        self.varying_store_addresses = varying_store_addresses
+        #: slot -> merged 32B sector addresses (refines tex_lines).
+        self.tex_sectors = tex_sectors or {}
+
+
+class ShaderTranslator:
+    """Expands a :class:`ShaderProgram` into per-warp traces."""
+
+    def __init__(self, program: ShaderProgram) -> None:
+        self.program = program
+
+    def emit_warp(self, bindings: WarpBindings) -> WarpTrace:
+        trace = WarpTrace()
+        active = bindings.active
+        next_load_reg = 4
+        alu_reg = _FIRST_ALU_REG
+        last_value_reg = 4
+
+        def chain_reg() -> int:
+            nonlocal alu_reg
+            reg = _FIRST_ALU_REG + (alu_reg - _FIRST_ALU_REG) % _WINDOW
+            alu_reg += 1
+            return reg
+
+        for op in self.program.ops:
+            if isinstance(op, AttrLoad):
+                addrs = bindings.attr_addresses.get(op.attr)
+                if addrs is None:
+                    raise KeyError(
+                        "shader %r needs attribute %r but the warp bindings "
+                        "do not provide it" % (self.program.name, op.attr))
+                addr_arr = np.asarray(addrs)
+                lines = coalesce_array(addr_arr)
+                trace.append(WarpInstruction(
+                    Op.LDG, dst=next_load_reg, srcs=(1,),
+                    mem=MemAccess(lines, DataClass.VERTEX, num_lanes=active,
+                                  sectors=coalesce_sectors(addr_arr)),
+                    active=active))
+                last_value_reg = next_load_reg
+                next_load_reg += 1
+            elif isinstance(op, VaryingLoad):
+                if bindings.varying_addresses is None:
+                    raise KeyError("fragment warp bindings lack varying addresses")
+                base = np.asarray(bindings.varying_addresses)
+                # 128-bit loads: one LDG per 4 words.
+                n_loads = max(1, (op.words + 3) // 4)
+                for i in range(n_loads):
+                    lines = coalesce_array(base + i * 16)
+                    trace.append(WarpInstruction(
+                        Op.LDG, dst=next_load_reg, srcs=(1,),
+                        mem=MemAccess(lines, DataClass.PIPELINE,
+                                      bytes_per_lane=16, num_lanes=active),
+                        active=active))
+                    last_value_reg = next_load_reg
+                    next_load_reg += 1
+            elif isinstance(op, Alu):
+                opcode = _ALU_OP[op.unit]
+                for _ in range(op.count):
+                    dst = chain_reg()
+                    trace.append(WarpInstruction(
+                        opcode, dst=dst, srcs=(last_value_reg,),
+                        active=active))
+                    last_value_reg = dst
+            elif isinstance(op, TexSample):
+                lines = bindings.tex_lines.get(op.slot)
+                if lines is None:
+                    raise KeyError(
+                        "shader %r samples texture slot %d but the warp "
+                        "bindings do not provide it" % (self.program.name, op.slot))
+                dst = chain_reg()
+                trace.append(WarpInstruction(
+                    Op.TEX, dst=dst, srcs=(last_value_reg,),
+                    mem=MemAccess(list(lines), DataClass.TEXTURE,
+                                  num_lanes=active,
+                                  sectors=bindings.tex_sectors.get(op.slot)),
+                    active=active))
+                last_value_reg = dst
+            elif isinstance(op, VaryingStore):
+                if bindings.varying_store_addresses is None:
+                    raise KeyError("vertex warp bindings lack output addresses")
+                base = np.asarray(bindings.varying_store_addresses)
+                n_stores = max(1, (op.words + 3) // 4)
+                for i in range(n_stores):
+                    lines = coalesce_array(base + i * 16)
+                    trace.append(WarpInstruction(
+                        Op.STG, srcs=(last_value_reg,),
+                        mem=MemAccess(lines, DataClass.PIPELINE,
+                                      bytes_per_lane=16, num_lanes=active),
+                        active=active))
+            elif isinstance(op, ColorStore):
+                if bindings.color_addresses is None:
+                    raise KeyError("fragment warp bindings lack color addresses")
+                color_arr = np.asarray(bindings.color_addresses)
+                lines = coalesce_array(color_arr)
+                trace.append(WarpInstruction(
+                    Op.STG, srcs=(last_value_reg,),
+                    mem=MemAccess(lines, DataClass.FRAMEBUFFER,
+                                  num_lanes=active,
+                                  sectors=coalesce_sectors(color_arr)),
+                    active=active))
+            else:  # pragma: no cover - exhaustive over IR
+                raise TypeError("unknown IR op %r" % (op,))
+        trace.append(WarpInstruction(Op.EXIT, active=active))
+        return trace
+
+    def register_demand(self) -> int:
+        """Architectural registers per thread this shader needs."""
+        loads = sum(1 for op in self.program.ops
+                    if isinstance(op, (AttrLoad, VaryingLoad)))
+        return min(64, 4 + loads * 2 + _WINDOW + 8)

@@ -1,0 +1,102 @@
+"""3D transform math used by the vertex stage.
+
+Column-vector convention: points are transformed as ``M @ p``; matrices are
+4x4 ``float64`` numpy arrays.  Clip-space follows Vulkan: after the
+perspective divide, x and y are in [-1, 1] and depth z is in [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def identity() -> np.ndarray:
+    return np.eye(4)
+
+
+def translation(x: float, y: float, z: float) -> np.ndarray:
+    m = np.eye(4)
+    m[:3, 3] = (x, y, z)
+    return m
+
+
+def scale(x: float, y: float, z: float) -> np.ndarray:
+    m = np.eye(4)
+    m[0, 0], m[1, 1], m[2, 2] = x, y, z
+    return m
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    c, s = math.cos(angle), math.sin(angle)
+    m = np.eye(4)
+    m[0, 0], m[0, 2] = c, s
+    m[2, 0], m[2, 2] = -s, c
+    return m
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    c, s = math.cos(angle), math.sin(angle)
+    m = np.eye(4)
+    m[1, 1], m[1, 2] = c, -s
+    m[2, 1], m[2, 2] = s, c
+    return m
+
+
+def perspective(fov_y: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """Vulkan-style perspective projection (depth in [0, 1])."""
+    if near <= 0 or far <= near:
+        raise ValueError("require 0 < near < far")
+    f = 1.0 / math.tan(fov_y / 2.0)
+    m = np.zeros((4, 4))
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = far / (far - near)
+    m[2, 3] = -(far * near) / (far - near)
+    m[3, 2] = 1.0
+    return m
+
+
+def look_at(eye: Tuple[float, float, float], target: Tuple[float, float, float],
+            up: Tuple[float, float, float] = (0.0, 1.0, 0.0)) -> np.ndarray:
+    eye_v = np.asarray(eye, dtype=float)
+    fwd = np.asarray(target, dtype=float) - eye_v
+    norm = np.linalg.norm(fwd)
+    if norm == 0:
+        raise ValueError("eye and target coincide")
+    fwd /= norm
+    right = np.cross(fwd, np.asarray(up, dtype=float))
+    right /= np.linalg.norm(right)
+    true_up = np.cross(right, fwd)
+    m = np.eye(4)
+    m[0, :3] = right
+    m[1, :3] = true_up
+    m[2, :3] = fwd
+    m[:3, 3] = -m[:3, :3] @ eye_v
+    return m
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Transform (N, 3) points to (N, 4) clip coordinates."""
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("points must be (N, 3)")
+    homo = np.concatenate([points, np.ones((len(points), 1))], axis=1)
+    return homo @ matrix.T
+
+
+def clip_to_screen(clip: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Perspective-divide clip coords into (N, 3) screen x, y, depth.
+
+    Screen origin is the top-left pixel corner, y growing downward
+    (Vulkan viewport convention).
+    """
+    w = clip[:, 3:4]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ndc = clip[:, :3] / w
+    screen = np.empty((len(clip), 3))
+    screen[:, 0] = (ndc[:, 0] * 0.5 + 0.5) * width
+    screen[:, 1] = (ndc[:, 1] * 0.5 + 0.5) * height
+    screen[:, 2] = ndc[:, 2]
+    return screen

@@ -1,0 +1,34 @@
+"""Experiment harness: per-figure runners, capability table, silicon
+reference model."""
+
+from .capabilities import TABLE1, format_table, verify_crisp_row
+from .report import (
+    draw_rows,
+    sim_rows,
+    write_csv,
+    write_draw_report,
+    write_sim_report,
+)
+from .hwref import (
+    deterministic_factor,
+    reference_frame_cycles,
+    reference_tex_transactions,
+    reference_vs_invocations,
+    roofline_cycles,
+)
+
+__all__ = [
+    "TABLE1",
+    "deterministic_factor",
+    "draw_rows",
+    "format_table",
+    "reference_frame_cycles",
+    "reference_tex_transactions",
+    "reference_vs_invocations",
+    "roofline_cycles",
+    "sim_rows",
+    "verify_crisp_row",
+    "write_csv",
+    "write_draw_report",
+    "write_sim_report",
+]

@@ -1,0 +1,121 @@
+"""Analytical GPU performance model (Hong & Kim style) — the baseline the
+paper's related work dismisses for contention studies.
+
+Section VII: "Many other works aim to estimate GPU performance using
+analytic models.  However, analytic models are too high level and not
+suitable for studying the contention between multiple workloads."  To make
+that argument reproducible, this module implements a representative
+MWP/CWP-flavoured analytical estimator and a naive composition rule for
+concurrent workloads, which the benchmarks compare against the cycle model.
+
+The estimator sees only aggregate trace statistics (instruction counts per
+unit, memory transactions, occupancy bound) — it cannot see cache
+interleaving, bank conflicts, or partition policies, which is precisely
+why its concurrent estimates are blind to policy choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..config import GPUConfig
+from ..isa import KernelTrace, Space, Unit
+
+
+@dataclass(frozen=True)
+class AnalyticEstimate:
+    """Cycle estimate with its intermediate terms (for inspection)."""
+
+    cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    mwp: float  # memory warp parallelism
+    cwp: float  # computation warp parallelism
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_cycles > self.compute_cycles
+
+
+def _trace_statistics(kernels: Sequence[KernelTrace]) -> Dict[str, float]:
+    issue = {u: 0 for u in Unit}
+    mem_transactions = 0
+    warps = 0
+    for k in kernels:
+        for cta in k.ctas:
+            warps += cta.num_warps
+            for warp in cta.warps:
+                for inst in warp:
+                    issue[inst.info.unit] += 1
+                    if inst.mem is not None and inst.info.space is Space.GLOBAL:
+                        mem_transactions += len(inst.mem.lines)
+    return {
+        "issue": issue,
+        "mem_transactions": mem_transactions,
+        "warps": max(1, warps),
+    }
+
+
+#: Average memory latency the analytic model assumes (it has no cache
+#: model, so one blended number stands in for the hierarchy).
+ASSUMED_MEM_LATENCY = 250.0
+
+
+def estimate_cycles(kernels: Sequence[KernelTrace],
+                    config: GPUConfig) -> AnalyticEstimate:
+    """MWP/CWP-style estimate of one workload's execution time."""
+    if not kernels:
+        raise ValueError("no kernels to estimate")
+    stats = _trace_statistics(kernels)
+    issue = stats["issue"]
+    warps = stats["warps"]
+    total_inst = sum(issue.values())
+    mem_inst = issue[Unit.MEM]
+    comp_inst = total_inst - mem_inst
+
+    pipes = {
+        Unit.FP: config.fp_units, Unit.INT: config.int_units,
+        Unit.SFU: config.sfu_units, Unit.TENSOR: config.tensor_units,
+    }
+    # Computation cycles: per-unit issue throughput over the whole chip.
+    comp_cycles = max(
+        (issue[u] / (pipes[u] * config.num_sms) for u in pipes), default=0.0)
+    # Memory cycles: transactions over DRAM bandwidth (the model cannot
+    # know hit rates, so it assumes a fixed service cost per transaction).
+    bytes_per_cycle = config.dram_bytes_per_cycle
+    mem_cycles = stats["mem_transactions"] * config.l2.line_size * 0.35 \
+        / bytes_per_cycle
+
+    # Warp parallelism terms (the Hong-Kim structure).
+    warps_per_sm = min(config.max_warps_per_sm,
+                       max(1.0, warps / config.num_sms))
+    mem_per_warp = max(1.0, mem_inst / warps)
+    comp_per_warp = max(1.0, comp_inst / warps)
+    mwp = min(warps_per_sm, ASSUMED_MEM_LATENCY / max(1.0, mem_per_warp))
+    cwp = min(warps_per_sm, 1.0 + comp_per_warp / max(1.0, mem_per_warp))
+    if mwp >= cwp:
+        # Memory latency fully hidden: compute throughput rules.
+        cycles = max(comp_cycles, mem_cycles)
+    else:
+        # Exposed memory latency scales with the hiding shortfall.
+        exposure = 1.0 + (cwp - mwp) / max(1.0, warps_per_sm)
+        cycles = max(comp_cycles, mem_cycles) * exposure
+    return AnalyticEstimate(cycles=cycles, compute_cycles=comp_cycles,
+                            memory_cycles=mem_cycles, mwp=mwp, cwp=cwp)
+
+
+def estimate_concurrent(workloads: Dict[int, Sequence[KernelTrace]],
+                        config: GPUConfig) -> float:
+    """The analytic model's only option for concurrency: additive resource
+    composition.  It has no notion of partition policy, cache contention,
+    or unit complementarity — every policy gets the same number."""
+    if not workloads:
+        raise ValueError("no workloads")
+    per_stream = [estimate_cycles(ks, config) for ks in workloads.values()]
+    comp = sum(e.compute_cycles for e in per_stream)
+    mem = sum(e.memory_cycles for e in per_stream)
+    exposure = max(
+        e.cycles / max(1e-9, max(e.compute_cycles, e.memory_cycles))
+        for e in per_stream)
+    return max(comp, mem) * exposure

@@ -1,0 +1,129 @@
+"""CSV reports, mirroring the artifact's ``collect.sh`` outputs.
+
+The CRISP artifact collects simulation statistics (execution cycles, cache
+hit rates, L2 breakdowns) into CSV files under the framework root.  These
+helpers produce the same kind of flat files from a run's
+:class:`~repro.timing.stats.GPUStats` and a frame's
+:class:`~repro.graphics.tracegen.FrameResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence
+
+from ..graphics.tracegen import FrameResult
+from ..isa import Unit
+from ..timing.stats import GPUStats
+
+#: Column order of the per-stream simulation report.
+SIM_COLUMNS = (
+    "stream", "instructions", "busy_cycles", "ipc",
+    "l1_accesses", "l1_hit_rate", "l1_tex_accesses",
+    "shared_accesses", "ctas", "kernels",
+    "fp_issues", "int_issues", "sfu_issues", "tensor_issues", "mem_issues",
+)
+
+#: Column order of the per-draw rendering report (render_passes_*.csv).
+DRAW_COLUMNS = (
+    "draw", "triangles_submitted", "triangles_rasterized", "batches",
+    "unique_vertices", "vs_invocations", "fragments", "tex_transactions",
+    "mean_tex_lines_per_cta",
+)
+
+
+def sim_rows(stats: GPUStats) -> List[Dict[str, object]]:
+    """One row per stream, artifact-CSV style."""
+    rows = []
+    for sid in sorted(stats.streams):
+        s = stats.streams[sid]
+        rows.append({
+            "stream": sid,
+            "instructions": s.instructions,
+            "busy_cycles": s.busy_cycles,
+            "ipc": round(s.ipc, 4),
+            "l1_accesses": s.l1_accesses,
+            "l1_hit_rate": round(s.l1_hit_rate, 4),
+            "l1_tex_accesses": s.l1_tex_accesses,
+            "shared_accesses": s.shared_accesses,
+            "ctas": s.ctas_completed,
+            "kernels": s.kernels_completed,
+            "fp_issues": s.issue_by_unit[Unit.FP],
+            "int_issues": s.issue_by_unit[Unit.INT],
+            "sfu_issues": s.issue_by_unit[Unit.SFU],
+            "tensor_issues": s.issue_by_unit[Unit.TENSOR],
+            "mem_issues": s.issue_by_unit[Unit.MEM],
+        })
+    return rows
+
+
+def draw_rows(frame: FrameResult) -> List[Dict[str, object]]:
+    """One row per draw call of a rendered frame."""
+    rows = []
+    for d in frame.draw_stats:
+        mean_lines = (sum(d.tex_lines_per_cta) / len(d.tex_lines_per_cta)
+                      if d.tex_lines_per_cta else 0.0)
+        rows.append({
+            "draw": d.name,
+            "triangles_submitted": d.triangles_submitted,
+            "triangles_rasterized": d.triangles_rasterized,
+            "batches": d.batches,
+            "unique_vertices": d.unique_vertices,
+            "vs_invocations": d.vs_invocations,
+            "fragments": d.fragments,
+            "tex_transactions": d.tex_transactions,
+            "mean_tex_lines_per_cta": round(mean_lines, 3),
+        })
+    return rows
+
+
+def write_csv(path: str, rows: Sequence[Dict[str, object]],
+              columns: Optional[Sequence[str]] = None) -> None:
+    """Write rows as CSV; column order defaults to first-row key order."""
+    if not rows:
+        raise ValueError("no rows to write")
+    cols = list(columns) if columns else list(rows[0])
+    missing = [c for c in cols if c not in rows[0]]
+    if missing:
+        raise ValueError("rows lack columns: %s" % missing)
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+#: Column order of the per-kernel timeline report.
+TIMELINE_COLUMNS = ("stream", "kernel", "start_cycle", "complete_cycle",
+                    "duration")
+
+
+def timeline_rows(gpu) -> List[Dict[str, object]]:
+    """One row per completed kernel across all of a GPU's streams.
+
+    Takes the :class:`~repro.timing.GPU` instance (timelines live on its
+    stream queues, not in the stats object).
+    """
+    rows: List[Dict[str, object]] = []
+    for sid in sorted(gpu.cta_scheduler.streams):
+        sq = gpu.cta_scheduler.streams[sid]
+        for name, start, end in sq.timeline():
+            rows.append({
+                "stream": sid,
+                "kernel": name,
+                "start_cycle": start,
+                "complete_cycle": end,
+                "duration": end - start,
+            })
+    return rows
+
+
+def write_timeline_report(path: str, gpu) -> None:
+    write_csv(path, timeline_rows(gpu), TIMELINE_COLUMNS)
+
+
+def write_sim_report(path: str, stats: GPUStats) -> None:
+    write_csv(path, sim_rows(stats), SIM_COLUMNS)
+
+
+def write_draw_report(path: str, frame: FrameResult) -> None:
+    write_csv(path, draw_rows(frame), DRAW_COLUMNS)

@@ -1,0 +1,145 @@
+"""Visualizer logs: the artifact's ``*-VISUAL`` run output analog.
+
+The CRISP artifact's simulations emit visualizer logs that the plotting
+scripts (``l2breakdown.py``, ``concurrent_ratio.py``) consume.  This module
+serialises a run's sampled time series (occupancy per stream, L2
+composition per class and per stream) to a JSON-lines log, parses it back,
+and renders quick ASCII charts — so sweeps can be analysed offline without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import DataClass
+from ..timing.stats import GPUStats
+
+#: Record kinds in the log.
+KIND_OCCUPANCY = "occupancy"
+KIND_L2_CLASS = "l2_class"
+KIND_L2_STREAM = "l2_stream"
+
+
+def dump_log(path: str, stats: GPUStats,
+             metadata: Optional[Dict[str, object]] = None) -> int:
+    """Write the sampled series of ``stats`` as JSON lines.
+
+    Returns the number of records written.  Requires the run to have been
+    sampled (``GPU(sample_interval=...)``).
+    """
+    if not stats.occupancy_trace and not stats.l2_snapshots:
+        raise ValueError("run has no samples; construct the GPU with "
+                         "sample_interval to record time series")
+    n = 0
+    with open(path, "w") as f:
+        f.write(json.dumps({"kind": "header",
+                            "cycles": stats.cycles,
+                            "metadata": metadata or {}}) + "\n")
+        for sample in stats.occupancy_trace:
+            f.write(json.dumps({
+                "kind": KIND_OCCUPANCY,
+                "cycle": sample.cycle,
+                "warps": {str(k): v for k, v in sample.warps_by_stream.items()},
+                "slots": sample.total_warp_slots,
+            }) + "\n")
+            n += 1
+        for cycle, comp in stats.l2_snapshots:
+            f.write(json.dumps({
+                "kind": KIND_L2_CLASS,
+                "cycle": cycle,
+                "lines": {cls.value: v for cls, v in comp.items()},
+            }) + "\n")
+            n += 1
+        for cycle, comp in stats.l2_stream_snapshots:
+            f.write(json.dumps({
+                "kind": KIND_L2_STREAM,
+                "cycle": cycle,
+                "lines": {str(k): v for k, v in comp.items()},
+            }) + "\n")
+            n += 1
+    return n
+
+
+class VisualizerLog:
+    """Parsed visualizer log."""
+
+    def __init__(self, cycles: int, metadata: Dict[str, object],
+                 occupancy: List[dict], l2_class: List[dict],
+                 l2_stream: List[dict]) -> None:
+        self.cycles = cycles
+        self.metadata = metadata
+        self._occupancy = occupancy
+        self._l2_class = l2_class
+        self._l2_stream = l2_stream
+
+    @property
+    def num_records(self) -> int:
+        return len(self._occupancy) + len(self._l2_class) + len(self._l2_stream)
+
+    def occupancy_series(self, stream: int) -> List[Tuple[int, float]]:
+        """(cycle, occupancy fraction) for one stream."""
+        out = []
+        for rec in self._occupancy:
+            warps = rec["warps"].get(str(stream), 0)
+            out.append((rec["cycle"], warps / rec["slots"]))
+        return out
+
+    def l2_class_series(self, cls: DataClass) -> List[Tuple[int, float]]:
+        """(cycle, fraction of occupied L2) for one data class."""
+        out = []
+        for rec in self._l2_class:
+            total = sum(rec["lines"].values())
+            frac = rec["lines"].get(cls.value, 0) / total if total else 0.0
+            out.append((rec["cycle"], frac))
+        return out
+
+    def l2_stream_series(self, stream: int) -> List[Tuple[int, float]]:
+        out = []
+        for rec in self._l2_stream:
+            total = sum(rec["lines"].values())
+            frac = rec["lines"].get(str(stream), 0) / total if total else 0.0
+            out.append((rec["cycle"], frac))
+        return out
+
+
+def load_log(path: str) -> VisualizerLog:
+    cycles = 0
+    metadata: Dict[str, object] = {}
+    occupancy: List[dict] = []
+    l2_class: List[dict] = []
+    l2_stream: List[dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("kind")
+            if kind == "header":
+                cycles = rec["cycles"]
+                metadata = rec.get("metadata", {})
+            elif kind == KIND_OCCUPANCY:
+                occupancy.append(rec)
+            elif kind == KIND_L2_CLASS:
+                l2_class.append(rec)
+            elif kind == KIND_L2_STREAM:
+                l2_stream.append(rec)
+            else:
+                raise ValueError("unknown record kind %r" % kind)
+    return VisualizerLog(cycles, metadata, occupancy, l2_class, l2_stream)
+
+
+def ascii_series(series: Sequence[Tuple[int, float]], width: int = 50,
+                 label: str = "") -> str:
+    """Render a (cycle, fraction) series as an ASCII strip chart."""
+    if not series:
+        return "%s (empty)" % label
+    lines = []
+    if label:
+        lines.append(label)
+    for cycle, frac in series:
+        bar = "#" * int(max(0.0, min(1.0, frac)) * width)
+        lines.append("%10d |%-*s| %5.1f%%" % (cycle, width, bar, frac * 100))
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""SASS-analog opcode set.
+
+The timing model is trace driven: control flow is already resolved when a
+trace is produced, so the ISA only needs the opcode classes that determine
+*where* an instruction issues (which execution unit) and *how long* it
+occupies the pipeline.  This mirrors how Accel-Sim consumes NVBit SASS
+traces — the trace carries the opcode, register operands and the memory
+addresses touched, and the timing model maps opcodes onto unit/latency
+classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Unit(enum.Enum):
+    """Execution unit classes present in each SM (Table II: 4 of each)."""
+
+    FP = "fp"
+    INT = "int"
+    SFU = "sfu"
+    TENSOR = "tensor"
+    MEM = "mem"
+
+
+class Space(enum.Enum):
+    """Memory spaces a memory instruction can address."""
+
+    GLOBAL = "global"   # through L1 -> L2 -> DRAM
+    SHARED = "shared"   # on-chip scratchpad, fixed latency
+    CONST = "const"     # broadcast constant, cheap
+    NONE = "none"       # not a memory instruction
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static issue properties of an opcode."""
+
+    unit: Unit
+    latency: int           # cycles from issue to writeback (L1-hit for MEM)
+    initiation: int = 1    # cycles the unit is busy per issue
+    space: Space = Space.NONE
+    is_store: bool = False
+
+
+class Op(enum.Enum):
+    """Opcodes used by the synthetic tracer and the shader translator."""
+
+    # FP32 pipeline.
+    FADD = "FADD"
+    FMUL = "FMUL"
+    FFMA = "FFMA"
+    FMNMX = "FMNMX"
+    FSETP = "FSETP"
+    # Integer pipeline (also handles moves, predicates, branches).
+    IADD = "IADD"
+    IMAD = "IMAD"
+    ISETP = "ISETP"
+    LOP = "LOP"
+    SHF = "SHF"
+    MOV = "MOV"
+    BRA = "BRA"
+    EXIT = "EXIT"
+    # Special function unit.
+    MUFU_RCP = "MUFU.RCP"
+    MUFU_RSQ = "MUFU.RSQ"
+    MUFU_SIN = "MUFU.SIN"
+    MUFU_COS = "MUFU.COS"
+    MUFU_EX2 = "MUFU.EX2"
+    MUFU_LG2 = "MUFU.LG2"
+    # Tensor core (HMMA = half-precision matrix multiply-accumulate).
+    HMMA = "HMMA"
+    # Memory.
+    LDG = "LDG"    # global load
+    STG = "STG"    # global store
+    LDS = "LDS"    # shared load
+    STS = "STS"    # shared store
+    LDC = "LDC"    # constant load
+    TEX = "TEX"    # texture sample; issues to the unified L1 (Section III)
+    BAR = "BAR"    # CTA barrier
+
+
+#: Issue properties per opcode.  Latencies follow Accel-Sim's Ampere model
+#: at the granularity CRISP needs (dependent-issue distance).
+OP_INFO = {
+    Op.FADD: OpInfo(Unit.FP, 4),
+    Op.FMUL: OpInfo(Unit.FP, 4),
+    Op.FFMA: OpInfo(Unit.FP, 4),
+    Op.FMNMX: OpInfo(Unit.FP, 4),
+    Op.FSETP: OpInfo(Unit.FP, 4),
+    Op.IADD: OpInfo(Unit.INT, 4),
+    Op.IMAD: OpInfo(Unit.INT, 5),
+    Op.ISETP: OpInfo(Unit.INT, 4),
+    Op.LOP: OpInfo(Unit.INT, 4),
+    Op.SHF: OpInfo(Unit.INT, 4),
+    Op.MOV: OpInfo(Unit.INT, 2),
+    Op.BRA: OpInfo(Unit.INT, 2),
+    Op.EXIT: OpInfo(Unit.INT, 1),
+    Op.MUFU_RCP: OpInfo(Unit.SFU, 16, initiation=4),
+    Op.MUFU_RSQ: OpInfo(Unit.SFU, 16, initiation=4),
+    Op.MUFU_SIN: OpInfo(Unit.SFU, 16, initiation=4),
+    Op.MUFU_COS: OpInfo(Unit.SFU, 16, initiation=4),
+    Op.MUFU_EX2: OpInfo(Unit.SFU, 16, initiation=4),
+    Op.MUFU_LG2: OpInfo(Unit.SFU, 16, initiation=4),
+    Op.HMMA: OpInfo(Unit.TENSOR, 16, initiation=4),
+    Op.LDG: OpInfo(Unit.MEM, 30, space=Space.GLOBAL),
+    Op.STG: OpInfo(Unit.MEM, 4, space=Space.GLOBAL, is_store=True),
+    Op.LDS: OpInfo(Unit.MEM, 25, space=Space.SHARED),
+    Op.STS: OpInfo(Unit.MEM, 4, space=Space.SHARED, is_store=True),
+    Op.LDC: OpInfo(Unit.MEM, 8, space=Space.CONST),
+    Op.TEX: OpInfo(Unit.MEM, 40, space=Space.GLOBAL),
+    Op.BAR: OpInfo(Unit.INT, 2),
+}
+
+
+def op_info(op: Op) -> OpInfo:
+    """Return static issue properties for ``op``."""
+    return OP_INFO[op]
+
+
+class DataClass(enum.Enum):
+    """Classification of memory traffic for L2-composition studies (Fig 11).
+
+    The rendering pipeline communicates between stages through the caches
+    (Section VI-B), so every transaction is tagged with the kind of data it
+    carries.  Cache lines remember the class of the fill that brought them in.
+    """
+
+    COMPUTE = "compute"          # CUDA kernel data
+    TEXTURE = "texture"          # texel fetches (TEX through unified L1)
+    VERTEX = "vertex"            # vertex/index buffer fetch
+    PIPELINE = "pipeline"        # inter-stage attributes (VS outputs, raster)
+    FRAMEBUFFER = "framebuffer"  # color/depth buffer traffic
+
+    @property
+    def is_graphics(self) -> bool:
+        return self is not DataClass.COMPUTE

@@ -1,0 +1,150 @@
+"""Trace serialization: save kernel traces to disk and replay them later.
+
+The CRISP artifact's workflow is collect-once / replay-many: traces are
+captured separately for each task (``process-vulkan-traces.py``, the NVBit
+tracer) and stored, then combined into concurrent simulations.  This module
+gives the reproduction the same workflow: :func:`save_traces` writes a
+kernel list to a compact gzipped JSON file, :func:`load_traces` restores it
+bit-exactly (verified by checksums), so expensive frame traces can be
+generated once and reused across experiment sweeps.
+
+Format: one JSON document, gzip-compressed.  Memory-line lists are
+delta-encoded (most coalesced lines are consecutive) to keep files small.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .instructions import MemAccess, WarpInstruction
+from .opcodes import DataClass, Op
+from .trace import CTATrace, KernelTrace, WarpTrace
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+_OP_BY_NAME = {op.value: op for op in Op}
+_CLASS_BY_NAME = {c.value: c for c in DataClass}
+
+
+def _encode_lines(lines: Sequence[int]) -> List[int]:
+    """Delta-encode a line-address list (first absolute, rest deltas)."""
+    out: List[int] = []
+    prev = 0
+    for i, line in enumerate(lines):
+        out.append(line if i == 0 else line - prev)
+        prev = line
+    return out
+
+
+def _decode_lines(encoded: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    acc = 0
+    for i, v in enumerate(encoded):
+        acc = v if i == 0 else acc + v
+        out.append(acc)
+    return out
+
+
+def _encode_inst(inst: WarpInstruction) -> list:
+    rec: list = [inst.op.value, inst.dst, list(inst.srcs), inst.active]
+    if inst.mem is not None:
+        m = {
+            "l": _encode_lines(inst.mem.lines),
+            "c": inst.mem.data_class.value,
+            "b": inst.mem.bytes_per_lane,
+            "n": inst.mem.num_lanes,
+            "s": 1 if inst.mem.bypass_l1 else 0,
+        }
+        if inst.mem.sectors is not None:
+            m["x"] = _encode_lines(inst.mem.sectors)
+        rec.append(m)
+    return rec
+
+
+def _decode_inst(rec: list) -> WarpInstruction:
+    op = _OP_BY_NAME[rec[0]]
+    mem: Optional[MemAccess] = None
+    if len(rec) > 4:
+        m = rec[4]
+        mem = MemAccess(
+            _decode_lines(m["l"]),
+            _CLASS_BY_NAME[m["c"]],
+            bytes_per_lane=m["b"],
+            num_lanes=m["n"],
+            bypass_l1=bool(m["s"]),
+            sectors=_decode_lines(m["x"]) if "x" in m else None,
+        )
+    return WarpInstruction(op, dst=rec[1], srcs=tuple(rec[2]), mem=mem,
+                           active=rec[3])
+
+
+def kernel_to_dict(kernel: KernelTrace) -> dict:
+    return {
+        "name": kernel.name,
+        "threads_per_cta": kernel.threads_per_cta,
+        "regs_per_thread": kernel.regs_per_thread,
+        "shared_mem_per_cta": kernel.shared_mem_per_cta,
+        "kind": kernel.kind,
+        "depends_on_prev": kernel.depends_on_prev,
+        "ctas": [
+            [[_encode_inst(i) for i in warp] for warp in cta.warps]
+            for cta in kernel.ctas
+        ],
+    }
+
+
+def kernel_from_dict(data: dict) -> KernelTrace:
+    ctas = [
+        CTATrace([WarpTrace([_decode_inst(r) for r in warp])
+                  for warp in cta_warps], cta_id)
+        for cta_id, cta_warps in enumerate(data["ctas"])
+    ]
+    return KernelTrace(
+        data["name"], ctas,
+        threads_per_cta=data["threads_per_cta"],
+        regs_per_thread=data["regs_per_thread"],
+        shared_mem_per_cta=data["shared_mem_per_cta"],
+        kind=data["kind"],
+        depends_on_prev=data["depends_on_prev"],
+    )
+
+
+def save_traces(path: str, kernels: Sequence[KernelTrace],
+                metadata: Optional[Dict[str, object]] = None) -> None:
+    """Write a kernel list to ``path`` (gzipped JSON)."""
+    if not kernels:
+        raise ValueError("no kernels to save")
+    doc = {
+        "version": FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "kernels": [kernel_to_dict(k) for k in kernels],
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as f:
+        json.dump(doc, f, separators=(",", ":"))
+
+
+def load_traces(path: str) -> List[KernelTrace]:
+    """Load a kernel list previously written by :func:`save_traces`."""
+    with gzip.open(path, "rt", encoding="utf-8") as f:
+        doc = json.load(f)
+    version = doc.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError("trace file %r has format version %r; this build "
+                         "reads version %d" % (path, version, FORMAT_VERSION))
+    return [kernel_from_dict(k) for k in doc["kernels"]]
+
+
+def load_metadata(path: str) -> Dict[str, object]:
+    with gzip.open(path, "rt", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("metadata", {})
+
+
+def traces_equal(a: Sequence[KernelTrace], b: Sequence[KernelTrace]) -> bool:
+    """Structural equality of two kernel lists (uid excluded)."""
+    if len(a) != len(b):
+        return False
+    return all(kernel_to_dict(x) == kernel_to_dict(y) for x, y in zip(a, b))

@@ -1,0 +1,21 @@
+"""Procedural stand-ins for the paper's rendering workloads (Section V-A)."""
+
+from .catalog import (
+    RESOLUTIONS,
+    SCENE_CODES,
+    Scene,
+    build_scene,
+    resolution,
+    scene_codes,
+    scene_title,
+)
+
+__all__ = [
+    "RESOLUTIONS",
+    "SCENE_CODES",
+    "Scene",
+    "build_scene",
+    "resolution",
+    "scene_codes",
+    "scene_title",
+]

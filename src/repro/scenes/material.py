@@ -1,0 +1,42 @@
+"""MT — the Material testers workload (Godot demo).
+
+A small set of preview spheres, each with a different material, in front of
+a backdrop: few draw calls, dense spheres, shading-heavy relative to its
+geometry.  Uses the three-texture lit shader as the stand-in for Godot's
+layered material preview shading.
+"""
+
+from __future__ import annotations
+
+from ..graphics.geometry import DrawCall
+from ..graphics.pipeline import Camera
+from ..graphics.texture import Texture2D
+from . import assets
+
+
+def build_material():
+    from .catalog import Scene
+    textures = {
+        "mat_a": Texture2D("mat_a", assets.brick_texture(128, seed=71)),
+        "mat_b": Texture2D("mat_b", assets.marble_texture(128, seed=72)),
+        "mat_c": Texture2D("mat_c", assets.noise_texture(128, seed=73)),
+        "detail": Texture2D("detail", assets.noise_texture(64, seed=74)),
+        "backdrop": Texture2D("backdrop", assets.marble_texture(64, seed=75)),
+    }
+    draws = [DrawCall(assets.box_mesh((10.0, 6.0, 0.4), center=(0.0, 2.0, 4.0),
+                                      name="backdrop"),
+                      texture_slots=["backdrop", "detail", "mat_c"],
+                      shader="lit3", name="backdrop"),
+             DrawCall(assets.grid_mesh(4, 4, extent=6.0, name="table"),
+                      texture_slots=["mat_b", "detail", "mat_c"],
+                      shader="lit3", name="table")]
+    mats = ["mat_a", "mat_b", "mat_c"]
+    for i in range(3):
+        ball = assets.sphere_mesh(12, 16, radius=0.9,
+                                  center=(-2.4 + i * 2.4, 1.0, 0.0),
+                                  name="tester_%d" % i)
+        draws.append(DrawCall(ball,
+                              texture_slots=[mats[i], "detail", "backdrop"],
+                              shader="lit3", name="tester_%d" % i))
+    camera = Camera(eye=(0.0, 1.6, -5.5), target=(0.0, 1.0, 0.0), fov_y=0.95)
+    return Scene("MT", "Material testers", draws, camera, textures)

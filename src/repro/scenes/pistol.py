@@ -1,0 +1,39 @@
+"""PT — the Pistol workload (Sascha Willems' ``pbrtexture`` sample).
+
+A single hero object rendered with full PBR: eight texture maps sampled per
+fragment (irradiance, BRDF, albedo, normal, prefilter, AO, metallic,
+roughness).  The paper uses it as the texture-heavy extreme of the L2
+composition study (Fig 11a: up to 60% of L2 lines are texture data).
+
+The stand-in is a dense multi-part object (body + barrel + grip) filling a
+large share of the screen, with 256x256 maps so the texture footprint
+dominates the small scene geometry, as in the original.
+"""
+
+from __future__ import annotations
+
+from ..graphics.geometry import DrawCall
+from ..graphics.pipeline import Camera
+from ..graphics.shaders import PBR_MAPS
+from ..graphics.texture import Texture2D
+from . import assets
+
+
+def build_pistol():
+    from .catalog import Scene
+    maps = assets.pbr_map_set(256, seed=41)
+    textures = {name: Texture2D(name, img) for name, img in maps.items()}
+    slots = list(PBR_MAPS)
+    body = assets.sphere_mesh(14, 20, radius=1.0, center=(0.0, 0.2, 0.0),
+                              name="body")
+    barrel = assets.column_mesh(12, height=1.6, radius=0.18,
+                                center=(0.0, 0.3, 0.0), name="barrel")
+    grip = assets.box_mesh((0.5, 1.0, 0.4), center=(0.0, -0.7, -0.3),
+                           name="grip")
+    draws = [
+        DrawCall(body, texture_slots=slots, shader="pbr", name="body"),
+        DrawCall(barrel, texture_slots=slots, shader="pbr", name="barrel"),
+        DrawCall(grip, texture_slots=slots, shader="pbr", name="grip"),
+    ]
+    camera = Camera(eye=(0.0, 0.4, -3.2), target=(0.0, 0.0, 0.0), fov_y=0.9)
+    return Scene("PT", "Pistol (PBR)", draws, camera, textures)

@@ -1,0 +1,47 @@
+"""PL — the Platformer 3D workload (Godot demo).
+
+A game level: ground plane, floating platforms, collectible orbs, and a
+skybox-ish backdrop.  Many small-to-medium draws with two-texture lit
+shading — a balanced vertex/fragment workload between the Sponza extremes.
+"""
+
+from __future__ import annotations
+
+from ..graphics.geometry import DrawCall
+from ..graphics.pipeline import Camera
+from ..graphics.texture import Texture2D
+from . import assets
+
+
+def build_platformer():
+    from .catalog import Scene
+    textures = {
+        "ground": Texture2D("ground", assets.brick_texture(128, seed=61)),
+        "platform": Texture2D("platform", assets.marble_texture(64, seed=62)),
+        "detail": Texture2D("detail", assets.noise_texture(64, seed=63)),
+        "orb": Texture2D("orb", assets.noise_texture(32, seed=64, scale=1.0)),
+    }
+    draws = [DrawCall(assets.grid_mesh(8, 8, extent=10.0, uv_repeat=8.0,
+                                       name="ground"),
+                      texture_slots=["ground", "detail"], shader="lit2",
+                      name="ground")]
+    # Floating platforms in a rising staircase.
+    for i in range(7):
+        x = -4.0 + i * 1.4
+        y = 0.6 + i * 0.5
+        z = -2.0 + (i % 3) * 1.8
+        plat = assets.box_mesh((1.6, 0.3, 1.6), center=(x, y, z),
+                               name="plat_%d" % i)
+        draws.append(DrawCall(plat, texture_slots=["platform", "detail"],
+                              shader="lit2", name="plat_%d" % i))
+    # Collectible orbs hovering above alternate platforms.
+    for i in range(0, 7, 2):
+        x = -4.0 + i * 1.4
+        y = 1.5 + i * 0.5
+        z = -2.0 + (i % 3) * 1.8
+        orb = assets.sphere_mesh(6, 8, radius=0.25, center=(x, y, z),
+                                 name="orb_%d" % i)
+        draws.append(DrawCall(orb, texture_slots=["orb", "detail"],
+                              shader="lit2", name="orb_%d" % i))
+    camera = Camera(eye=(0.0, 3.0, -9.0), target=(0.0, 1.8, 0.0), fov_y=1.0)
+    return Scene("PL", "Platformer 3D", draws, camera, textures)

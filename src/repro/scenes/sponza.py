@@ -1,0 +1,92 @@
+"""The two Sponza variants (Section V-A).
+
+The Crytek Sponza atrium: a large hall with a colonnade, floor, walls and
+hanging fabric.  The paper evaluates two versions of the same scene:
+
+* **SPL** — the Khronos Vulkan-Samples version with a simple shader and one
+  texture per draw call.
+* **SPH** — the Godot/Monado version using PBR shading (8 maps per draw).
+
+Both share the procedural geometry below, so differences between them in the
+studies come from shading alone — exactly the comparison Fig 11 makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graphics.geometry import DrawCall
+from ..graphics.pipeline import Camera
+from ..graphics.texture import Texture2D
+from ..graphics.transform import translation
+from . import assets
+
+
+def _sponza_geometry() -> List[DrawCall]:
+    """Shared atrium geometry; shader/texture binds added by the variants."""
+    draws: List[DrawCall] = []
+    floor = assets.grid_mesh(10, 14, extent=8.0, uv_repeat=6.0, name="floor")
+    draws.append(DrawCall(floor, name="floor"))
+    # Colonnade: two rows of columns flanking the atrium.
+    for i in range(6):
+        z = -6.0 + i * 2.4
+        for side, x in (("l", -3.2), ("r", 3.2)):
+            col = assets.column_mesh(10, height=3.2, radius=0.35,
+                                     center=(x, 0.0, z),
+                                     name="col_%s%d" % (side, i))
+            draws.append(DrawCall(col, name="col_%s%d" % (side, i)))
+    # Walls: tall boxes on both sides and the back.
+    for side, x in (("l", -5.0), ("r", 5.0)):
+        wall = assets.box_mesh((0.5, 5.0, 16.0), center=(x, 2.5, 0.0),
+                               name="wall_%s" % side)
+        draws.append(DrawCall(wall, name="wall_%s" % side))
+    back = assets.box_mesh((10.0, 5.0, 0.5), center=(0.0, 2.5, 8.0), name="wall_b")
+    draws.append(DrawCall(back, name="wall_b"))
+    # Hanging fabric: curved sheets (sphere sections flattened with scale).
+    for i in range(3):
+        fabric = assets.sphere_mesh(6, 10, radius=1.2,
+                                    center=(-2.0 + i * 2.0, 3.0, 1.0),
+                                    name="fabric_%d" % i)
+        draws.append(DrawCall(fabric, model=translation(0, 0, 0),
+                              name="fabric_%d" % i))
+    return draws
+
+
+def _camera() -> Camera:
+    return Camera(eye=(0.0, 2.2, -7.5), target=(0.0, 1.4, 2.0), fov_y=1.1)
+
+
+def build_sponza():
+    """SPL: basic shading, one texture per draw call."""
+    from .catalog import Scene
+    textures: Dict[str, Texture2D] = {
+        "brick": Texture2D("brick", assets.brick_texture(128)),
+        "marble": Texture2D("marble", assets.marble_texture(128)),
+        "fabric": Texture2D("fabric", assets.noise_texture(64, seed=21)),
+    }
+    draws = []
+    for d in _sponza_geometry():
+        if d.name.startswith("col") or d.name == "floor":
+            tex = "marble"
+        elif d.name.startswith("fabric"):
+            tex = "fabric"
+        else:
+            tex = "brick"
+        draws.append(DrawCall(d.mesh, model=d.model, texture_slots=[tex],
+                              shader="basic", name=d.name))
+    return Scene("SPL", "Sponza (Khronos)", draws, _camera(), textures)
+
+
+def build_sponza_pbr():
+    """SPH: the same geometry with PBR shading — 8 maps per draw."""
+    from .catalog import Scene
+    from ..graphics.shaders import PBR_MAPS
+    maps = assets.pbr_map_set(128, seed=31)
+    textures = {name: Texture2D(name, img) for name, img in maps.items()}
+    slots = list(PBR_MAPS)
+    draws = [
+        DrawCall(d.mesh, model=d.model, texture_slots=slots,
+                 shader="pbr", name=d.name)
+        for d in _sponza_geometry()
+    ]
+    return Scene("SPH", "Sponza PBR (Godot)", draws, _camera(), textures)

@@ -1,0 +1,33 @@
+"""Cycle-accounting GPU timing model (Accel-Sim substrate)."""
+
+from .cta import CTAScheduler, PartitionPolicy, StreamQueue
+from .exec_units import SchedulerUnits, UnitPipe
+from .gpu import GPU, DeadlockError, simulate
+from .ldst import LDSTPath
+from .occupancy import OccupancyReport, occupancy_of
+from .scheduler import GTOScheduler
+from .sm import SM, ResidentCTA
+from .stats import GPUStats, OccupancySample, StreamStats
+from .warp import BLOCKED, WarpContext
+
+__all__ = [
+    "BLOCKED",
+    "CTAScheduler",
+    "DeadlockError",
+    "GPU",
+    "GPUStats",
+    "GTOScheduler",
+    "LDSTPath",
+    "OccupancyReport",
+    "OccupancySample",
+    "PartitionPolicy",
+    "ResidentCTA",
+    "SM",
+    "SchedulerUnits",
+    "StreamQueue",
+    "StreamStats",
+    "UnitPipe",
+    "WarpContext",
+    "occupancy_of",
+    "simulate",
+]

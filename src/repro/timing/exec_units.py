@@ -1,0 +1,51 @@
+"""Execution-unit pipelines.
+
+Ampere SMs are split into four scheduler partitions, each owning one pipe of
+every unit class (Table II: "4 FPs, 4 SFUs, 4 INTs, 4 TENSORs" per SM).  A
+pipe is pipelined with an initiation interval: issuing occupies it for
+``initiation`` cycles, and the result is available ``latency`` cycles after
+issue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa import Unit
+
+
+class UnitPipe:
+    """One pipelined execution unit."""
+
+    __slots__ = ("unit", "next_free", "issues")
+
+    def __init__(self, unit: Unit) -> None:
+        self.unit = unit
+        self.next_free = 0.0
+        self.issues = 0
+
+    def earliest_issue(self, cycle: int) -> float:
+        return max(float(cycle), self.next_free)
+
+    def issue(self, cycle: int, initiation: int) -> int:
+        """Issue at (or after) ``cycle``; returns the actual issue cycle."""
+        start = self.earliest_issue(cycle)
+        self.next_free = start + initiation
+        self.issues += 1
+        return int(start)
+
+
+class SchedulerUnits:
+    """The unit pipes owned by one warp scheduler partition."""
+
+    def __init__(self) -> None:
+        self.pipes: Dict[Unit, UnitPipe] = {u: UnitPipe(u) for u in Unit}
+
+    def pipe(self, unit: Unit) -> UnitPipe:
+        return self.pipes[unit]
+
+    def earliest_issue(self, unit: Unit, cycle: int) -> float:
+        return self.pipes[unit].earliest_issue(cycle)
+
+    def busy_until(self, unit: Unit) -> float:
+        return self.pipes[unit].next_free

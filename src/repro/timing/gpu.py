@@ -1,0 +1,164 @@
+"""Top-level GPU model: SMs + shared L2/DRAM + CTA scheduler + event loop.
+
+The clock is a single global cycle counter.  Each iteration the loop (1)
+retires CTAs whose last instruction has committed and refills freed
+resources, (2) ticks every SM that can act at the current cycle (each
+scheduler issues at most one instruction per cycle), then (3) jumps the
+clock to the earliest future event any SM reports.  Dense phases advance
+cycle-by-cycle exactly like a classic cycle loop; idle memory-bound gaps are
+skipped without losing cycle accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GPUConfig
+from ..isa import KernelTrace
+from ..memory import L2Cache
+from .cta import CTAScheduler, PartitionPolicy, StreamQueue
+from .sm import SM, ResidentCTA
+from .stats import GPUStats, OccupancySample
+from .warp import BLOCKED
+
+
+class DeadlockError(RuntimeError):
+    """Raised when work remains but nothing can ever issue."""
+
+
+class GPU:
+    """A simulated GPU instance, configured once and run once."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        policy: Optional[PartitionPolicy] = None,
+        sample_interval: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.stats = GPUStats()
+        self.l2 = L2Cache(config)
+        self.policy = policy or PartitionPolicy()
+        self.sample_interval = sample_interval
+        self.cycle = 0
+        self.sms: List[SM] = [
+            SM(i, config, self.l2, self.stats, on_cta_complete=self._cta_done)
+            for i in range(config.num_sms)
+        ]
+        self.cta_scheduler = CTAScheduler(config, self.sms, self.policy, gpu=self)
+        self._completed_this_step = False
+
+    # -- workload setup ---------------------------------------------------------
+    def add_stream(self, stream_id: int, kernels: Sequence[KernelTrace]) -> StreamQueue:
+        """Register an in-order kernel queue (a workload) as one stream."""
+        return self.cta_scheduler.add_stream(stream_id, kernels)
+
+    # -- callbacks ---------------------------------------------------------------
+    def _cta_done(self, sm: SM, cta: ResidentCTA) -> None:
+        self._completed_this_step = True
+        self.cta_scheduler.on_cta_complete(sm, cta, self.cycle)
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self, max_cycles: int = 200_000_000) -> GPUStats:
+        """Simulate until all streams complete; returns the stats object."""
+        if not self.cta_scheduler.streams:
+            raise ValueError("no streams registered; call add_stream first")
+        self.policy.configure_memory(self.l2, sorted(self.cta_scheduler.streams))
+        cycle = self.cycle
+        self.cta_scheduler.fill(cycle)
+        interval = self.sample_interval
+        next_sample = interval if interval else None
+        epoch = self.policy.epoch_interval
+        next_epoch = epoch if epoch else None
+        sms = self.sms
+        while True:
+            self.cycle = cycle
+            self._completed_this_step = False
+            for sm in sms:
+                if sm.has_work and sm.next_event_cache <= cycle:
+                    sm.process_completions(cycle)
+            if self._completed_this_step and self.cta_scheduler.has_issuable_work:
+                self.cta_scheduler.fill(cycle)
+            if self.cta_scheduler.all_complete and not any(
+                sm.has_work for sm in sms
+            ):
+                break
+            for sm in sms:
+                if sm.has_work and sm.next_event_cache <= cycle:
+                    sm.tick(cycle)
+                    sm.next_event_cache = sm.next_event(cycle)
+            if next_epoch is not None and cycle >= next_epoch:
+                self.policy.on_epoch(self, cycle)
+                next_epoch = cycle + (epoch or 1)
+            if next_sample is not None and cycle >= next_sample:
+                self._sample(cycle)
+                next_sample = cycle + (interval or 1)
+            nxt = BLOCKED
+            for sm in sms:
+                if not sm.has_work:
+                    continue
+                t = sm.next_event_cache
+                if t < nxt:
+                    nxt = t
+            if nxt == BLOCKED:
+                # No SM can ever act again.  Either CTAs are waiting for
+                # space that will never free (policy deadlock) or we are done.
+                if self.cta_scheduler.has_issuable_work:
+                    if self.cta_scheduler.fill(cycle) == 0:
+                        raise DeadlockError(
+                            "CTAs pending at cycle %d but no SM can accept them "
+                            "(policy %r quota too small?)" % (cycle, self.policy.name)
+                        )
+                    cycle += 1
+                    continue
+                # Completions may still be queued in the future.
+                pending = [
+                    sm._completions[0][0] for sm in sms if sm._completions
+                ]
+                if pending:
+                    cycle = max(cycle + 1, min(pending))
+                    continue
+                if not self.cta_scheduler.all_complete:
+                    raise DeadlockError(
+                        "streams incomplete at cycle %d but no work anywhere" % cycle
+                    )
+                break
+            cycle = max(cycle + 1, int(nxt))
+            if cycle > max_cycles:
+                raise RuntimeError("simulation exceeded %d cycles" % max_cycles)
+        self.cycle = cycle
+        self.stats.cycles = cycle
+        return self.stats
+
+    # -- sampling -----------------------------------------------------------------
+    def _sample(self, cycle: int) -> None:
+        warps: Dict[int, int] = {}
+        for sm in self.sms:
+            for stream, n in sm.warps_resident_by_stream().items():
+                if n:
+                    warps[stream] = warps.get(stream, 0) + n
+        total_slots = self.config.num_sms * self.config.max_warps_per_sm
+        self.stats.occupancy_trace.append(OccupancySample(cycle, warps, total_slots))
+        self.stats.l2_snapshots.append((cycle, self.l2.composition()))
+        self.stats.l2_stream_snapshots.append((cycle, self.l2.composition_by_stream()))
+
+    # -- results -------------------------------------------------------------------
+    def stream_cycles(self, stream_id: int) -> int:
+        """Busy cycles (first issue to last commit) of one stream."""
+        return self.stats.stream_cycles(stream_id)
+
+    def kernel_completions(self, stream_id: int):
+        return self.cta_scheduler.streams[stream_id].kernel_completions
+
+
+def simulate(
+    config: GPUConfig,
+    streams: Dict[int, Sequence[KernelTrace]],
+    policy: Optional[PartitionPolicy] = None,
+    sample_interval: Optional[int] = None,
+) -> GPUStats:
+    """One-shot convenience: build a GPU, add ``streams``, run, return stats."""
+    gpu = GPU(config, policy=policy, sample_interval=sample_interval)
+    for sid, kernels in sorted(streams.items()):
+        gpu.add_stream(sid, kernels)
+    return gpu.run()

@@ -1,0 +1,74 @@
+"""Theoretical occupancy calculator (the CUDA occupancy API analog).
+
+Given a kernel's per-CTA resource demands and a machine configuration,
+compute how many CTAs fit on one SM and which resource is the limiter —
+the arithmetic the CTA scheduler applies dynamically, exposed statically
+for analysis and tests.  The paper leans on exactly this arithmetic when
+explaining Fig 13's "low occupancy regions are limited by registers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import GPUConfig
+from ..isa import KernelTrace
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Static occupancy of one kernel on one machine."""
+
+    ctas_per_sm: int
+    warps_per_sm: int
+    occupancy: float            # fraction of warp slots occupied
+    limiter: str                # "threads" | "registers" | "shared_mem" | "warps" | "cta_slots"
+    limits: Dict[str, int]      # CTAs-per-SM bound per resource
+
+    @property
+    def register_limited(self) -> bool:
+        return self.limiter == "registers"
+
+
+def occupancy_of(kernel: KernelTrace, config: GPUConfig,
+                 quota_fraction: Optional[float] = None) -> OccupancyReport:
+    """Occupancy of ``kernel`` on one SM of ``config``.
+
+    ``quota_fraction`` applies an intra-SM partition ceiling (FG policies):
+    the kernel may only use that fraction of every resource.
+    """
+    frac = 1.0 if quota_fraction is None else quota_fraction
+    if not 0.0 < frac <= 1.0:
+        raise ValueError("quota_fraction must be in (0, 1]")
+    res = kernel.cta_resources(config.warp_size)
+    budget = {
+        "threads": int(config.max_threads_per_sm * frac),
+        "registers": int(config.registers_per_sm * frac),
+        "shared_mem": int(config.shared_mem_per_sm * frac),
+        "warps": int(config.max_warps_per_sm * frac),
+        "cta_slots": max(1, int(config.max_ctas_per_sm * frac)),
+    }
+    demand = {
+        "threads": res.threads,
+        "registers": res.registers,
+        "shared_mem": res.shared_mem,
+        "warps": res.warps,
+        "cta_slots": 1,
+    }
+    limits: Dict[str, int] = {}
+    for name, need in demand.items():
+        if need == 0:
+            limits[name] = budget["cta_slots"]
+        else:
+            limits[name] = budget[name] // need
+    ctas = min(limits.values())
+    limiter = min(limits, key=lambda n: (limits[n], n))
+    warps = ctas * res.warps
+    return OccupancyReport(
+        ctas_per_sm=ctas,
+        warps_per_sm=warps,
+        occupancy=warps / config.max_warps_per_sm,
+        limiter=limiter,
+        limits=limits,
+    )

@@ -1,0 +1,176 @@
+"""Greedy-then-oldest (GTO) warp scheduler.
+
+Each SM has ``schedulers_per_sm`` of these, each owning a slice of the
+resident warps and one pipe of every execution-unit class.  GTO keeps
+issuing from the same warp while it can (greedy), otherwise falls back to
+the oldest ready warp — GPGPU-Sim's default policy, which Accel-Sim (and so
+CRISP) inherits.
+
+Ready warps are kept in a lazy min-heap keyed by an *estimate* of their
+earliest issue cycle.  Estimates only ever under-shoot (unit contention can
+push the true time later), so a popped entry is re-validated against the
+current scoreboard/unit state and re-pushed if not actually ready — the
+classic lazy-deletion priority queue.  This keeps issue selection
+O(log warps) instead of O(warps), which is what makes whole-frame
+simulations tractable in Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from ..isa import WarpInstruction
+from .exec_units import SchedulerUnits
+from .warp import BLOCKED, WarpContext
+
+
+class GTOScheduler:
+    """One warp-scheduler partition.
+
+    ``policy`` selects the issue order: ``"gto"`` (greedy-then-oldest, the
+    default) or ``"lrr"`` (loose round robin — rotate priority past the
+    last issued warp, the other classic GPGPU-Sim option).
+    """
+
+    def __init__(self, index: int, units: SchedulerUnits,
+                 policy: str = "gto") -> None:
+        if policy not in ("gto", "lrr"):
+            raise ValueError("scheduler policy must be 'gto' or 'lrr'")
+        self.index = index
+        self.units = units
+        self.policy = policy
+        self._heap: List[Tuple[float, int, WarpContext]] = []
+        self._seq = itertools.count()
+        self._greedy: Optional[WarpContext] = None
+        self._last_warp_id = -1
+        self._picked_from_heap = False
+        self.issued = 0
+        #: Earliest cycle this scheduler may act; maintained by the SM tick
+        #: loop so stalled schedulers are skipped without rescanning.
+        self.next_event_cache = 0.0
+
+    # -- membership ----------------------------------------------------------
+    def add_warp(self, warp: WarpContext) -> None:
+        heapq.heappush(self._heap, (0.0, next(self._seq), warp))
+        self.next_event_cache = 0.0
+
+    def wake(self, warp: WarpContext, time: float) -> None:
+        """Re-queue a warp parked on a barrier."""
+        heapq.heappush(self._heap, (time, next(self._seq), warp))
+        if time < self.next_event_cache:
+            self.next_event_cache = time
+
+    def _issue_time(self, warp: WarpContext, cycle: int) -> float:
+        dep = warp.dep_ready_cycle()
+        if dep == BLOCKED:
+            return BLOCKED
+        inst = warp.peek()
+        assert inst is not None
+        structural = self.units.earliest_issue(inst.info.unit, cycle)
+        return max(dep, structural, float(cycle))
+
+    # -- selection -------------------------------------------------------------
+    def pick(self, cycle: int) -> Optional[Tuple[WarpContext, WarpInstruction]]:
+        """Select the warp to issue this cycle; None if stalled."""
+        self._picked_from_heap = False
+        if self.policy == "gto":
+            g = self._greedy
+            if g is not None and not g.done and not g.barrier_wait:
+                if self._issue_time(g, cycle) <= cycle:
+                    inst = g.peek()
+                    assert inst is not None
+                    return g, inst
+            return self._pick_from_heap(cycle)
+        return self._pick_lrr(cycle)
+
+    def _pick_from_heap(self, cycle: int
+                        ) -> Optional[Tuple[WarpContext, WarpInstruction]]:
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            _, _, w = heapq.heappop(heap)
+            if w.done or w.barrier_wait:
+                continue  # done warps are dropped; parked warps re-queued by wake()
+            t = self._issue_time(w, cycle)
+            if t <= cycle:
+                self._picked_from_heap = True
+                inst = w.peek()
+                assert inst is not None
+                return w, inst
+            if t != BLOCKED:
+                heapq.heappush(heap, (t, next(self._seq), w))
+        return None
+
+    def _pick_lrr(self, cycle: int
+                  ) -> Optional[Tuple[WarpContext, WarpInstruction]]:
+        """Loose round robin: among warps ready now, pick the one whose id
+        follows the last issued warp's (wrapping)."""
+        heap = self._heap
+        ready: List[Tuple[float, int, WarpContext]] = []
+        while heap and heap[0][0] <= cycle:
+            entry = heapq.heappop(heap)
+            w = entry[2]
+            if w.done or w.barrier_wait:
+                continue
+            t = self._issue_time(w, cycle)
+            if t <= cycle:
+                ready.append(entry)
+            elif t != BLOCKED:
+                heapq.heappush(heap, (t, next(self._seq), w))
+        if not ready:
+            return None
+        last = self._last_warp_id
+
+        def rr_key(entry):
+            wid = entry[2].warp_id
+            return (wid - last - 1) % 4096
+
+        chosen = min(ready, key=rr_key)
+        for entry in ready:
+            if entry is not chosen:
+                heapq.heappush(heap, entry)
+        self._picked_from_heap = True
+        w = chosen[2]
+        inst = w.peek()
+        assert inst is not None
+        return w, inst
+
+    def note_issued(self, warp: WarpContext, next_estimate: float) -> None:
+        """Record the issue; re-queue the warp for its next instruction."""
+        self.issued += 1
+        self._greedy = warp if not warp.done else None
+        self._last_warp_id = warp.warp_id
+        if not warp.done and self._picked_from_heap:
+            heapq.heappush(self._heap, (next_estimate, next(self._seq), warp))
+        self._picked_from_heap = False
+
+    # -- event horizon -----------------------------------------------------------
+    def next_event(self, cycle: int) -> float:
+        """Earliest future cycle at which this scheduler may act.
+
+        Estimates may be stale-low; the GPU loop simply visits that cycle
+        and re-validates, so under-estimates cost a visit, never accuracy.
+        """
+        best = BLOCKED
+        g = self._greedy
+        if self.policy == "gto" and g is not None and not g.done \
+                and not g.barrier_wait:
+            best = self._issue_time(g, cycle)
+        heap = self._heap
+        while heap:
+            est, _, w = heap[0]
+            if w.done:
+                heapq.heappop(heap)
+                continue
+            if w.barrier_wait:
+                heapq.heappop(heap)
+                continue
+            if est < best:
+                best = est
+            break
+        return best
+
+    @property
+    def active_warps(self) -> int:
+        return len({id(w) for _, _, w in self._heap if not w.done})

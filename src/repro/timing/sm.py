@@ -1,0 +1,242 @@
+"""Streaming Multiprocessor model.
+
+An SM hosts resident CTAs, partitions their warps across GTO schedulers,
+tracks on-chip resource usage per stream (the accounting fine-grained
+intra-SM partitioning needs, Section III-A), and advances in an
+event-skipping cycle loop: ``tick`` is only called at cycles where at least
+one scheduler may act, and reports the next cycle it needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional
+
+from ..config import GPUConfig
+from ..isa import CTAResources, CTATrace, KernelTrace, Op, Space, Unit
+from ..memory import L2Cache
+from .exec_units import SchedulerUnits
+from .ldst import LDSTPath
+from .scheduler import GTOScheduler
+from .stats import GPUStats
+from .warp import BLOCKED, WarpContext
+
+
+class ResidentCTA:
+    """A CTA currently occupying SM resources."""
+
+    __slots__ = ("kernel", "trace", "resources", "stream", "warps",
+                 "live_warps", "barrier_arrived", "barrier_release")
+
+    def __init__(self, kernel: KernelTrace, trace: CTATrace,
+                 resources: CTAResources, stream: int) -> None:
+        self.kernel = kernel
+        self.trace = trace
+        self.resources = resources
+        self.stream = stream
+        self.warps: List[WarpContext] = []
+        self.live_warps = 0
+        self.barrier_arrived = 0
+        self.barrier_release = 0
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, l2: L2Cache,
+                 stats: GPUStats,
+                 on_cta_complete: Optional[Callable[["SM", ResidentCTA], None]] = None) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.stats = stats
+        self.ldst = LDSTPath(sm_id, config, l2, stats)
+        self.schedulers = [
+            GTOScheduler(i, SchedulerUnits(), policy=config.scheduler_policy)
+            for i in range(config.schedulers_per_sm)
+        ]
+        self.on_cta_complete = on_cta_complete
+        # Free resources (whole SM).
+        self.free_threads = config.max_threads_per_sm
+        self.free_registers = config.registers_per_sm
+        self.free_shared_mem = config.shared_mem_per_sm
+        self.free_warp_slots = config.max_warps_per_sm
+        self.free_cta_slots = config.max_ctas_per_sm
+        # Per-stream usage, for intra-SM quota checks.
+        self.threads_used: Dict[int, int] = {}
+        self.registers_used: Dict[int, int] = {}
+        self.shared_used: Dict[int, int] = {}
+        self.warps_used: Dict[int, int] = {}
+        self.resident: List[ResidentCTA] = []
+        self._completions: List = []  # heap of (complete_cycle, seq, cta)
+        self._completion_seq = 0
+        self._next_sched = 0
+        #: Earliest cycle this SM may need attention; the GPU loop skips the
+        #: SM entirely until then.  Only this SM's own actions can move it
+        #: earlier, so launch/tick refresh it.
+        self.next_event_cache = 0.0
+        #: Per-stream instructions issued on this SM (Warped-Slicer sampling
+        #: reads deltas of these to build its IPC-vs-quota curves).
+        self.issued_by_stream: Dict[int, int] = {}
+
+    # -- residency ---------------------------------------------------------
+    def fits(self, res: CTAResources) -> bool:
+        """Whole-SM resource check (quota checks live in the CTA scheduler)."""
+        return self.free_cta_slots > 0 and res.fits_in(
+            self.free_threads, self.free_registers,
+            self.free_shared_mem, self.free_warp_slots)
+
+    def stream_usage(self, stream: int) -> CTAResources:
+        return CTAResources(
+            threads=self.threads_used.get(stream, 0),
+            registers=self.registers_used.get(stream, 0),
+            shared_mem=self.shared_used.get(stream, 0),
+            warps=self.warps_used.get(stream, 0),
+        )
+
+    def launch_cta(self, kernel: KernelTrace, trace: CTATrace, stream: int) -> ResidentCTA:
+        res = kernel.cta_resources(self.config.warp_size)
+        if not self.fits(res):
+            raise RuntimeError("CTA does not fit on SM%d" % self.sm_id)
+        cta = ResidentCTA(kernel, trace, res, stream)
+        self.free_threads -= res.threads
+        self.free_registers -= res.registers
+        self.free_shared_mem -= res.shared_mem
+        self.free_warp_slots -= res.warps
+        self.free_cta_slots -= 1
+        self.threads_used[stream] = self.threads_used.get(stream, 0) + res.threads
+        self.registers_used[stream] = self.registers_used.get(stream, 0) + res.registers
+        self.shared_used[stream] = self.shared_used.get(stream, 0) + res.shared_mem
+        self.warps_used[stream] = self.warps_used.get(stream, 0) + res.warps
+        sstat = self.stats.stream(stream)
+        sstat.ctas_launched += 1
+        sstat.warps_launched += len(trace.warps)
+        if res.shared_mem:
+            self.ldst.update_carveout(
+                self.config.shared_mem_per_sm - self.free_shared_mem)
+        for wt in trace.warps:
+            ctx = WarpContext(wt, stream, cta, warp_id=len(cta.warps))
+            cta.warps.append(ctx)
+            if not ctx.done:
+                cta.live_warps += 1
+            # Round-robin warps over schedulers, like hardware sub-partitions.
+            ctx.home_sched = self._next_sched
+            self.schedulers[self._next_sched].add_warp(ctx)
+            self._next_sched = (self._next_sched + 1) % len(self.schedulers)
+        if cta.live_warps == 0:
+            self._retire_cta(cta, complete_cycle=0)
+        self.resident.append(cta)
+        self.next_event_cache = 0.0
+        return cta
+
+    def _retire_cta(self, cta: ResidentCTA, complete_cycle: int) -> None:
+        self._completion_seq += 1
+        heapq.heappush(self._completions, (complete_cycle, self._completion_seq, cta))
+
+    def _free_cta(self, cta: ResidentCTA) -> None:
+        res = cta.resources
+        stream = cta.stream
+        self.free_threads += res.threads
+        self.free_registers += res.registers
+        self.free_shared_mem += res.shared_mem
+        self.free_warp_slots += res.warps
+        self.free_cta_slots += 1
+        self.threads_used[stream] -= res.threads
+        self.registers_used[stream] -= res.registers
+        self.shared_used[stream] -= res.shared_mem
+        self.warps_used[stream] -= res.warps
+        # Scheduler heaps drop the (now done) warps lazily.
+        self.resident.remove(cta)
+        self.stats.stream(stream).ctas_completed += 1
+        if res.shared_mem:
+            self.ldst.update_carveout(
+                self.config.shared_mem_per_sm - self.free_shared_mem)
+
+    def process_completions(self, cycle: int) -> bool:
+        """Free CTAs whose last instruction committed by ``cycle``."""
+        freed = False
+        while self._completions and self._completions[0][0] <= cycle:
+            _, _, cta = heapq.heappop(self._completions)
+            self._free_cta(cta)
+            freed = True
+            if self.on_cta_complete is not None:
+                self.on_cta_complete(self, cta)
+        return freed
+
+    # -- execution -----------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Issue at most one instruction per scheduler at ``cycle``."""
+        for sched in self.schedulers:
+            if sched.next_event_cache > cycle:
+                continue
+            picked = sched.pick(cycle)
+            if picked is None:
+                sched.next_event_cache = sched.next_event(cycle)
+                continue
+            warp, inst = picked
+            self._issue(sched, warp, inst, cycle)
+            sched.next_event_cache = cycle + 1
+
+    def _issue(self, sched: GTOScheduler, warp: WarpContext, inst, cycle: int) -> None:
+        info = inst.info
+        pipe = sched.units.pipe(info.unit)
+        issue_cycle = pipe.issue(cycle, info.initiation)
+        if info.unit is Unit.MEM and info.space is not Space.NONE:
+            complete = self.ldst.issue(inst, issue_cycle, warp.stream)
+        else:
+            complete = issue_cycle + info.latency
+        if inst.op is Op.BAR:
+            self._barrier(warp, issue_cycle)
+        warp.commit_issue(inst, issue_cycle, complete)
+        if warp.done or warp.barrier_wait:
+            estimate = float(issue_cycle + 1)
+        else:
+            estimate = max(warp.dep_ready_cycle(), float(issue_cycle + 1))
+        sched.note_issued(warp, estimate)
+        sstat = self.stats.stream(warp.stream)
+        sstat.note_issue(info.unit, issue_cycle)
+        sstat.note_commit(complete)
+        self.issued_by_stream[warp.stream] = \
+            self.issued_by_stream.get(warp.stream, 0) + 1
+        if warp.done:
+            cta = warp.cta
+            cta.live_warps -= 1
+            if cta.live_warps == 0:
+                last = max(w.last_commit_cycle for w in cta.warps)
+                self._retire_cta(cta, last)
+
+    def _barrier(self, warp: WarpContext, cycle: int) -> None:
+        """CTA-wide barrier: block arriving warps until all have arrived."""
+        cta = warp.cta
+        cta.barrier_arrived += 1
+        if cta.barrier_arrived >= cta.live_warps:
+            release = cycle + 1
+            for w in cta.warps:
+                if w.barrier_wait:
+                    w.barrier_wait = False
+                    # The released warp may not issue before the barrier
+                    # release point.
+                    if release > w.stall_until:
+                        w.stall_until = release
+                    self.schedulers[w.home_sched].wake(w, float(release))
+            cta.barrier_arrived = 0
+        else:
+            warp.barrier_wait = True
+
+    # -- event horizon ---------------------------------------------------------
+    def next_event(self, cycle: int) -> float:
+        """Earliest future cycle this SM needs to be ticked at."""
+        best = BLOCKED
+        for sched in self.schedulers:
+            t = sched.next_event_cache
+            if t < best:
+                best = t
+        if self._completions and self._completions[0][0] < best:
+            best = float(self._completions[0][0])
+        return best
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.resident) or bool(self._completions)
+
+    def warps_resident_by_stream(self) -> Dict[int, int]:
+        return dict(self.warps_used)

@@ -1,0 +1,124 @@
+"""Per-stream statistics collection.
+
+Accel-Sim historically aggregated statistics across streams, which is
+misleading under concurrent execution; CRISP adopts per-stream stat tracking
+(Qiao et al., Section III-A).  Every counter here is keyed by stream id, and
+:class:`GPUStats` offers both per-stream and aggregate views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import DataClass, Unit
+
+
+class StreamStats:
+    """Counters for one stream (one workload)."""
+
+    def __init__(self, stream: int) -> None:
+        self.stream = stream
+        self.instructions = 0
+        self.issue_by_unit: Dict[Unit, int] = {u: 0 for u in Unit}
+        self.mem_transactions = 0
+        self.l1_accesses = 0
+        self.l1_hits = 0
+        self.l1_tex_accesses = 0
+        self.l1_tex_hits = 0
+        self.shared_accesses = 0
+        self.ctas_launched = 0
+        self.ctas_completed = 0
+        self.kernels_completed = 0
+        self.warps_launched = 0
+        self.first_issue_cycle: Optional[int] = None
+        self.last_commit_cycle = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        if self.first_issue_cycle is None:
+            return 0
+        return max(0, self.last_commit_cycle - self.first_issue_cycle)
+
+    @property
+    def ipc(self) -> float:
+        busy = self.busy_cycles
+        return self.instructions / busy if busy else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    def note_issue(self, unit: Unit, cycle: int) -> None:
+        self.instructions += 1
+        self.issue_by_unit[unit] += 1
+        if self.first_issue_cycle is None or cycle < self.first_issue_cycle:
+            self.first_issue_cycle = cycle
+
+    def note_commit(self, cycle: int) -> None:
+        if cycle > self.last_commit_cycle:
+            self.last_commit_cycle = cycle
+
+    def note_l1(self, hit: bool, data_class: DataClass, transactions: int = 1) -> None:
+        self.l1_accesses += transactions
+        self.mem_transactions += transactions
+        if hit:
+            self.l1_hits += transactions
+        if data_class is DataClass.TEXTURE:
+            self.l1_tex_accesses += transactions
+            if hit:
+                self.l1_tex_hits += transactions
+
+
+class OccupancySample:
+    """One point of the Fig 13 style occupancy time series."""
+
+    __slots__ = ("cycle", "warps_by_stream", "total_warp_slots")
+
+    def __init__(self, cycle: int, warps_by_stream: Dict[int, int],
+                 total_warp_slots: int) -> None:
+        self.cycle = cycle
+        self.warps_by_stream = warps_by_stream
+        self.total_warp_slots = total_warp_slots
+
+    def fraction(self, stream: int) -> float:
+        return self.warps_by_stream.get(stream, 0) / self.total_warp_slots
+
+
+class GPUStats:
+    """Top-level stat container the GPU model populates during a run."""
+
+    def __init__(self) -> None:
+        self.streams: Dict[int, StreamStats] = {}
+        self.cycles = 0
+        self.occupancy_trace: List[OccupancySample] = []
+        self.l2_snapshots: List[Tuple[int, Dict[DataClass, int]]] = []
+        self.l2_stream_snapshots: List[Tuple[int, Dict[int, int]]] = []
+
+    def stream(self, stream: int) -> StreamStats:
+        st = self.streams.get(stream)
+        if st is None:
+            st = StreamStats(stream)
+            self.streams[stream] = st
+        return st
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.instructions for s in self.streams.values())
+
+    def stream_cycles(self, stream: int) -> int:
+        """Cycles from first issue to last commit of one stream."""
+        return self.stream(stream).busy_cycles
+
+    def summary(self) -> Dict[int, Dict[str, float]]:
+        """Compact per-stream summary for reports."""
+        out: Dict[int, Dict[str, float]] = {}
+        for sid, st in sorted(self.streams.items()):
+            out[sid] = {
+                "instructions": float(st.instructions),
+                "busy_cycles": float(st.busy_cycles),
+                "ipc": st.ipc,
+                "l1_hit_rate": st.l1_hit_rate,
+                "l1_tex_accesses": float(st.l1_tex_accesses),
+                "ctas": float(st.ctas_completed),
+            }
+        return out

@@ -1,0 +1,91 @@
+"""Warp execution state inside an SM.
+
+A :class:`WarpContext` replays one :class:`~repro.isa.trace.WarpTrace`.
+Dependencies are tracked with a per-warp scoreboard mapping register ids to
+the cycle their value becomes available.  The warp exposes the earliest
+cycle its next instruction could issue, which the scheduler and the SM's
+event loop use to skip idle cycles without losing cycle-level accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..isa import WarpInstruction, WarpTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sm import ResidentCTA
+
+#: Sentinel issue time for warps blocked on a barrier.
+BLOCKED = float("inf")
+
+
+class WarpContext:
+    """Dynamic state of one resident warp."""
+
+    __slots__ = (
+        "trace", "insts", "pc", "scoreboard", "stream", "cta", "warp_id",
+        "last_issue_cycle", "done", "barrier_wait", "last_commit_cycle",
+        "stall_until", "home_sched",
+    )
+
+    def __init__(self, trace: WarpTrace, stream: int, cta: "ResidentCTA",
+                 warp_id: int) -> None:
+        self.trace = trace
+        self.insts = trace.instructions
+        self.pc = 0
+        self.scoreboard: Dict[int, int] = {}
+        self.stream = stream
+        self.cta = cta
+        self.warp_id = warp_id
+        self.last_issue_cycle = -1
+        self.last_commit_cycle = 0
+        self.done = len(trace) == 0
+        self.barrier_wait = False
+        self.stall_until = 0
+        self.home_sched = 0
+
+    def peek(self) -> Optional[WarpInstruction]:
+        if self.done:
+            return None
+        return self.insts[self.pc]
+
+    def dep_ready_cycle(self) -> float:
+        """Earliest cycle the next instruction's source operands are ready.
+
+        The destination register is also checked (WAW through the
+        scoreboard), mirroring GPGPU-Sim's per-warp in-order issue rules.
+        """
+        if self.done:
+            return BLOCKED
+        if self.barrier_wait:
+            return BLOCKED
+        inst = self.insts[self.pc]
+        ready = self.stall_until
+        sb = self.scoreboard
+        for reg in inst.srcs:
+            t = sb.get(reg, 0)
+            if t > ready:
+                ready = t
+        if inst.dst >= 0:
+            t = sb.get(inst.dst, 0)
+            if t > ready:
+                ready = t
+        return ready
+
+    def commit_issue(self, inst: WarpInstruction, issue_cycle: int,
+                     complete_cycle: int) -> None:
+        """Advance past ``inst`` after it issues."""
+        if inst.dst >= 0:
+            self.scoreboard[inst.dst] = complete_cycle
+        self.last_issue_cycle = issue_cycle
+        if complete_cycle > self.last_commit_cycle:
+            self.last_commit_cycle = complete_cycle
+        self.pc += 1
+        if self.pc >= len(self.insts):
+            self.done = True
+
+    def __repr__(self) -> str:
+        return "WarpContext(stream=%d, warp=%d, pc=%d/%d%s)" % (
+            self.stream, self.warp_id, self.pc, len(self.trace),
+            ", done" if self.done else "")

@@ -1,0 +1,124 @@
+"""Tests for the argued-against baselines: vertex cache, analytic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import JETSON_ORIN_MINI, RTX_3070_MINI
+from repro.compute import build_hologram_kernels, build_vio_kernels
+from repro.graphics.vertex_batch import (
+    build_batches,
+    unique_vertex_count,
+    vertex_cache_invocations,
+)
+from repro.harness.analytic import (
+    AnalyticEstimate,
+    estimate_concurrent,
+    estimate_cycles,
+)
+
+
+def strip(n):
+    return np.array([[i, i + 1, i + 2] for i in range(n)])
+
+
+class TestVertexCacheModel:
+    def test_perfect_reuse_within_cache(self):
+        # Strip fits in the cache: every vertex shaded exactly once.
+        assert vertex_cache_invocations(strip(20), cache_size=32) == 22
+
+    def test_cross_batch_reuse_beats_batching(self):
+        # 200-triangle strip: batch-96 re-shades boundary vertices; the
+        # FIFO reuses them across the boundary.
+        idx = strip(200)
+        batched = unique_vertex_count(build_batches(idx, 96))
+        cached = vertex_cache_invocations(idx, 32)
+        assert cached < batched
+
+    def test_thrashing_on_repeated_hub_vertex(self):
+        # A triangle fan: vertex 0 is referenced by every triangle.  With
+        # a tiny FIFO it keeps getting evicted (hits do not refresh age)
+        # and is re-shaded repeatedly.
+        tris = [[0, i, i + 1] for i in range(1, 40)]
+        idx = np.array(tris)
+        cached = vertex_cache_invocations(idx, cache_size=4)
+        exact = len(np.unique(idx))
+        assert cached > exact  # re-shades the evicted hub
+
+    def test_fifo_not_lru(self):
+        # Repeated hits must not refresh age: after [0..7] fill a cache
+        # of 8, the hit on 0 in tri 3 leaves it oldest; inserting 8 then
+        # evicts 0, so both 0 and (after 0's reinsertion evicts 1) 1 are
+        # re-shaded: 9 unique + 2 re-shades.
+        tris = [[0, 1, 2], [3, 4, 5], [6, 7, 0], [8, 0, 1]]
+        count = vertex_cache_invocations(np.array(tris), cache_size=8)
+        assert count == 11
+
+    def test_rejects_bad_cache_size(self):
+        with pytest.raises(ValueError):
+            vertex_cache_invocations(strip(3), cache_size=0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            vertex_cache_invocations(np.array([0, 1, 2]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 60), st.integers(1, 64))
+    def test_property_bounded(self, n_tris, cache):
+        idx = strip(n_tris)
+        count = vertex_cache_invocations(idx, cache)
+        assert len(np.unique(idx)) <= count <= idx.size
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 60))
+    def test_property_bigger_cache_never_worse(self, n_tris):
+        idx = strip(n_tris)
+        small = vertex_cache_invocations(idx, 4)
+        big = vertex_cache_invocations(idx, 64)
+        assert big <= small
+
+
+class TestAnalyticModel:
+    def test_estimate_positive(self):
+        est = estimate_cycles(build_vio_kernels(), JETSON_ORIN_MINI)
+        assert isinstance(est, AnalyticEstimate)
+        assert est.cycles > 0
+
+    def test_holo_classified_compute_bound(self):
+        est = estimate_cycles(build_hologram_kernels(), JETSON_ORIN_MINI)
+        assert not est.memory_bound
+
+    def test_more_work_longer_estimate(self):
+        small = estimate_cycles(build_hologram_kernels(passes=1),
+                                JETSON_ORIN_MINI)
+        big = estimate_cycles(build_hologram_kernels(passes=4),
+                              JETSON_ORIN_MINI)
+        assert big.cycles > small.cycles
+
+    def test_bigger_machine_shorter_estimate(self):
+        ks = build_hologram_kernels()
+        small = estimate_cycles(ks, JETSON_ORIN_MINI)
+        big = estimate_cycles(ks, RTX_3070_MINI)
+        assert big.cycles < small.cycles
+
+    def test_concurrent_single_number(self):
+        """The model's defining limitation: one estimate, policy-blind."""
+        streams = {0: build_vio_kernels(), 1: build_hologram_kernels()}
+        a = estimate_concurrent(streams, JETSON_ORIN_MINI)
+        b = estimate_concurrent(streams, JETSON_ORIN_MINI)
+        assert a == b
+        assert a > 0
+
+    def test_concurrent_at_least_each_component_bound(self):
+        vio = build_vio_kernels()
+        holo = build_hologram_kernels()
+        both = estimate_concurrent({0: vio, 1: holo}, JETSON_ORIN_MINI)
+        alone = max(estimate_cycles(vio, JETSON_ORIN_MINI).compute_cycles,
+                    estimate_cycles(holo, JETSON_ORIN_MINI).compute_cycles)
+        assert both >= alone
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_cycles([], JETSON_ORIN_MINI)
+        with pytest.raises(ValueError):
+            estimate_concurrent({}, JETSON_ORIN_MINI)

@@ -1,0 +1,114 @@
+"""Tests for GPU configuration objects and presets (Table II)."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    GPUConfig,
+    JETSON_ORIN,
+    JETSON_ORIN_MINI,
+    PRESETS,
+    RTX_3070,
+    RTX_3070_MINI,
+    RTX_3070_NANO,
+    get_preset,
+)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        c = CacheConfig(size_bytes=128 * 1024, assoc=8, line_size=128)
+        assert c.num_sets == 128
+
+    def test_num_lines(self):
+        c = CacheConfig(size_bytes=128 * 1024, assoc=8, line_size=128)
+        assert c.num_lines == 1024
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, assoc=4)
+
+    def test_rejects_nonpositive_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, assoc=0)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3, line_size=128)
+
+    def test_default_line_size_is_128(self):
+        # Fig 10 counts 128B lines; the default must match the paper.
+        assert CacheConfig(size_bytes=4096, assoc=4).line_size == 128
+
+
+class TestGPUConfig:
+    def test_rtx3070_table2_values(self):
+        assert RTX_3070.num_sms == 46
+        assert RTX_3070.registers_per_sm == 65536
+        assert RTX_3070.max_warps_per_sm == 64
+        assert RTX_3070.schedulers_per_sm == 4
+        assert RTX_3070.l2.size_bytes == 4 * 1024 * 1024
+        assert RTX_3070.dram_bandwidth_gbps == 448.0
+        assert RTX_3070.core_clock_mhz == 1132.0
+
+    def test_jetson_orin_table2_values(self):
+        assert JETSON_ORIN.num_sms == 14
+        assert JETSON_ORIN.dram_bandwidth_gbps == 200.0
+        assert JETSON_ORIN.core_clock_mhz == 1300.0
+
+    def test_exec_units_four_of_each(self):
+        for cfg in (RTX_3070, JETSON_ORIN):
+            assert cfg.fp_units == 4
+            assert cfg.int_units == 4
+            assert cfg.sfu_units == 4
+            assert cfg.tensor_units == 4
+
+    def test_warps_per_scheduler(self):
+        assert RTX_3070.warps_per_scheduler == 16
+
+    def test_replace_returns_new_object(self):
+        derived = RTX_3070.replace(num_sms=10)
+        assert derived.num_sms == 10
+        assert RTX_3070.num_sms == 46
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            GPUConfig(name="bad", num_sms=0)
+
+    def test_rejects_warps_not_divisible_by_schedulers(self):
+        with pytest.raises(ValueError):
+            RTX_3070.replace(max_warps_per_sm=63)
+
+    def test_rejects_l2_sets_not_divisible_by_banks(self):
+        with pytest.raises(ValueError):
+            RTX_3070.replace(l2_banks=7)
+
+    def test_dram_bytes_per_cycle(self):
+        bpc = RTX_3070.dram_bytes_per_cycle
+        assert bpc == pytest.approx(448e9 / (1132e6))
+
+    def test_summary_rows_mention_key_fields(self):
+        rows = dict(RTX_3070.summary_rows())
+        assert rows["# SMs"] == 46
+        assert "4MB" in rows["L2 Cache"]
+
+
+class TestPresets:
+    def test_all_presets_retrievable(self):
+        for name in PRESETS:
+            assert get_preset(name).name == name
+
+    def test_unknown_preset_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="RTX3070"):
+            get_preset("nonexistent")
+
+    def test_mini_presets_keep_per_sm_shape(self):
+        assert RTX_3070_MINI.schedulers_per_sm == RTX_3070.schedulers_per_sm
+        assert JETSON_ORIN_MINI.max_warps_per_sm == JETSON_ORIN.max_warps_per_sm
+
+    def test_nano_preset_has_two_sms(self):
+        assert RTX_3070_NANO.num_sms == 2
+
+    def test_presets_are_distinct_objects(self):
+        assert RTX_3070_MINI is not RTX_3070
+        assert RTX_3070_MINI.num_sms < RTX_3070.num_sms

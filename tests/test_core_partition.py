@@ -1,0 +1,146 @@
+"""Tests for the GPU partitioning policies (MPS / MiG / FG)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import RTX_3070_MINI
+from repro.core import (
+    FGDynamicPolicy,
+    FGEvenPolicy,
+    MPSPolicy,
+    MiGPolicy,
+    even_bank_split,
+    even_sm_split,
+)
+from repro.memory import L2Cache
+from repro.timing import GPUStats, SM
+
+
+class TestEvenSplit:
+    def test_even_division(self):
+        split = even_sm_split(8, [0, 1])
+        assert split[0] == [0, 1, 2, 3]
+        assert split[1] == [4, 5, 6, 7]
+
+    def test_remainder_to_early_streams(self):
+        split = even_sm_split(7, [0, 1])
+        assert len(split[0]) == 4
+        assert len(split[1]) == 3
+
+    def test_rejects_more_streams_than_sms(self):
+        with pytest.raises(ValueError):
+            even_sm_split(1, [0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            even_sm_split(4, [])
+
+    @given(st.integers(2, 46), st.integers(1, 4))
+    def test_property_partition_covers_all_sms(self, num_sms, n_streams):
+        if num_sms < n_streams:
+            return
+        split = even_sm_split(num_sms, list(range(n_streams)))
+        all_sms = sorted(s for sms in split.values() for s in sms)
+        assert all_sms == list(range(num_sms))
+
+
+class TestMPS:
+    def test_allowed_sms(self):
+        p = MPSPolicy({0: [0, 1], 1: [2, 3]})
+        assert list(p.allowed_sms(0, 4)) == [0, 1]
+        assert list(p.allowed_sms(1, 4)) == [2, 3]
+
+    def test_unassigned_stream_gets_all(self):
+        p = MPSPolicy({0: [0, 1]})
+        assert list(p.allowed_sms(9, 4)) == [0, 1, 2, 3]
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            MPSPolicy({0: [0, 1], 1: [1, 2]})
+
+    def test_rejects_empty_assignment(self):
+        with pytest.raises(ValueError):
+            MPSPolicy({})
+        with pytest.raises(ValueError):
+            MPSPolicy({0: []})
+
+    def test_even_constructor(self):
+        p = MPSPolicy.even(8, [0, 1])
+        assert len(list(p.allowed_sms(0, 8))) == 4
+
+    def test_no_quota(self):
+        p = MPSPolicy.even(8, [0, 1])
+        sm = SM(0, RTX_3070_MINI, L2Cache(RTX_3070_MINI), GPUStats())
+        assert p.quota(sm, 0, RTX_3070_MINI) is None
+
+    def test_interleaves(self):
+        assert MPSPolicy.even(8, [0, 1]).interleave
+
+
+class TestMiG:
+    def test_partitions_banks(self):
+        p = MiGPolicy.even(8, [0, 1], num_banks=8)
+        l2 = L2Cache(RTX_3070_MINI)
+        p.configure_memory(l2, [0, 1])
+        banks0 = {l2.bank_of(i * 128, 0) for i in range(64)}
+        banks1 = {l2.bank_of(i * 128, 1) for i in range(64)}
+        assert banks0.isdisjoint(banks1)
+        assert len(banks0) == 4
+
+    def test_default_bank_split_from_l2(self):
+        p = MiGPolicy.even(8, [0, 1])
+        l2 = L2Cache(RTX_3070_MINI)
+        p.configure_memory(l2, [0, 1])
+        assert l2._bank_assignment is not None
+
+    def test_bank_split_helper(self):
+        split = even_bank_split(8, [0, 1])
+        assert split[0] == [0, 1, 2, 3]
+
+
+class TestFG:
+    def sm(self):
+        return SM(0, RTX_3070_MINI, L2Cache(RTX_3070_MINI), GPUStats())
+
+    def test_even_fractions(self):
+        p = FGEvenPolicy.even([0, 1])
+        q = p.quota(self.sm(), 0, RTX_3070_MINI)
+        assert q.threads == RTX_3070_MINI.max_threads_per_sm // 2
+        assert q.warps == RTX_3070_MINI.max_warps_per_sm // 2
+        assert q.registers == RTX_3070_MINI.registers_per_sm // 2
+
+    def test_rejects_over_one(self):
+        with pytest.raises(ValueError):
+            FGEvenPolicy({0: 0.7, 1: 0.7})
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FGEvenPolicy({0: 0.0})
+
+    def test_unknown_stream_unbounded(self):
+        p = FGEvenPolicy({0: 0.5})
+        assert p.quota(self.sm(), 3, RTX_3070_MINI) is None
+
+    def test_dynamic_set_fraction(self):
+        p = FGDynamicPolicy({0: 0.5, 1: 0.5})
+        p.set_fraction(0, 0.75, cycle=100)
+        q = p.quota(self.sm(), 0, RTX_3070_MINI)
+        assert q.threads == int(RTX_3070_MINI.max_threads_per_sm * 0.75)
+        assert p.ratio_history == [(100, {0: 0.75, 1: 0.5})]
+
+    def test_dynamic_rejects_bad_fraction(self):
+        p = FGDynamicPolicy({0: 0.5})
+        with pytest.raises(ValueError):
+            p.set_fraction(0, 0.0)
+        with pytest.raises(ValueError):
+            p.set_fraction(0, 1.5)
+
+    def test_per_sm_override(self):
+        p = FGDynamicPolicy({0: 0.5, 1: 0.5})
+        p.set_sm_override(0, {0: 0.25, 1: 0.75})
+        sm0 = self.sm()
+        q = p.quota(sm0, 0, RTX_3070_MINI)
+        assert q.threads == RTX_3070_MINI.max_threads_per_sm // 4
+        p.clear_sm_overrides()
+        q2 = p.quota(sm0, 0, RTX_3070_MINI)
+        assert q2.threads == RTX_3070_MINI.max_threads_per_sm // 2

@@ -1,0 +1,203 @@
+"""Tests for TAP (utility monitors, lookahead) and Warped-Slicer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import RTX_3070_MINI
+from repro.core import TAPPolicy, UtilityMonitor, lookahead_partition, water_filling
+from repro.core.warped_slicer import WarpedSlicerPolicy
+from repro.memory import L2Cache
+
+
+def monitor(assoc=8, sets=64, sample_every=1):
+    return UtilityMonitor(assoc=assoc, num_sets=sets, line_size=128,
+                          sample_every=sample_every)
+
+
+class TestUtilityMonitor:
+    def test_repeated_line_hits_at_distance_zero(self):
+        m = monitor()
+        for _ in range(5):
+            m.observe(0)
+        assert m.hit_histogram[0] == 4
+        assert m.misses == 1
+
+    def test_stack_distance_two(self):
+        m = monitor()
+        sets = 64
+        # Lines in the same set: a, b, a -> a re-hit at stack distance 1.
+        a, b = 0, sets * 128
+        m.observe(a)
+        m.observe(b)
+        m.observe(a)
+        assert m.hit_histogram[1] == 1
+
+    def test_utility_monotone_in_ways(self):
+        m = monitor(assoc=4)
+        lines = [i * 64 * 128 for i in range(4)]
+        for _ in range(3):
+            for l in lines:
+                m.observe(l)
+        last = -1
+        for w in range(5):
+            u = m.utility(w)
+            assert u >= last
+            last = u
+
+    def test_streaming_pattern_zero_utility(self):
+        m = monitor(assoc=4)
+        for i in range(100):
+            m.observe(i * 64 * 128)  # never re-referenced
+        assert m.utility(4) == 0
+
+    def test_sampling_skips_sets(self):
+        m = monitor(sample_every=64)
+        m.observe(128)  # set 1: not sampled
+        assert m.accesses == 0
+        m.observe(0)    # set 0: sampled
+        assert m.accesses == 1
+
+    def test_reset(self):
+        m = monitor()
+        m.observe(0)
+        m.observe(0)
+        m.reset()
+        assert m.accesses == 0
+        assert sum(m.hit_histogram) == 0
+
+    def test_marginal_utility(self):
+        m = monitor(assoc=4)
+        a, b = 0, 64 * 128
+        for _ in range(4):
+            m.observe(a)
+            m.observe(b)
+        # Alternating accesses re-hit at stack distance 1: the second way
+        # is the one that adds utility.
+        assert m.marginal_utility(0, 1) == 0.0
+        assert m.marginal_utility(1, 2) > 0
+        assert m.marginal_utility(2, 2) == 0.0
+
+
+class TestLookahead:
+    def test_cache_friendly_stream_wins(self):
+        friendly = monitor(assoc=8)
+        streamer = monitor(assoc=8)
+        lines = [i * 64 * 128 for i in range(4)]
+        for _ in range(10):
+            for l in lines:
+                friendly.observe(l)
+        for i in range(40):
+            streamer.observe((100 + i) * 64 * 128)
+        ways = lookahead_partition({0: friendly, 1: streamer}, assoc=8)
+        assert ways[0] > ways[1]
+        assert ways[0] + ways[1] == 8
+
+    def test_every_stream_gets_at_least_one(self):
+        a, b = monitor(), monitor()
+        a.observe(0)
+        ways = lookahead_partition({0: a, 1: b}, assoc=8)
+        assert ways[1] >= 1
+
+    def test_rejects_too_few_ways(self):
+        with pytest.raises(ValueError):
+            lookahead_partition({0: monitor(), 1: monitor()}, assoc=1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lookahead_partition({}, assoc=8)
+
+    def test_rate_normalisation_prevents_rate_domination(self):
+        # Heavy stream: many accesses, mild reuse. Light stream: few
+        # accesses, perfect reuse. Raw hits would favour heavy; TAP's
+        # normalisation must keep light competitive.
+        heavy, light = monitor(assoc=4), monitor(assoc=4)
+        for i in range(50):
+            heavy.observe(0)
+            heavy.observe(64 * 128 * (i % 8))
+        for _ in range(6):
+            light.observe(0)
+        ways = lookahead_partition({0: heavy, 1: light}, assoc=4)
+        assert ways[1] >= 1
+
+
+class TestTAPPolicy:
+    def test_configure_installs_even_split_and_observer(self):
+        p = TAPPolicy.even(4, [0, 1])
+        l2 = L2Cache(RTX_3070_MINI)
+        p.configure_memory(l2, [0, 1])
+        assert l2.access_observer is not None
+        assert l2.banks[0].set_partition is not None
+
+    def test_epoch_repartitions(self):
+        from repro.isa import DataClass
+        p = TAPPolicy.even(4, [0, 1], epoch_interval=100)
+        l2 = L2Cache(RTX_3070_MINI)
+        p.configure_memory(l2, [0, 1])
+        # Stream 0 re-uses lines; stream 1 streams.
+        for rep in range(6):
+            for i in range(8):
+                l2.access(i * 128, rep * 100, DataClass.TEXTURE, 0)
+        for i in range(200):
+            l2.access((1 << 30) + i * 128, i, DataClass.COMPUTE, 1)
+        p.on_epoch(None, 1000)
+        ratio = p.current_ratio()
+        assert ratio is not None
+        assert ratio[0] + ratio[1] <= l2.sets_per_bank
+        assert ratio[0] >= 1 and ratio[1] >= 1
+
+    def test_no_epoch_without_traffic(self):
+        p = TAPPolicy.even(4, [0, 1])
+        l2 = L2Cache(RTX_3070_MINI)
+        p.configure_memory(l2, [0, 1])
+        p.on_epoch(None, 100)
+        assert p.current_ratio() is None
+
+
+class TestWaterFilling:
+    def test_picks_max_combined(self):
+        curve_a = {0.25: 1.0, 0.5: 2.0, 0.75: 2.2}
+        curve_b = {0.25: 3.0, 0.5: 2.6, 0.75: 0.5}
+        # normalized: a: .45,.91,1.0 ; b: 1.0,.87,.17 -> best 0.5
+        assert water_filling(curve_a, curve_b) == 0.5
+
+    def test_mismatched_ladders_rejected(self):
+        with pytest.raises(ValueError):
+            water_filling({0.5: 1.0}, {0.25: 1.0})
+
+    def test_zero_curves_safe(self):
+        f = water_filling({0.25: 0.0, 0.5: 0.0}, {0.25: 0.0, 0.5: 0.0})
+        assert f in (0.25, 0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 10.0), min_size=3, max_size=3),
+           st.lists(st.floats(0.0, 10.0), min_size=3, max_size=3))
+    def test_property_result_on_ladder(self, va, vb):
+        ladder = (0.25, 0.5, 0.75)
+        a = dict(zip(ladder, va))
+        b = dict(zip(ladder, vb))
+        assert water_filling(a, b) in ladder
+
+
+class TestWarpedSlicerPolicy:
+    def test_requires_two_streams(self):
+        with pytest.raises(ValueError):
+            WarpedSlicerPolicy([0])
+        with pytest.raises(ValueError):
+            WarpedSlicerPolicy([0, 1, 2])
+
+    def test_initial_even(self):
+        p = WarpedSlicerPolicy([0, 1])
+        assert p.fractions == {0: 0.5, 1: 0.5}
+
+    def test_end_to_end_produces_decisions(self):
+        from repro.compute import build_vio_kernels
+        from repro.timing import GPU
+        p = WarpedSlicerPolicy([0, 1], sample_cycles=300, epoch_interval=100)
+        gpu = GPU(RTX_3070_MINI, policy=p)
+        gpu.add_stream(0, build_vio_kernels())
+        gpu.add_stream(1, build_vio_kernels())
+        gpu.run()
+        assert p.samples_taken > 0
+        assert p.decisions
+        for _, frac in p.decisions:
+            assert frac in p.ladder

@@ -1,0 +1,93 @@
+"""Tests for meshes, instance sets, and draw-call descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import DrawCall, InstanceSet, Mesh, VERTEX_STRIDE
+
+
+def quad_arrays():
+    positions = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]],
+                         dtype=float)
+    normals = np.tile([0.0, 0.0, -1.0], (4, 1))
+    uvs = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+    indices = np.array([[0, 1, 2], [0, 2, 3]])
+    return positions, normals, uvs, indices
+
+
+class TestMesh:
+    def test_valid_mesh(self):
+        m = Mesh(*quad_arrays(), name="quad")
+        assert m.num_vertices == 4
+        assert m.num_triangles == 2
+        assert m.vertex_buffer_bytes() == 4 * VERTEX_STRIDE
+        assert m.index_buffer_bytes() == 6 * 4
+
+    def test_rejects_bad_positions(self):
+        p, n, u, i = quad_arrays()
+        with pytest.raises(ValueError, match="positions"):
+            Mesh(p[:, :2], n, u, i)
+
+    def test_rejects_mismatched_normals(self):
+        p, n, u, i = quad_arrays()
+        with pytest.raises(ValueError, match="normals"):
+            Mesh(p, n[:3], u, i)
+
+    def test_rejects_mismatched_uvs(self):
+        p, n, u, i = quad_arrays()
+        with pytest.raises(ValueError, match="uvs"):
+            Mesh(p, n, u[:2], i)
+
+    def test_rejects_non_triangle_indices(self):
+        p, n, u, i = quad_arrays()
+        with pytest.raises(ValueError, match="indices"):
+            Mesh(p, n, u, i.ravel())
+
+    def test_rejects_out_of_range_index(self):
+        p, n, u, i = quad_arrays()
+        bad = i.copy()
+        bad[0, 0] = 9
+        with pytest.raises(ValueError, match="range"):
+            Mesh(p, n, u, bad)
+
+    def test_repr(self):
+        assert "quad" in repr(Mesh(*quad_arrays(), name="quad"))
+
+
+class TestInstanceSet:
+    def test_valid(self):
+        inst = InstanceSet(np.zeros((3, 3)), np.ones(3),
+                           np.array([0, 1, 2]))
+        assert inst.count == 3
+        assert inst.buffer_bytes() == 3 * 32
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            InstanceSet(np.zeros((3, 2)), np.ones(3), np.zeros(3))
+
+    def test_rejects_mismatched_scales(self):
+        with pytest.raises(ValueError):
+            InstanceSet(np.zeros((3, 3)), np.ones(2), np.zeros(3))
+
+
+class TestDrawCall:
+    def test_defaults(self):
+        d = DrawCall(Mesh(*quad_arrays(), name="quad"))
+        assert d.shader == "basic"
+        assert d.instance_count == 1
+        assert d.name == "quad"
+        assert np.array_equal(d.model, np.eye(4))
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(ValueError, match="4x4"):
+            DrawCall(Mesh(*quad_arrays()), model=np.eye(3))
+
+    def test_instanced_count(self):
+        inst = InstanceSet(np.zeros((5, 3)), np.ones(5), np.zeros(5))
+        d = DrawCall(Mesh(*quad_arrays()), instances=inst)
+        assert d.instance_count == 5
+
+    def test_custom_name(self):
+        d = DrawCall(Mesh(*quad_arrays()), name="custom")
+        assert d.name == "custom"
+        assert "custom" in repr(d)

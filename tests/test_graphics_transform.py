@@ -1,0 +1,107 @@
+"""Tests for the transform math."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphics.transform import (
+    clip_to_screen,
+    identity,
+    look_at,
+    perspective,
+    rotation_x,
+    rotation_y,
+    scale,
+    transform_points,
+    translation,
+)
+
+
+class TestMatrices:
+    def test_identity_leaves_points(self):
+        pts = np.array([[1.0, 2.0, 3.0]])
+        out = transform_points(identity(), pts)
+        assert np.allclose(out[0], [1, 2, 3, 1])
+
+    def test_translation(self):
+        out = transform_points(translation(1, 2, 3), np.zeros((1, 3)))
+        assert np.allclose(out[0, :3], [1, 2, 3])
+
+    def test_scale(self):
+        out = transform_points(scale(2, 3, 4), np.ones((1, 3)))
+        assert np.allclose(out[0, :3], [2, 3, 4])
+
+    def test_rotation_y_quarter_turn(self):
+        out = transform_points(rotation_y(math.pi / 2), np.array([[1.0, 0, 0]]))
+        assert np.allclose(out[0, :3], [0, 0, -1], atol=1e-12)
+
+    def test_rotation_x_preserves_x(self):
+        out = transform_points(rotation_x(1.1), np.array([[5.0, 0, 0]]))
+        assert out[0, 0] == pytest.approx(5.0)
+
+    def test_rotations_preserve_length(self):
+        p = np.array([[1.0, 2.0, 3.0]])
+        out = transform_points(rotation_y(0.7) @ rotation_x(0.3), p)
+        assert np.linalg.norm(out[0, :3]) == pytest.approx(np.linalg.norm(p))
+
+    def test_transform_points_validates_shape(self):
+        with pytest.raises(ValueError):
+            transform_points(identity(), np.zeros((3,)))
+
+
+class TestPerspective:
+    def test_rejects_bad_planes(self):
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, 5.0, 2.0)
+
+    def test_depth_range_zero_to_one(self):
+        m = perspective(1.0, 1.0, 1.0, 100.0)
+        near_pt = transform_points(m, np.array([[0.0, 0.0, 1.0]]))
+        far_pt = transform_points(m, np.array([[0.0, 0.0, 100.0]]))
+        assert near_pt[0, 2] / near_pt[0, 3] == pytest.approx(0.0, abs=1e-9)
+        assert far_pt[0, 2] / far_pt[0, 3] == pytest.approx(1.0)
+
+    def test_w_equals_view_depth(self):
+        m = perspective(1.0, 1.0, 0.1, 100.0)
+        out = transform_points(m, np.array([[0.0, 0.0, 7.0]]))
+        assert out[0, 3] == pytest.approx(7.0)
+
+
+class TestLookAt:
+    def test_eye_maps_to_origin(self):
+        v = look_at((1, 2, 3), (4, 5, 6))
+        out = transform_points(v, np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out[0, :3], 0.0, atol=1e-12)
+
+    def test_target_on_positive_z(self):
+        v = look_at((0, 0, -5), (0, 0, 5))
+        out = transform_points(v, np.array([[0.0, 0.0, 5.0]]))
+        assert out[0, 2] == pytest.approx(10.0)
+        assert abs(out[0, 0]) < 1e-12
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            look_at((1, 1, 1), (1, 1, 1))
+
+
+class TestClipToScreen:
+    def test_center_maps_to_screen_center(self):
+        clip = np.array([[0.0, 0.0, 0.5, 1.0]])
+        s = clip_to_screen(clip, 200, 100)
+        assert s[0, 0] == pytest.approx(100)
+        assert s[0, 1] == pytest.approx(50)
+
+    def test_corners(self):
+        clip = np.array([[-1.0, -1.0, 0.0, 1.0], [1.0, 1.0, 0.0, 1.0]])
+        s = clip_to_screen(clip, 200, 100)
+        assert np.allclose(s[0, :2], [0, 0])
+        assert np.allclose(s[1, :2], [200, 100])
+
+    def test_perspective_divide(self):
+        clip = np.array([[2.0, 0.0, 1.0, 2.0]])
+        s = clip_to_screen(clip, 100, 100)
+        assert s[0, 0] == pytest.approx(100)  # ndc x = 1
+        assert s[0, 2] == pytest.approx(0.5)

@@ -1,0 +1,114 @@
+"""Tests for the hardware-reference model and capability table."""
+
+import numpy as np
+import pytest
+
+from repro.config import RTX_3070_MINI
+from repro.harness import (
+    TABLE1,
+    deterministic_factor,
+    format_table,
+    reference_frame_cycles,
+    reference_tex_transactions,
+    reference_vs_invocations,
+    roofline_cycles,
+    verify_crisp_row,
+)
+from repro.isa import CTATrace, DataClass, KernelTrace, MemAccess, Op, WarpInstruction, WarpTrace
+
+
+def tiny_kernel(n_fp=10, n_lines=4):
+    wt = WarpTrace([WarpInstruction(Op.FFMA, dst=4, srcs=(1,))
+                    for _ in range(n_fp)])
+    wt.append(WarpInstruction(
+        Op.LDG, dst=5, mem=MemAccess([i * 128 for i in range(n_lines)],
+                                     DataClass.COMPUTE)))
+    wt.append(WarpInstruction(Op.EXIT))
+    return KernelTrace("t", [CTATrace([wt])], threads_per_cta=32)
+
+
+class TestDeterministicFactor:
+    def test_stable(self):
+        assert deterministic_factor("x", 0, 1) == deterministic_factor("x", 0, 1)
+
+    def test_in_range(self):
+        for key in ("a", "b", "c", "frame:SPH@2k"):
+            f = deterministic_factor(key, 0.5, 0.9)
+            assert 0.5 <= f <= 0.9
+
+    def test_key_sensitivity(self):
+        assert deterministic_factor("a", 0, 1) != deterministic_factor("b", 0, 1)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            deterministic_factor("a", 1.0, 0.5)
+
+
+class TestRoofline:
+    def test_positive(self):
+        assert roofline_cycles([tiny_kernel()], RTX_3070_MINI) > 0
+
+    def test_scales_with_work(self):
+        small = roofline_cycles([tiny_kernel(n_fp=10)], RTX_3070_MINI)
+        big = roofline_cycles([tiny_kernel(n_fp=10000)], RTX_3070_MINI)
+        assert big > small * 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            roofline_cycles([], RTX_3070_MINI)
+
+    def test_fewer_sms_slower(self):
+        k = [tiny_kernel(n_fp=10000)]
+        fat = roofline_cycles(k, RTX_3070_MINI)
+        thin = roofline_cycles(k, RTX_3070_MINI.replace(num_sms=2))
+        assert thin > fat
+
+
+class TestReferences:
+    def test_frame_reference_deterministic(self):
+        k = [tiny_kernel()]
+        a = reference_frame_cycles(k, RTX_3070_MINI, "app@2k")
+        b = reference_frame_cycles(k, RTX_3070_MINI, "app@2k")
+        assert a == b
+
+    def test_frame_reference_above_roofline_floor(self):
+        k = [tiny_kernel()]
+        assert reference_frame_cycles(k, RTX_3070_MINI, "a") > 0
+
+    def test_vs_invocations_match_batch96_threads(self):
+        # A strip of 100 triangles: hardware counts threads (no warp pad).
+        idx = np.array([[i, i + 1, i + 2] for i in range(100)])
+        ref = reference_vs_invocations(idx)
+        from repro.graphics import build_batches, unique_vertex_count
+        assert ref == unique_vertex_count(build_batches(idx, 96))
+
+    def test_tex_reference_near_mipmapped(self):
+        ref = reference_tex_transactions("d", 1000)
+        assert 500 < ref < 1500
+
+    def test_tex_reference_rejects_negative(self):
+        with pytest.raises(ValueError):
+            reference_tex_transactions("d", -1)
+
+    def test_tex_reference_floor_one(self):
+        assert reference_tex_transactions("d", 0) == 1.0
+
+
+class TestCapabilities:
+    def test_crisp_row_checks_pass(self):
+        assert all(verify_crisp_row().values())
+
+    def test_table_has_crisp_last(self):
+        assert TABLE1[-1].name == "CRISP"
+        assert TABLE1[-1].workloads == "Rendering + CUDA"
+
+    def test_only_crisp_has_both(self):
+        both = [r for r in TABLE1
+                if r.gpgpu_model == "Yes" and r.rendering_pipeline == "Yes"]
+        assert [r.name for r in both] == ["CRISP"]
+
+    def test_format_table_renders(self):
+        text = format_table()
+        assert "CRISP" in text
+        assert "Accel-Sim" in text
+        assert len(text.splitlines()) == len(TABLE1) + 2

@@ -1,0 +1,86 @@
+"""Tests for the occupancy calculator and the inspect CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.compute import DeviceMemory, KernelBuilder
+from repro.config import RTX_3070_MINI
+from repro.timing import occupancy_of
+
+
+def kernel(block=128, regs=32, smem=0):
+    mem = DeviceMemory(region=16)
+    buf = mem.buffer("x", 4096)
+    return KernelBuilder("k", 4, block, regs_per_thread=regs,
+                         shared_mem=smem).load(buf).fp(2).build()
+
+
+class TestOccupancy:
+    def test_full_occupancy_small_kernel(self):
+        occ = occupancy_of(kernel(block=128, regs=16), RTX_3070_MINI)
+        # 2048 threads / 128 per CTA = 16 CTAs -> 64 warps = 100%.
+        assert occ.ctas_per_sm == 16
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.warps_per_sm == RTX_3070_MINI.max_warps_per_sm
+
+    def test_register_limited(self):
+        # 128 regs/thread x 128 threads = 16384/CTA -> 4 CTAs by registers.
+        occ = occupancy_of(kernel(regs=128), RTX_3070_MINI)
+        assert occ.limiter == "registers"
+        assert occ.ctas_per_sm == 4
+        assert occ.register_limited
+
+    def test_shared_mem_limited(self):
+        occ = occupancy_of(kernel(smem=50 * 1024), RTX_3070_MINI)
+        assert occ.limiter == "shared_mem"
+        assert occ.ctas_per_sm == RTX_3070_MINI.shared_mem_per_sm // (50 * 1024)
+
+    def test_thread_limited(self):
+        occ = occupancy_of(kernel(block=1024, regs=16), RTX_3070_MINI)
+        assert occ.ctas_per_sm == 2
+        assert occ.limiter in ("threads", "warps")
+
+    def test_quota_fraction_scales(self):
+        full = occupancy_of(kernel(regs=16), RTX_3070_MINI)
+        half = occupancy_of(kernel(regs=16), RTX_3070_MINI,
+                            quota_fraction=0.5)
+        assert half.ctas_per_sm == full.ctas_per_sm // 2
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_of(kernel(), RTX_3070_MINI, quota_fraction=0.0)
+
+    def test_limits_cover_all_resources(self):
+        occ = occupancy_of(kernel(), RTX_3070_MINI)
+        assert set(occ.limits) == {"threads", "registers", "shared_mem",
+                                   "warps", "cta_slots"}
+
+    def test_nn_matmul_register_limited(self):
+        """The Fig 13 claim: the NN's kernels are register-limited."""
+        from repro.compute import build_nn_kernels
+        mm = [k for k in build_nn_kernels(coverage=1.0)
+              if k.name.endswith("_mm")][0]
+        occ = occupancy_of(mm, RTX_3070_MINI)
+        assert occ.register_limited
+        assert occ.occupancy < 1.0
+
+
+class TestInspectCLI:
+    def test_inspect_prints_summary(self, tmp_path, capsys):
+        trace = str(tmp_path / "vio.gz")
+        main(["trace-compute", "VIO", "--save-trace", trace])
+        capsys.readouterr()
+        assert main(["inspect", trace]) == 0
+        out = capsys.readouterr().out
+        assert "vio_undistort" in out
+        assert "limiter" in out
+        assert "compute" in out  # footprint block
+
+    def test_inspect_graphics_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "spl.gz")
+        main(["render", "SPL", "--save-trace", trace])
+        capsys.readouterr()
+        assert main(["inspect", trace]) == 0
+        out = capsys.readouterr().out
+        assert "texture" in out
+        assert "vs:" in out

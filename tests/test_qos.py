@@ -1,0 +1,81 @@
+"""Tests for the QoS analysis layer."""
+
+import pytest
+
+from repro.analysis.qos import (
+    MTP_BUDGET_MS,
+    QoSOutcome,
+    QoSRequirement,
+    all_met,
+    cycles_to_ms,
+    evaluate,
+    summarize_policies,
+    worst_slack,
+)
+from repro.config import JETSON_ORIN_MINI
+from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM
+
+
+class TestRequirement:
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            QoSRequirement(0, "render", 0.0)
+
+    def test_outcome_met_and_slack(self):
+        req = QoSRequirement(0, "render", deadline_ms=10.0)
+        ok = QoSOutcome(req, elapsed_ms=7.0)
+        late = QoSOutcome(req, elapsed_ms=12.0)
+        assert ok.met and not late.met
+        assert ok.slack_ms == pytest.approx(3.0)
+        assert late.slack_ms == pytest.approx(-2.0)
+        assert ok.utilisation == pytest.approx(0.7)
+
+    def test_mtp_budget_matches_paper(self):
+        assert MTP_BUDGET_MS == (15.0, 20.0)
+
+
+class TestConversions:
+    def test_cycles_to_ms(self):
+        # 1300 MHz -> 1.3e6 cycles per ms.
+        assert cycles_to_ms(1_300_000, JETSON_ORIN_MINI) == pytest.approx(1.0)
+
+
+class TestEvaluate:
+    @pytest.fixture(scope="class")
+    def pair_stats(self):
+        crisp = CRISP(JETSON_ORIN_MINI)
+        frame = crisp.trace_scene("SPL", "2k")
+        vio = crisp.trace_compute("VIO")
+        return crisp.run_pair(frame.kernels, vio, policy="fg-even").stats
+
+    def test_generous_deadlines_met(self, pair_stats):
+        reqs = [QoSRequirement(GRAPHICS_STREAM, "render", 1000.0),
+                QoSRequirement(COMPUTE_STREAM, "vio", 1000.0)]
+        outcomes = evaluate(pair_stats, JETSON_ORIN_MINI, reqs)
+        assert all_met(outcomes)
+
+    def test_impossible_deadline_missed(self, pair_stats):
+        reqs = [QoSRequirement(GRAPHICS_STREAM, "render", 1e-6)]
+        outcomes = evaluate(pair_stats, JETSON_ORIN_MINI, reqs)
+        assert not outcomes[0].met
+
+    def test_worst_slack_identifies_tightest(self, pair_stats):
+        reqs = [QoSRequirement(GRAPHICS_STREAM, "render", 1000.0),
+                QoSRequirement(COMPUTE_STREAM, "vio", 0.0001)]
+        outcomes = evaluate(pair_stats, JETSON_ORIN_MINI, reqs)
+        assert worst_slack(outcomes).requirement.name == "vio"
+
+    def test_empty_requirements_rejected(self, pair_stats):
+        with pytest.raises(ValueError):
+            evaluate(pair_stats, JETSON_ORIN_MINI, [])
+
+    def test_worst_slack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            worst_slack([])
+
+    def test_summarize_policies(self, pair_stats):
+        reqs = [QoSRequirement(GRAPHICS_STREAM, "render", 1000.0)]
+        summary = summarize_policies({"fg-even": pair_stats},
+                                     JETSON_ORIN_MINI, reqs)
+        assert summary["fg-even"]["all_met"] is True
+        assert summary["fg-even"]["worst_stream"] == "render"

@@ -1,0 +1,39 @@
+"""Tests for the one-shot reproduction driver."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.harness.reproduce import RUNNERS, reproduce_all
+
+
+class TestReproduceAll:
+    def test_quick_subset_passes(self, tmp_path):
+        records = reproduce_all(str(tmp_path), only=["table1", "fig7"])
+        assert [r.exp_id for r in records] == ["table1", "fig7"]
+        assert all(r.ok for r in records)
+        report = (tmp_path / "RESULTS.md").read_text()
+        assert "| table1 | PASS |" in report
+        assert "| fig7 | PASS |" in report
+
+    def test_detail_blocks_written(self, tmp_path):
+        reproduce_all(str(tmp_path), only=["table1"])
+        report = (tmp_path / "RESULTS.md").read_text()
+        assert "## table1" in report
+        assert "CRISP" in report
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="fig3"):
+            reproduce_all(str(tmp_path), only=["fig99"])
+
+    def test_all_paper_experiments_registered(self):
+        expected = {"table1", "table2", "fig3", "fig6", "fig7", "fig9",
+                    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+        assert set(RUNNERS) == expected
+
+    def test_cli_reproduce(self, tmp_path, capsys):
+        out = str(tmp_path / "res")
+        assert main(["reproduce", "--out", out, "--only", "fig7"]) == 0
+        assert os.path.exists(os.path.join(out, "RESULTS.md"))
+        assert "[PASS] fig7" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Tests for block-compressed texture addressing (BC1/BC7)."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import Camera, GraphicsPipeline, Texture2D, checkerboard
+from repro.graphics.geometry import DrawCall
+from repro.memory import AddressAllocator
+from repro.scenes.assets import grid_mesh
+
+
+def placed(tex):
+    tex.place(AddressAllocator(region=12))
+    return tex
+
+
+class TestCompressedAddressing:
+    def test_footprint_ratios(self):
+        plain = Texture2D("p", checkerboard(64))
+        bc1 = Texture2D("b1", checkerboard(64), compression="bc1")
+        bc7 = Texture2D("b7", checkerboard(64), compression="bc7")
+        assert bc1.level_bytes(0) == plain.level_bytes(0) // 8
+        assert bc7.level_bytes(0) == plain.level_bytes(0) // 4
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="bc1"):
+            Texture2D("x", checkerboard(8), compression="astc")
+
+    def test_block_sharing(self):
+        tex = placed(Texture2D("t", checkerboard(16), compression="bc1"))
+        x = np.array([0, 1, 2, 3])
+        y = np.array([0, 1, 2, 3])
+        addrs = tex.texel_addresses(x, y, 0, np.zeros(4, dtype=np.int64))
+        assert len(np.unique(addrs)) == 1  # one 4x4 block
+
+    def test_adjacent_blocks_distinct(self):
+        tex = placed(Texture2D("t", checkerboard(16), compression="bc1"))
+        addrs = tex.texel_addresses(np.array([3, 4]), np.array([0, 0]), 0,
+                                    np.zeros(2, dtype=np.int64))
+        assert addrs[1] - addrs[0] == 8  # BC1 block stride
+
+    def test_small_mips_occupy_one_block(self):
+        tex = Texture2D("t", checkerboard(16), compression="bc1")
+        assert tex.level_bytes(tex.num_levels - 1) == 8  # 1x1 -> one block
+
+    def test_functional_colors_unchanged(self):
+        img = checkerboard(16)
+        plain = placed(Texture2D("p", img))
+        comp = placed(Texture2D("c", img, compression="bc1"))
+        u = np.linspace(0.05, 0.95, 10)
+        c_plain, _ = plain.sample_nearest(u, u)
+        c_comp, _ = comp.sample_nearest(u, u)
+        assert np.array_equal(c_plain, c_comp)
+
+    def test_layered_compressed(self):
+        base = checkerboard(8)
+        tex = placed(Texture2D("arr", base, layers=[base],
+                               compression="bc7"))
+        a0 = tex.texel_addresses(np.array([0]), np.array([0]), 0,
+                                 np.array([0]))
+        a1 = tex.texel_addresses(np.array([0]), np.array([0]), 0,
+                                 np.array([1]))
+        assert a1[0] - a0[0] == 4 * 16  # 2x2 blocks of 16B per layer
+
+
+class TestCompressedTraffic:
+    def _render(self, compression):
+        tex = Texture2D("tex", checkerboard(64), compression=compression)
+        pipe = GraphicsPipeline({"tex": tex})
+        return pipe.render_frame(
+            [DrawCall(grid_mesh(4, 4, extent=6.0), texture_slots=["tex"])],
+            Camera(eye=(0, 2, -6)), 96, 54)
+
+    def test_compression_reduces_tex_traffic(self):
+        plain = self._render("none")
+        bc1 = self._render("bc1")
+        assert bc1.tex_transactions < plain.tex_transactions
+
+    def test_compression_image_identical(self):
+        plain = self._render("none")
+        bc1 = self._render("bc1")
+        assert np.array_equal(plain.framebuffer.as_image(),
+                              bc1.framebuffer.as_image())

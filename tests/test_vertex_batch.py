@@ -1,0 +1,112 @@
+"""Tests for batch-based vertex shading (Fig 3's mechanism)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphics import (
+    build_batches,
+    total_shader_invocations,
+    unique_vertex_count,
+)
+
+
+def strip(n_tris):
+    """A triangle strip: tri i = (i, i+1, i+2). High vertex reuse."""
+    return np.array([[i, i + 1, i + 2] for i in range(n_tris)])
+
+
+class TestBuildBatches:
+    def test_single_triangle(self):
+        b = build_batches(np.array([[0, 1, 2]]))
+        assert len(b) == 1
+        assert b[0].num_unique == 3
+        assert b[0].num_triangles == 1
+
+    def test_dedup_within_batch(self):
+        # Two triangles sharing an edge: 4 unique vertices, not 6.
+        b = build_batches(np.array([[0, 1, 2], [1, 2, 3]]))
+        assert b[0].num_unique == 4
+
+    def test_no_dedup_across_batches(self):
+        # Batch size 3 forces one triangle per batch; the shared vertices
+        # are shaded twice (the contemporary-GPU behaviour the paper
+        # contrasts with Teapot's vertex cache).
+        b = build_batches(np.array([[0, 1, 2], [1, 2, 3]]), batch_size=3)
+        assert len(b) == 2
+        assert unique_vertex_count(b) == 6
+
+    def test_batch_size_respected(self):
+        batches = build_batches(strip(100), batch_size=12)
+        assert all(b.num_unique <= 12 for b in batches)
+
+    def test_local_indices_reference_unique(self):
+        for b in build_batches(strip(50), batch_size=10):
+            assert b.local_indices.max() < b.num_unique
+            # Local indices reconstruct the original triangles.
+            reconstructed = b.unique_vertices[b.local_indices]
+            assert reconstructed.shape[1] == 3
+
+    def test_all_triangles_preserved_in_order(self):
+        idx = strip(37)
+        batches = build_batches(idx, batch_size=9)
+        rebuilt = np.concatenate(
+            [b.unique_vertices[b.local_indices] for b in batches])
+        assert np.array_equal(rebuilt, idx)
+
+    def test_rejects_tiny_batch(self):
+        with pytest.raises(ValueError):
+            build_batches(strip(2), batch_size=2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_batches(np.array([0, 1, 2]))
+
+    def test_empty_indices(self):
+        assert build_batches(np.empty((0, 3), dtype=np.int64)) == []
+
+    def test_batch_ids_sequential(self):
+        batches = build_batches(strip(60), batch_size=8)
+        assert [b.batch_id for b in batches] == list(range(len(batches)))
+
+
+class TestInvocationCounts:
+    def test_warp_padding(self):
+        # 4 unique vertices -> one warp of 32 invocations.
+        b = build_batches(np.array([[0, 1, 2], [1, 2, 3]]))
+        assert total_shader_invocations(b) == 32
+
+    def test_larger_batch_fewer_invocations(self):
+        idx = strip(200)
+        small = total_shader_invocations(build_batches(idx, batch_size=6))
+        big = total_shader_invocations(build_batches(idx, batch_size=96))
+        assert big < small
+
+    def test_default_batch_is_96(self):
+        from repro.graphics import DEFAULT_BATCH_SIZE
+        assert DEFAULT_BATCH_SIZE == 96
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 80), st.integers(3, 96))
+    def test_property_counts_bounded(self, n_tris, batch_size):
+        idx = strip(n_tris)
+        batches = build_batches(idx, batch_size)
+        unique = unique_vertex_count(batches)
+        # At least the true distinct vertex count, at most 3 per triangle.
+        assert len(np.unique(idx)) <= unique <= 3 * n_tris
+        # Invocations are warp-padded above the unique count.
+        inv = total_shader_invocations(batches)
+        assert inv >= unique
+        assert inv % 32 == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=3, max_size=120))
+    def test_property_triangle_order_preserved(self, flat):
+        n = len(flat) // 3 * 3
+        idx = np.array(flat[:n]).reshape(-1, 3)
+        if len(idx) == 0:
+            return
+        batches = build_batches(idx, batch_size=7)
+        rebuilt = np.concatenate(
+            [b.unique_vertices[b.local_indices] for b in batches])
+        assert np.array_equal(rebuilt, idx)
