@@ -1,0 +1,83 @@
+"""Campaign runner throughput: serial vs parallel vs warm-cache.
+
+The acceptance bar for the campaign subsystem: a 4-job policy sweep must
+(a) produce identical results whether run serially or fanned out over
+worker processes, (b) complete a warm-cache re-run with zero simulations,
+and (c) on a multi-core box beat serial by >= 2x with 4 workers.  The
+measured wall-clocks land in ``BENCH_campaign.json`` so later PRs
+(distributed backends, multi-frame workloads) can track the trajectory.
+"""
+
+import os
+import time
+
+from bench_util import print_header, write_bench_json
+
+from repro.campaign import Job, run_campaign
+
+#: The sweep: one pair under every policy family, 2k so each job carries
+#: enough simulation work for process fan-out to amortise.
+POLICIES = ("mps", "mig", "fg-even", "tap")
+
+
+def sweep_jobs():
+    return [Job(scene="SPL", compute="VIO", policy=policy, res="2k",
+                config="JetsonOrin-mini", label=policy)
+            for policy in POLICIES]
+
+
+def test_campaign_speedup(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    serial = run_campaign(sweep_jobs(), workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_campaign(sweep_jobs(), workers=4)
+    parallel_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold = run_campaign(sweep_jobs(), workers=1, cache_dir=cache_dir)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_campaign(sweep_jobs(), workers=1, cache_dir=cache_dir)
+    warm_s = time.perf_counter() - t0
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    warmup = serial_s / warm_s if warm_s else float("inf")
+
+    print_header("Campaign runner: 4-job policy sweep (SPL+VIO @ 2k)")
+    print("%-22s %8s" % ("mode", "seconds"))
+    print("%-22s %8.2f" % ("serial (1 worker)", serial_s))
+    print("%-22s %8.2f  (%.2fx, %d cpus)"
+          % ("parallel (4 workers)", parallel_s, speedup, cpus))
+    print("%-22s %8.2f" % ("cold cache", cold_s))
+    print("%-22s %8.2f  (%.0fx)" % ("warm cache", warm_s, warmup))
+
+    write_bench_json("campaign", {
+        "jobs": len(POLICIES),
+        "cpu_count": cpus,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "cold_cache_seconds": cold_s,
+        "warm_cache_seconds": warm_s,
+        "parallel_speedup": speedup,
+    })
+
+    # (a) Parallel output is identical to serial, job-for-job.
+    assert [r.label for r in parallel.results] == \
+        [r.label for r in serial.results]
+    for s, p in zip(serial.results, parallel.results):
+        assert p.stats == s.stats, "parallel diverged from serial on %s" % s.label
+    # (b) The warm re-run simulated nothing and matched the cold results.
+    assert (warm.executed, warm.cached) == (0, len(POLICIES))
+    for c, w in zip(cold.results, warm.results):
+        assert w.stats == c.stats
+    assert warm_s < serial_s, "warm cache must beat re-simulation"
+    # (c) Fan-out pays for itself when the cores exist to back it.
+    if cpus >= 4:
+        assert speedup >= 2.0, \
+            "4 workers on %d cpus only gave %.2fx" % (cpus, speedup)

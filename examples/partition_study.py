@@ -5,13 +5,20 @@ Reproduces the Section VI-C methodology interactively: pick a scene and a
 compute workload, run them under each policy, and compare total time and
 per-stream slowdowns against MPS.
 
+The sweep itself is a campaign (`repro.campaign`): one declarative job per
+policy, fanned out over `--jobs` worker processes and served from the
+result cache when `--cache-dir` is given.  The equivalent one-liner is::
+
+    python -m repro campaign --scene PT --compute NN --res 4k \
+        --policy mps mig fg-even warped-slicer tap --jobs 4
+
 Run:  python examples/partition_study.py [--scene PT] [--compute NN]
 """
 
 import argparse
 
-from repro.config import JETSON_ORIN_MINI
-from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM, POLICY_NAMES
+from repro.campaign import CampaignRunner, Job
+from repro.core import COMPUTE_STREAM, GRAPHICS_STREAM, POLICY_NAMES
 
 
 def main():
@@ -20,29 +27,34 @@ def main():
                         choices=("SPH", "PL", "MT", "SPL", "PT", "IT"))
     parser.add_argument("--compute", default="NN",
                         choices=("VIO", "HOLO", "NN"))
-    parser.add_argument("--res", default="4k", choices=("2k", "4k"))
+    parser.add_argument("--res", default="4k", choices=("nano", "2k", "4k"))
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the policy sweep")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse results across invocations")
     args = parser.parse_args()
 
-    crisp = CRISP(JETSON_ORIN_MINI)
-    frame = crisp.trace_scene(args.scene, args.res)
-    compute = crisp.trace_compute(args.compute)
-    print("Pair: %s (%d gfx kernels) + %s (%d compute kernels)\n"
-          % (args.scene, len(frame.kernels), args.compute, len(compute)))
+    # The unpartitioned "shared" baseline launches exhaustively; skip it.
+    policies = [p for p in POLICY_NAMES if p != "shared"]
+    jobs = [Job(scene=args.scene, compute=args.compute, policy=policy,
+                config="JetsonOrin-mini", res=args.res, label=policy)
+            for policy in policies]
 
-    rows = []
-    for policy in POLICY_NAMES:
-        if policy == "shared":
-            continue  # the unpartitioned baseline launches exhaustively
-        result = crisp.run_pair(frame.kernels, compute, policy=policy)
-        rows.append((policy, result.total_cycles,
-                     result.graphics_cycles, result.compute_cycles))
+    runner = CampaignRunner(workers=args.jobs, cache_dir=args.cache_dir,
+                            progress=True)
+    campaign = runner.run(jobs)
+    print("Pair: %s + %s @ %s (%d jobs, %d simulated, %d cached)\n"
+          % (args.scene, args.compute, args.res, len(jobs),
+             campaign.executed, campaign.cached))
 
-    base = dict((r[0], r[1]) for r in rows)["mps"]
+    base = dict(zip(policies, campaign.results))["mps"].total_cycles
     print("%-14s %10s %9s %10s %10s" % ("policy", "total", "vs mps",
                                         "gfx cyc", "cmp cyc"))
-    for policy, total, gfx, cmp_ in rows:
+    for policy, result in zip(policies, campaign.results):
         print("%-14s %10d %8.3fx %10d %10d"
-              % (policy, total, base / total, gfx, cmp_))
+              % (policy, result.total_cycles, base / result.total_cycles,
+                 result.stream_cycles(GRAPHICS_STREAM),
+                 result.stream_cycles(COMPUTE_STREAM)))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,102 @@
+"""Campaign manifests: durable per-job status for resume and audit.
+
+A campaign's identity is a hash of its (sorted, deduplicated) job
+fingerprints, so re-submitting the same sweep — after a crash, a ctrl-C,
+or on another day — maps onto the same manifest.  The runner updates the
+manifest as jobs finish; a resumed campaign reads job *results* from the
+cache (the source of truth) and uses the manifest for bookkeeping: what
+already ran, what failed and why, how long everything took.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+def campaign_id(fingerprints: Sequence[str]) -> str:
+    """Stable identity of a job set (order- and duplicate-insensitive)."""
+    h = hashlib.sha256()
+    for fp in sorted(set(fingerprints)):
+        h.update(fp.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()[:16]
+
+
+class CampaignManifest:
+    """Mutable record of one campaign's per-job status."""
+
+    def __init__(self, cid: str, path: Optional[str] = None) -> None:
+        self.campaign_id = cid
+        self.path = path
+        self.created_at = time.time()
+        #: fingerprint -> {"label", "status", "wall_seconds", "error"}
+        self.jobs: Dict[str, dict] = {}
+
+    @classmethod
+    def open(cls, fingerprints: Sequence[str], labels: Sequence[str],
+             directory: Optional[str]) -> "CampaignManifest":
+        """Create or reload the manifest for this job set."""
+        cid = campaign_id(fingerprints)
+        path = (os.path.join(directory, cid + ".json")
+                if directory else None)
+        manifest = cls(cid, path)
+        if path and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    doc = json.load(f)
+                manifest.created_at = doc.get("created_at", manifest.created_at)
+                manifest.jobs = doc.get("jobs", {})
+            except (OSError, ValueError):
+                pass  # a torn manifest is rebuilt from scratch
+        for fp, label in zip(fingerprints, labels):
+            manifest.jobs.setdefault(fp, {
+                "label": label, "status": "pending",
+                "wall_seconds": 0.0, "error": None,
+            })
+        return manifest
+
+    def update(self, fingerprint: str, status: str,
+               wall_seconds: float = 0.0,
+               error: Optional[str] = None) -> None:
+        entry = self.jobs.setdefault(fingerprint, {"label": fingerprint[:12]})
+        entry.update(status=status, wall_seconds=wall_seconds, error=error)
+
+    def statuses(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.jobs.values():
+            counts[entry.get("status", "pending")] = \
+                counts.get(entry.get("status", "pending"), 0) + 1
+        return counts
+
+    def pending(self) -> List[str]:
+        return [fp for fp, e in self.jobs.items()
+                if e.get("status") in (None, "pending", "failed", "timeout")]
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "created_at": self.created_at,
+            "updated_at": time.time(),
+            "jobs": self.jobs,
+        }
+
+    def save(self) -> None:
+        """Persist atomically (no-op when the campaign has no directory)."""
+        if not self.path:
+            return
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(self.path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(self.to_dict(), f, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

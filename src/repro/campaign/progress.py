@@ -1,0 +1,75 @@
+"""Progress and ETA reporting for running campaigns.
+
+One line per finished job on stderr — campaigns run for minutes and pipe
+stdout into files, so progress must not pollute the machine-readable
+output.  The ETA extrapolates from the mean wall-clock of *simulated*
+jobs only; cache hits are near-free and would otherwise make the estimate
+absurdly optimistic.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from .execute import STATUS_CACHED, JobResult
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 0:
+        return "?"
+    if seconds < 60:
+        return "%.1fs" % seconds
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return "%dm%02ds" % (minutes, secs)
+    hours, minutes = divmod(minutes, 60)
+    return "%dh%02dm" % (hours, minutes)
+
+
+class ProgressReporter:
+    """Per-job progress lines with a running ETA."""
+
+    def __init__(self, total: int, enabled: bool = True,
+                 stream: Optional[TextIO] = None) -> None:
+        self.total = total
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.simulated = 0
+        self.sim_seconds = 0.0
+        self.started_at = time.perf_counter()
+
+    def eta_seconds(self) -> float:
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if not self.simulated:
+            return -1.0  # unknown until one real simulation lands
+        return remaining * (self.sim_seconds / self.simulated)
+
+    def job_done(self, result: JobResult) -> None:
+        self.done += 1
+        if result.status != STATUS_CACHED:
+            self.simulated += 1
+            self.sim_seconds += result.wall_seconds
+        if not self.enabled:
+            return
+        self.stream.write(
+            "[%*d/%d] %-7s %-32s %7s  eta %s\n"
+            % (len(str(self.total)), self.done, self.total,
+               result.status, result.label[:32],
+               _fmt_seconds(result.wall_seconds),
+               _fmt_seconds(self.eta_seconds())))
+        self.stream.flush()
+
+    def close(self) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self.started_at
+        self.stream.write(
+            "campaign: %d jobs (%d simulated, %d cached) in %s\n"
+            % (self.total, self.simulated, self.done - self.simulated,
+               _fmt_seconds(elapsed)))
+        self.stream.flush()

@@ -122,6 +122,10 @@ def _cmd_simulate(args) -> int:
 def _cmd_figure(args) -> int:
     from .harness import experiments as E
     fig = args.id
+    #: fig12/13/14 run through the campaign runner and honour --jobs.
+    sweep_kw = {}
+    if fig in ("fig12", "fig13", "fig14"):
+        sweep_kw = {"jobs": args.jobs, "cache_dir": args.cache_dir}
     if fig == "table1":
         from .harness import format_table
         print(format_table())
@@ -159,16 +163,16 @@ def _cmd_figure(args) -> int:
                   % (code, r.texture_share[code] * 100,
                      r.l2_hit_rate[code] * 100))
     elif fig == "fig12":
-        r = E.run_fig12()
+        r = E.run_fig12(**sweep_kw)
         for pair, d in sorted(r.normalized().items()):
             print(pair, {k: round(v, 3) for k, v in d.items()})
     elif fig == "fig13":
-        r = E.run_fig13()
+        r = E.run_fig13(**sweep_kw)
         print("sampling phases: %d" % r.samples_taken)
         for cycle, frac in r.decisions:
             print("  cycle %d -> %.3f" % (cycle, frac))
     elif fig == "fig14":
-        r = E.run_fig14()
+        r = E.run_fig14(**sweep_kw)
         for pair, d in sorted(r.normalized().items()):
             print(pair, {k: round(v, 3) for k, v in d.items()})
     elif fig == "fig15":
@@ -216,6 +220,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="run one table/figure experiment")
     p.add_argument("id", choices=FIGURE_IDS)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for campaign-backed figures "
+                        "(fig12/fig13/fig14)")
+    p.add_argument("--cache-dir",
+                   help="result cache for campaign-backed figures")
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a scene x compute x policy sweep: parallel, cached, "
+             "resumable")
+    p.add_argument("--scene", nargs="*", default=[], choices=scene_codes(),
+                   help="scenes to render (omit for compute-only jobs)")
+    p.add_argument("--compute", nargs="*", default=[],
+                   choices=sorted(WORKLOAD_BUILDERS),
+                   help="compute workloads (omit for graphics-only jobs)")
+    p.add_argument("--policy", nargs="*", default=["mps"],
+                   choices=POLICY_NAMES)
+    p.add_argument("--config", default="JetsonOrin-mini",
+                   choices=sorted(PRESETS))
+    p.add_argument("--res", default="2k", choices=sorted(RESOLUTIONS))
+    p.add_argument("--spec", help="JSON file with an explicit job list "
+                                  "({\"jobs\": [{...}, ...]}) instead of "
+                                  "the flag cross-product")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial in-process)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default "
+                        "~/.cache/repro-campaign or $REPRO_CAMPAIGN_CACHE)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="simulate every job, even cached ones")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock budget in seconds")
+    p.add_argument("--out", help="write the machine-readable campaign "
+                                 "summary JSON here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
 
     p = sub.add_parser("reproduce", help="run every experiment and write "
                                          "RESULTS.md")
@@ -229,6 +269,61 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(PRESETS),
                    help="machine used for the occupancy column")
     return parser
+
+
+def _cmd_campaign(args) -> int:
+    import json
+
+    from .campaign import CampaignRunner, Job, default_cache_dir
+    from .core.streams import COMPUTE_STREAM as CS, GRAPHICS_STREAM as GS
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        jobs = [Job.from_dict(spec) for spec in doc["jobs"]]
+    else:
+        scenes: List[Optional[str]] = list(args.scene) or [None]
+        computes: List[Optional[str]] = list(args.compute) or [None]
+        if scenes == [None] and computes == [None]:
+            print("error: give --scene and/or --compute (or --spec)",
+                  file=sys.stderr)
+            return 2
+        # Policies only partition anything when both streams are present;
+        # single-stream jobs get policy=None so they fingerprint (and
+        # cache) independently of the --policy flag.
+        single = scenes == [None] or computes == [None]
+        policies: List[Optional[str]] = [None] if single else list(args.policy)
+        jobs = [
+            Job(scene=scene, compute=compute, policy=policy,
+                config=args.config, res=args.res)
+            for scene in scenes
+            for compute in computes
+            for policy in policies
+        ]
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or default_cache_dir())
+    runner = CampaignRunner(workers=args.jobs, cache_dir=cache_dir,
+                            timeout=args.timeout, progress=not args.quiet)
+    campaign = runner.run(jobs)
+    print("campaign %s: %d jobs, %d executed, %d cached, %d failed (%.1fs)"
+          % (campaign.campaign_id, len(campaign.jobs), campaign.executed,
+             campaign.cached, campaign.failed, campaign.wall_seconds))
+    print("%-36s %-7s %10s %10s %10s %8s"
+          % ("job", "status", "total", "gfx", "compute", "wall"))
+    for result in campaign.results:
+        total = result.total_cycles if result.stats else 0
+        print("%-36s %-7s %10d %10d %10d %7.2fs"
+              % (result.label[:36], result.status, total,
+                 result.stream_cycles(GS), result.stream_cycles(CS),
+                 result.wall_seconds))
+        if result.error:
+            print("    error: %s" % result.error.strip().splitlines()[-1])
+    if args.out:
+        campaign.write_summary(args.out)
+        print("summary -> %s" % args.out)
+    if campaign.manifest_path:
+        print("manifest -> %s" % campaign.manifest_path)
+    return 0 if campaign.ok else 1
 
 
 def _cmd_reproduce(args) -> int:
@@ -279,6 +374,7 @@ _COMMANDS = {
     "trace-compute": _cmd_trace_compute,
     "simulate": _cmd_simulate,
     "figure": _cmd_figure,
+    "campaign": _cmd_campaign,
     "reproduce": _cmd_reproduce,
     "inspect": _cmd_inspect,
 }

@@ -25,13 +25,19 @@ WORKLOAD_BUILDERS = {
 }
 
 
-def build_compute_workload(name):
-    """Build a compute workload's kernel list by its paper code."""
+def build_compute_workload(name, **kwargs):
+    """Build a compute workload's kernel list by its paper code.
+
+    ``kwargs`` are forwarded to the workload builder (e.g. ``frames`` for
+    VIO, ``passes`` for HOLO), which is how declarative campaign job specs
+    size their compute streams.
+    """
     try:
-        return WORKLOAD_BUILDERS[name]()
+        builder = WORKLOAD_BUILDERS[name]
     except KeyError:
         raise KeyError("unknown compute workload %r; known: %s"
                        % (name, sorted(WORKLOAD_BUILDERS))) from None
+    return builder(**kwargs)
 
 
 __all__ = [

@@ -9,7 +9,13 @@ with :meth:`GPUConfig.replace` rather than mutating a shared instance.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
+
+#: Bumped whenever the canonical form below changes shape, so persisted
+#: fingerprints from older builds can never alias new ones.
+FINGERPRINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,31 @@ class GPUConfig:
     def replace(self, **changes: object) -> "GPUConfig":
         """Return a copy of this config with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+    def canonical_dict(self) -> dict:
+        """Plain-data form with a deterministic layout.
+
+        Keys are sorted when serialised (see :meth:`canonical_json`), so two
+        configs with equal field values always canonicalise identically no
+        matter how they were constructed — ``replace`` chains, presets, or
+        field-by-field construction.
+        """
+        return dataclasses.asdict(self)
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this configuration.
+
+        Equal configs hash equally across processes and sessions
+        (``PYTHONHASHSEED`` does not enter), which is what lets the campaign
+        cache key results on the machine they were simulated for.
+        """
+        payload = "gpuconfig/v%d:%s" % (FINGERPRINT_VERSION,
+                                        self.canonical_json())
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @property
     def warps_per_scheduler(self) -> int:

@@ -16,7 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compute import build_compute_workload
 from ..config import GPUConfig, JETSON_ORIN_MINI
@@ -134,3 +134,66 @@ class CRISP:
         pol = make_policy(policy, self.config, sorted(streams))
         stats = self.run(streams, policy=pol, sample_interval=sample_interval)
         return PairResult(stats, pol)
+
+
+# ---------------------------------------------------------------------------
+# Pure job functions
+# ---------------------------------------------------------------------------
+# The campaign runner fans simulations out over worker processes, so the
+# run_pair path is also exposed as top-level functions of plain-data
+# arguments: everything here pickles (GPUConfig is a frozen dataclass,
+# the rest are strings/ints), and a call is fully reproducible from its
+# arguments alone — the property campaign fingerprints rely on.
+
+def collect_streams(
+    config: GPUConfig,
+    scene: Optional[str] = None,
+    res: str = "2k",
+    lod_enabled: Optional[bool] = None,
+    compute: Optional[str] = None,
+    compute_args: Optional[Dict[str, object]] = None,
+    graphics_trace: Optional[str] = None,
+    compute_trace: Optional[str] = None,
+) -> Dict[int, List[KernelTrace]]:
+    """Build the stream dict one job spec describes.
+
+    Graphics kernels come from rendering ``scene`` at ``res`` or from a
+    saved trace file; compute kernels from tracing the named workload
+    (``compute_args`` forwarded to its builder) or from a saved trace file.
+    """
+    if scene and graphics_trace:
+        raise ValueError("give either scene or graphics_trace, not both")
+    if compute and compute_trace:
+        raise ValueError("give either compute or compute_trace, not both")
+    from ..isa import load_traces
+    streams: Dict[int, List[KernelTrace]] = {}
+    if scene:
+        crisp = CRISP(config)
+        streams[GRAPHICS_STREAM] = crisp.trace_scene(
+            scene, res, lod_enabled=lod_enabled).kernels
+    elif graphics_trace:
+        streams[GRAPHICS_STREAM] = load_traces(graphics_trace)
+    if compute:
+        streams[COMPUTE_STREAM] = build_compute_workload(
+            compute, **(compute_args or {}))
+    elif compute_trace:
+        streams[COMPUTE_STREAM] = load_traces(compute_trace)
+    if not streams:
+        raise ValueError("job spec produced no streams; give a scene, a "
+                         "compute workload, or saved trace files")
+    return streams
+
+
+def execute_streams(
+    config: GPUConfig,
+    streams: Dict[int, Sequence[KernelTrace]],
+    policy: Optional[str] = None,
+    sample_interval: Optional[int] = None,
+) -> Tuple[GPUStats, Optional[PartitionPolicy]]:
+    """Run ``streams`` under a named policy, returning stats and the policy
+    object (whose post-run state carries e.g. Warped-Slicer decisions)."""
+    pol = (make_policy(policy, config, sorted(streams))
+           if policy and len(streams) > 1 else None)
+    stats = CRISP(config).run(streams, policy=pol,
+                              sample_interval=sample_interval)
+    return stats, pol

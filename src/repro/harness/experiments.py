@@ -25,17 +25,12 @@ from ..analysis import (
 )
 from ..analysis.working_set import binned_histogram
 from ..compute import build_compute_workload
-from ..compute.hologram import build_hologram_kernels
-from ..compute.nn import build_nn_kernels
-from ..compute.vio import build_vio_kernels
 from ..config import GPUConfig, JETSON_ORIN_MINI, RTX_3070_MINI, RTX_3070_NANO
 from ..core import (
     COMPUTE_STREAM,
     CRISP,
     GRAPHICS_STREAM,
     TAPPolicy,
-    WarpedSlicerPolicy,
-    make_policy,
 )
 from ..graphics import GraphicsPipeline, PipelineConfig, Texture2D, checkerboard
 from ..isa import DataClass, KernelTrace
@@ -277,20 +272,32 @@ def run_fig11(codes: Sequence[str] = ("PT", "SPL"),
 
 #: Compute-workload sizing for the pairing studies: each workload is scaled
 #: so it runs for a comparable span as one rendering frame, as the paper's
-#: co-executed traces do.
-_PAIR_COMPUTE_SIZING = {
-    "VIO": lambda: build_vio_kernels(frames=2),
-    "HOLO": lambda: build_hologram_kernels(passes=3),
-    "NN": lambda: build_nn_kernels(coverage=1.0, inferences=3),
+#: co-executed traces do.  Plain argument dicts so the sizing travels
+#: inside declarative campaign job specs.
+PAIR_COMPUTE_ARGS: Dict[str, Dict[str, object]] = {
+    "VIO": {"frames": 2},
+    "HOLO": {"passes": 3},
+    "NN": {"coverage": 1.0, "inferences": 3},
 }
 
 
 def _pair_streams(crisp: CRISP, scene: str, compute: str, res: str = "2k"
                   ) -> Dict[int, List[KernelTrace]]:
     frame = crisp.trace_scene(scene, res)
-    sizing = _PAIR_COMPUTE_SIZING.get(compute)
-    kernels = sizing() if sizing else build_compute_workload(compute)
+    kernels = build_compute_workload(
+        compute, **PAIR_COMPUTE_ARGS.get(compute, {}))
     return {GRAPHICS_STREAM: frame.kernels, COMPUTE_STREAM: kernels}
+
+
+def _pair_job(scene: str, compute: str, policy: str, config: GPUConfig,
+              res: str, sample_interval: Optional[int] = None) -> "Job":
+    """One concurrency-study point as a campaign job spec."""
+    from ..campaign import Job
+    return Job(scene=scene, compute=compute,
+               compute_args=PAIR_COMPUTE_ARGS.get(compute),
+               policy=policy, config=config, res=res,
+               sample_interval=sample_interval,
+               label="%s+%s/%s" % (scene, compute, policy))
 
 
 @dataclass
@@ -322,22 +329,39 @@ def run_policy_comparison(
     compute: Sequence[str] = PAIR_COMPUTE,
     res: str = "4k",
     baseline: str = "mps",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    runner=None,
 ) -> PolicyComparison:
-    crisp = CRISP(config)
+    """Scene x compute x policy sweep through the campaign runner.
+
+    ``jobs`` fans the sweep out over worker processes; ``cache_dir`` (or a
+    pre-built ``runner``) turns re-runs into cache hits.  Results are
+    identical to the old serial in-process loop — campaign job ordering is
+    deterministic and each point's traces regenerate bit-identically.
+    """
+    from ..campaign import CampaignRunner
+    if runner is None:
+        runner = CampaignRunner(workers=jobs, cache_dir=cache_dir)
+    specs = [
+        _pair_job(scene, comp, pol_name, config, res)
+        for scene in scenes
+        for comp in compute
+        for pol_name in policies
+    ]
+    campaign = runner.run(specs)
+    failures = campaign.failures()
+    if failures:
+        raise RuntimeError("policy sweep failed: %s"
+                           % "; ".join("%s (%s)" % (f.label, f.status)
+                                       for f in failures))
     result = PolicyComparison(baseline=baseline)
+    it = iter(campaign.results)
     for scene in scenes:
         for comp in compute:
             pair_name = "%s+%s" % (scene, comp)
-            streams = _pair_streams(crisp, scene, comp, res)
-            by_policy: Dict[str, int] = {}
-            for pol_name in policies:
-                pol = make_policy(pol_name, config, sorted(streams))
-                gpu = GPU(config, policy=pol)
-                for sid, ks in sorted(streams.items()):
-                    gpu.add_stream(sid, ks)
-                stats = gpu.run()
-                by_policy[pol_name] = stats.cycles
-            result.cycles[pair_name] = by_policy
+            result.cycles[pair_name] = {
+                pol_name: next(it).total_cycles for pol_name in policies}
     return result
 
 
@@ -365,20 +389,26 @@ class Fig13Result:
 
 def run_fig13(scene: str = "PT", compute: str = "VIO",
               config: Optional[GPUConfig] = None, res: str = "4k",
-              sample_interval: int = 400) -> Fig13Result:
+              sample_interval: int = 400, jobs: int = 1,
+              cache_dir: Optional[str] = None, runner=None) -> Fig13Result:
+    from ..campaign import CampaignRunner
+    from ..timing import GPUStats
     config = config or JETSON_ORIN_MINI
-    crisp = CRISP(config)
-    streams = _pair_streams(crisp, scene, compute, res)
-    policy = WarpedSlicerPolicy(sorted(streams))
-    gpu = GPU(config, policy=policy, sample_interval=sample_interval)
-    for sid, ks in sorted(streams.items()):
-        gpu.add_stream(sid, ks)
-    stats = gpu.run()
+    if runner is None:
+        runner = CampaignRunner(workers=jobs, cache_dir=cache_dir)
+    job = _pair_job(scene, compute, "warped-slicer", config, res,
+                    sample_interval=sample_interval)
+    campaign = runner.run([job])
+    result = campaign.results[0]
+    if not result.ok:
+        raise RuntimeError("fig13 job failed: %s" % result.error)
+    stats = GPUStats.from_dict(result.stats)
     occ = [
         (s.cycle, s.fraction(GRAPHICS_STREAM), s.fraction(COMPUTE_STREAM))
         for s in stats.occupancy_trace
     ]
-    return Fig13Result(occ, list(policy.decisions), policy.samples_taken)
+    decisions = [tuple(d) for d in result.extras.get("decisions", [])]
+    return Fig13Result(occ, decisions, result.extras.get("samples_taken", 0))
 
 
 @dataclass

@@ -33,6 +33,9 @@ from .sponza import build_sponza, build_sponza_pbr
 #: Scaled stand-ins for 2K (2560x1440) and 4K (3840x2160): the 4x pixel
 #: ratio between them is exact, which is what the scaling studies use.
 RESOLUTIONS: Dict[str, Tuple[int, int]] = {
+    # Half-of-2k frame for round-trip tests and campaign smoke sweeps where
+    # wall-clock matters more than pixel statistics.
+    "nano": (96, 54),
     "2k": (192, 108),
     "4k": (384, 216),
 }

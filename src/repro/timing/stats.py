@@ -12,6 +12,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..isa import DataClass, Unit
 
+_CLASS_BY_NAME = {c.value: c for c in DataClass}
+_UNIT_BY_NAME = {u.value: u for u in Unit}
+
 
 class StreamStats:
     """Counters for one stream (one workload)."""
@@ -68,6 +71,41 @@ class StreamStats:
             if hit:
                 self.l1_tex_hits += transactions
 
+    def to_dict(self) -> dict:
+        """JSON-safe dump of every counter (enum keys become strings)."""
+        return {
+            "stream": self.stream,
+            "instructions": self.instructions,
+            "issue_by_unit": {u.value: n for u, n in self.issue_by_unit.items()},
+            "mem_transactions": self.mem_transactions,
+            "l1_accesses": self.l1_accesses,
+            "l1_hits": self.l1_hits,
+            "l1_tex_accesses": self.l1_tex_accesses,
+            "l1_tex_hits": self.l1_tex_hits,
+            "shared_accesses": self.shared_accesses,
+            "ctas_launched": self.ctas_launched,
+            "ctas_completed": self.ctas_completed,
+            "kernels_completed": self.kernels_completed,
+            "warps_launched": self.warps_launched,
+            "first_issue_cycle": self.first_issue_cycle,
+            "last_commit_cycle": self.last_commit_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamStats":
+        st = cls(int(data["stream"]))
+        st.issue_by_unit = {u: 0 for u in Unit}
+        st.issue_by_unit.update(
+            {_UNIT_BY_NAME[name]: n
+             for name, n in data["issue_by_unit"].items()})
+        for key in ("instructions", "mem_transactions", "l1_accesses",
+                    "l1_hits", "l1_tex_accesses", "l1_tex_hits",
+                    "shared_accesses", "ctas_launched", "ctas_completed",
+                    "kernels_completed", "warps_launched",
+                    "first_issue_cycle", "last_commit_cycle"):
+            setattr(st, key, data[key])
+        return st
+
 
 class OccupancySample:
     """One point of the Fig 13 style occupancy time series."""
@@ -82,6 +120,20 @@ class OccupancySample:
 
     def fraction(self, stream: int) -> float:
         return self.warps_by_stream.get(stream, 0) / self.total_warp_slots
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "warps_by_stream": {str(s): n
+                                for s, n in sorted(self.warps_by_stream.items())},
+            "total_warp_slots": self.total_warp_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OccupancySample":
+        return cls(data["cycle"],
+                   {int(s): n for s, n in data["warps_by_stream"].items()},
+                   data["total_warp_slots"])
 
 
 class GPUStats:
@@ -108,6 +160,48 @@ class GPUStats:
     def stream_cycles(self, stream: int) -> int:
         """Cycles from first issue to last commit of one stream."""
         return self.stream(stream).busy_cycles
+
+    def to_dict(self) -> dict:
+        """Full JSON-safe dump: per-stream counters, aggregate cycle count
+        and the sampled time series, round-tripped by :meth:`from_dict`.
+
+        Stream ids and :class:`~repro.isa.DataClass` keys become strings so
+        the result survives ``json.dumps``/``loads`` unchanged — the
+        campaign result cache stores exactly this structure.
+        """
+        return {
+            "cycles": self.cycles,
+            "streams": {str(sid): st.to_dict()
+                        for sid, st in sorted(self.streams.items())},
+            "occupancy_trace": [s.to_dict() for s in self.occupancy_trace],
+            "l2_snapshots": [
+                [cycle, {cls.value: n for cls, n in sorted(
+                    by_class.items(), key=lambda kv: kv[0].value)}]
+                for cycle, by_class in self.l2_snapshots
+            ],
+            "l2_stream_snapshots": [
+                [cycle, {str(sid): n for sid, n in sorted(by_stream.items())}]
+                for cycle, by_stream in self.l2_stream_snapshots
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUStats":
+        stats = cls()
+        stats.cycles = data["cycles"]
+        for sid, st in data["streams"].items():
+            stats.streams[int(sid)] = StreamStats.from_dict(st)
+        stats.occupancy_trace = [OccupancySample.from_dict(s)
+                                 for s in data["occupancy_trace"]]
+        stats.l2_snapshots = [
+            (cycle, {_CLASS_BY_NAME[name]: n for name, n in by_class.items()})
+            for cycle, by_class in data["l2_snapshots"]
+        ]
+        stats.l2_stream_snapshots = [
+            (cycle, {int(sid): n for sid, n in by_stream.items()})
+            for cycle, by_stream in data["l2_stream_snapshots"]
+        ]
+        return stats
 
     def summary(self) -> Dict[int, Dict[str, float]]:
         """Compact per-stream summary for reports."""

@@ -51,6 +51,22 @@ class TestSaveLoad:
         assert crisp.run_single(frame.kernels).cycles == \
             crisp.run_single(loaded).cycles
 
+    def test_roundtrip_nano_frame(self, tmp_path):
+        """Cached-by-trace-file campaign jobs rely on save/load returning
+        the kernels bit-exactly; verify on a full nano-res frame."""
+        crisp = CRISP()
+        frame = crisp.trace_scene("SPL", "nano")
+        path = str(tmp_path / "spl-nano.gz")
+        save_traces(path, frame.kernels,
+                    metadata={"scene": "SPL", "res": "nano"})
+        loaded = load_traces(path)
+        assert traces_equal(frame.kernels, loaded)
+        assert load_metadata(path) == {"scene": "SPL", "res": "nano"}
+        # A second save of the loaded kernels is structurally identical.
+        path2 = str(tmp_path / "spl-nano-2.gz")
+        save_traces(path2, loaded)
+        assert traces_equal(load_traces(path2), frame.kernels)
+
     def test_metadata(self, tmp_path):
         path = str(tmp_path / "t.gz")
         save_traces(path, build_vio_kernels()[:1], metadata={"a": 1})
