@@ -1,0 +1,65 @@
+"""Sim-rate regression benchmark for the timing core.
+
+Measures simulated instructions per wall-clock second on the reference
+workload (sponza + hologram at nano, mps, JetsonOrin-mini), appends the
+record to ``BENCH_timing.json`` so successive PRs track the trajectory,
+and asserts the hot-path overhaul's >= 1.5x speedup over the stored
+pre-optimisation baseline has not regressed.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_timing_simrate.py -m bench -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import get_preset
+from repro.core.platform import collect_streams
+from repro.profiling import measure_simrate
+
+from bench_util import print_header
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "BENCH_timing.json")
+#: The overhaul's acceptance floor, kept as the ongoing regression gate.
+MIN_SPEEDUP = 1.5
+
+
+@pytest.mark.bench
+def test_timing_simrate():
+    with open(BENCH_PATH, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    baseline = doc["baseline"]
+
+    config = get_preset("JetsonOrin-mini")
+    streams = collect_streams(config, scene="SPL", res="nano",
+                              compute="HOLO")
+    record = measure_simrate(
+        config, streams, policy="mps", repeats=3,
+        label="SPL+HOLO @ nano, policy=mps, JetsonOrin-mini")
+
+    print_header("timing core sim-rate (best of 3)")
+    print("baseline: %10.0f instr/s  (%.2fs wall)"
+          % (baseline["instructions_per_second"], baseline["wall_seconds"]))
+    print("current:  %10.0f instr/s  (%.2fs wall)"
+          % (record["instructions_per_second"], record["wall_seconds"]))
+    speedup = (record["instructions_per_second"]
+               / baseline["instructions_per_second"])
+    print("speedup:  %10.2fx  (gate: >= %.1fx)" % (speedup, MIN_SPEEDUP))
+
+    doc.setdefault("runs", []).append(dict(record, speedup=round(speedup, 3)))
+    with open(BENCH_PATH, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    # The workload must be the baseline's workload or the ratio is
+    # meaningless.
+    assert record["instructions"] == baseline["instructions"]
+    assert speedup >= MIN_SPEEDUP, (
+        "timing core sim-rate regressed: %.2fx < %.1fx"
+        % (speedup, MIN_SPEEDUP))

@@ -257,6 +257,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
 
+    p = sub.add_parser(
+        "profile",
+        help="profile the timing core on one workload and report sim-rate")
+    p.add_argument("--scene", default="SPL", choices=scene_codes())
+    p.add_argument("--compute", default="HOLO",
+                   choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--res", default="nano", choices=sorted(RESOLUTIONS))
+    p.add_argument("--policy", default="mps", choices=POLICY_NAMES)
+    p.add_argument("--config", default="JetsonOrin-mini",
+                   choices=sorted(PRESETS))
+    p.add_argument("--top", type=int, default=20,
+                   help="profile entries to print")
+    p.add_argument("--sort", default="cumulative",
+                   choices=("cumulative", "tottime", "ncalls"),
+                   help="cProfile sort order")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="unprofiled timing runs for the sim-rate record "
+                        "(best wall-clock wins)")
+    p.add_argument("--no-cprofile", action="store_true",
+                   help="skip the cProfile pass; just measure sim-rate")
+    p.add_argument("--out", help="append the sim-rate record to this JSON "
+                                 "file (BENCH_timing.json layout)")
+
     p = sub.add_parser("reproduce", help="run every experiment and write "
                                          "RESULTS.md")
     p.add_argument("--out", default="results")
@@ -326,6 +349,47 @@ def _cmd_campaign(args) -> int:
     return 0 if campaign.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from .core.platform import collect_streams
+    from .profiling import measure_simrate, profile_simulation
+
+    config = get_preset(args.config)
+    label = "%s+%s @ %s, policy=%s, %s" % (
+        args.scene, args.compute, args.res, args.policy, args.config)
+    print("collecting traces: %s" % label)
+    streams = collect_streams(config, scene=args.scene, res=args.res,
+                              compute=args.compute)
+    if not args.no_cprofile:
+        report, prof_record = profile_simulation(
+            config, streams, policy=args.policy, top=args.top,
+            sort=args.sort, label=label)
+        print(report, end="")
+        print("profiled run: %d cycles in %.2fs (profiler overhead included)"
+              % (prof_record["cycles"], prof_record["wall_seconds"]))
+    record = measure_simrate(config, streams, policy=args.policy,
+                             repeats=args.repeats, label=label)
+    print("sim-rate: %.0f instr/s, %.0f cycles/s "
+          "(%d instr, %d cycles, %.2fs wall, best of %d)"
+          % (record["instructions_per_second"],
+             record["cycles_per_second"], record["instructions"],
+             record["cycles"], record["wall_seconds"], args.repeats))
+    print(json.dumps(record, sort_keys=True))
+    if args.out:
+        try:
+            with open(args.out, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            doc = {"baseline": None, "runs": []}
+        doc.setdefault("runs", []).append(record)
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print("record -> %s" % args.out)
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from .harness.reproduce import reproduce_all
     records = reproduce_all(args.out, only=args.only)
@@ -375,6 +439,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
+    "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
     "inspect": _cmd_inspect,
 }

@@ -13,7 +13,20 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from .opcodes import DataClass, Op, OpInfo, Space, op_info
+from .opcodes import DataClass, Op, OpInfo, Space, UNIT_INDEX, Unit, op_info
+
+# Field offsets of the flat issue tuple built by :meth:`WarpInstruction.issue_entry`.
+# The timing hot path (scheduler pick / SM issue) walks a per-warp list of
+# these tuples instead of chasing ``inst.info`` attributes on every visit.
+IE_UNIT = 0        # Unit enum (for per-unit stat counters)
+IE_UNIT_IDX = 1    # dense unit index (execution-pipe list index)
+IE_LATENCY = 2     # issue-to-writeback latency
+IE_INITIATION = 3  # pipe initiation interval
+IE_REGS = 4        # scoreboard registers: srcs plus dst when present
+IE_DST = 5         # destination register (-1 = none)
+IE_USES_LDST = 6   # True when the instruction goes down the LDST path
+IE_IS_BAR = 7      # True for CTA barriers
+IE_INST = 8        # the WarpInstruction itself (LDST path, external callers)
 
 
 class MemAccess:
@@ -89,6 +102,22 @@ class WarpInstruction:
         # Issue properties are immutable per opcode; cached here so the hot
         # scheduling loop never touches the enum-keyed lookup table.
         self.info = info
+
+    def issue_entry(self) -> tuple:
+        """Flat issue tuple for the timing hot path (see ``IE_*`` offsets)."""
+        info = self.info
+        regs = self.srcs + (self.dst,) if self.dst >= 0 else self.srcs
+        return (
+            info.unit,
+            UNIT_INDEX[info.unit],
+            info.latency,
+            info.initiation,
+            regs,
+            self.dst,
+            info.unit is Unit.MEM and info.space is not Space.NONE,
+            self.op is Op.BAR,
+            self,
+        )
 
     @property
     def is_mem(self) -> bool:

@@ -25,6 +25,12 @@ class Unit(enum.Enum):
     MEM = "mem"
 
 
+#: Dense index per unit class, so hot paths can use list indexing instead
+#: of enum-keyed dict lookups (enum __hash__ is a Python-level call).
+UNIT_INDEX = {u: i for i, u in enumerate(Unit)}
+UNITS_ORDERED = tuple(Unit)
+
+
 class Space(enum.Enum):
     """Memory spaces a memory instruction can address."""
 

@@ -20,13 +20,27 @@ from .opcodes import DataClass, Op, Space
 class WarpTrace:
     """The dynamic instruction stream of one warp."""
 
-    __slots__ = ("instructions",)
+    __slots__ = ("instructions", "_issue_stream")
 
     def __init__(self, instructions: Optional[List[WarpInstruction]] = None) -> None:
         self.instructions: List[WarpInstruction] = list(instructions or [])
+        self._issue_stream: Optional[List[tuple]] = None
 
     def append(self, inst: WarpInstruction) -> None:
         self.instructions.append(inst)
+        self._issue_stream = None
+
+    def issue_stream(self) -> List[tuple]:
+        """Precomputed flat issue tuples (one per instruction), cached.
+
+        Built once per trace — the timing model's issue loop indexes these
+        instead of dereferencing ``inst.info`` per scheduler visit.
+        """
+        stream = self._issue_stream
+        if stream is None:
+            stream = [inst.issue_entry() for inst in self.instructions]
+            self._issue_stream = stream
+        return stream
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -52,6 +52,17 @@ class SetPartition:
         rng = self.ranges.get(stream)
         return rng[1] if rng else self.num_sets
 
+    def mapping_tables(self) -> Dict[int, List[int]]:
+        """Resolved per-stream set-mapping tables: ``table[raw_set]`` is the
+        mapped index.  The cache installs these once per (re)configuration
+        so the access path replaces the per-access dict probe + modulo with
+        a single list index.  Streams absent from the ratio map keep the
+        identity mapping (no table entry)."""
+        return {
+            stream: [start + (raw % count) for raw in range(self.num_sets)]
+            for stream, (start, count) in self.ranges.items()
+        }
+
 
 class WayPartition:
     """Restricts each stream to a number of ways per set."""
@@ -131,7 +142,20 @@ class SetAssocCache:
         self._pending: Dict[int, int] = {}
         self._use_clock = 0
         self.set_partition: Optional[SetPartition] = None
+        #: Resolved per-stream set-mapping tables (see SetPartition.mapping_tables);
+        #: empty when the cache is unpartitioned.
+        self._set_map: Dict[int, List[int]] = {}
         self.way_partition: Optional[WayPartition] = None
+        # Line/set decomposition fast path: with power-of-two geometry the
+        # divide+modulo becomes shift+mask.
+        line = self.line_size
+        sets = self.num_sets
+        if line & (line - 1) == 0 and sets & (sets - 1) == 0:
+            self._line_shift: Optional[int] = line.bit_length() - 1
+            self._set_mask = sets - 1
+        else:
+            self._line_shift = None
+            self._set_mask = 0
         self.stats: Dict[int, CacheStats] = {}
         #: Ways currently usable (<= assoc).  The Ampere L1 shares one
         #: physical array with shared memory; the SM shrinks/grows this as
@@ -143,8 +167,17 @@ class SetAssocCache:
 
     # -- partition control -------------------------------------------------
     def partition_sets(self, ratios: Optional[Dict[int, int]]) -> None:
-        """Install (or clear, with ``None``) a set-level partition."""
-        self.set_partition = SetPartition(self.num_sets, ratios) if ratios else None
+        """Install (or clear, with ``None``) a set-level partition.
+
+        Re-pointing ranges at runtime (the TAP path) simply calls this again;
+        the resolved mapping tables are rebuilt from scratch each time.
+        """
+        if ratios:
+            self.set_partition = SetPartition(self.num_sets, ratios)
+            self._set_map = self.set_partition.mapping_tables()
+        else:
+            self.set_partition = None
+            self._set_map = {}
 
     def partition_ways(self, ways: Optional[Dict[int, int]]) -> None:
         self.way_partition = WayPartition(self.assoc, ways) if ways else None
@@ -167,11 +200,15 @@ class SetAssocCache:
 
     # -- lookup ------------------------------------------------------------
     def _index(self, line_addr: int, stream: int) -> Tuple[int, int]:
-        raw_set = (line_addr // self.line_size) % self.num_sets
-        if self.set_partition is not None:
-            raw_set = self.set_partition.map_set(stream, raw_set)
-        tag = line_addr // (self.line_size * self.num_sets)
-        # Tags must remain unique after set remapping: fold the raw address in.
+        # Tags are full line addresses so they remain unique after set
+        # remapping; only the set index needs computing.
+        if self._line_shift is not None:
+            raw_set = (line_addr >> self._line_shift) & self._set_mask
+        else:
+            raw_set = (line_addr // self.line_size) % self.num_sets
+        table = self._set_map.get(stream)
+        if table is not None:
+            raw_set = table[raw_set]
         return raw_set, line_addr
 
     def _stats(self, stream: int) -> CacheStats:
@@ -205,10 +242,24 @@ class SetAssocCache:
         resident line missing any of them counts as a (sector) miss.
         """
         self._use_clock += 1
-        st = self._stats(stream)
+        st = self.stats.get(stream)
+        if st is None:
+            st = self._stats(stream)
         st.accesses += 1
-        set_idx, tag = self._index(line_addr, stream)
-        ways = self._ways(stream)
+        # Inlined _index (hot path): shift/mask decomposition plus the
+        # resolved per-stream set-mapping table.
+        if self._line_shift is not None:
+            set_idx = (line_addr >> self._line_shift) & self._set_mask
+        else:
+            set_idx = (line_addr // self.line_size) % self.num_sets
+        table = self._set_map.get(stream)
+        if table is not None:
+            set_idx = table[set_idx]
+        tag = line_addr
+        if self.way_partition is not None:
+            ways = self.way_partition.ways_for(stream)
+        else:
+            ways = range(self.usable_ways)
         cache_set = self._sets[set_idx]
         for w in ways:
             line = cache_set[w]

@@ -43,8 +43,8 @@ class L2Cache:
             SetAssocCache(bank_cfg, name="l2b%d" % i) for i in range(self.num_banks)
         ]
         self.dram = dram or DRAM(config)
-        self._bank_free = [0.0] * self.num_banks
-        self.bank_port_interval = 2.0
+        self._bank_free = [0] * self.num_banks
+        self.bank_port_interval = 2
         # Dirty evictions write back to DRAM at (approximately) the cycle
         # of the access that caused them.
         self._now = 0
@@ -113,9 +113,10 @@ class L2Cache:
         self._now = cycle
         bank_idx = self.bank_of(line_addr, stream)
         bank = self.banks[bank_idx]
-        start = max(float(cycle), self._bank_free[bank_idx])
+        free = self._bank_free[bank_idx]
+        start = cycle if cycle > free else free
         self._bank_free[bank_idx] = start + self.bank_port_interval
-        access_done = int(start) + self.config.l2.hit_latency
+        access_done = start + self.config.l2.hit_latency
         # A fill still in flight: merge into it (MSHR behaviour).
         pending = bank.pending_ready(line_addr)
         if pending is not None:

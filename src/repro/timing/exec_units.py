@@ -9,9 +9,10 @@ issue.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..isa import Unit
+from ..isa.opcodes import UNITS_ORDERED
 
 
 class UnitPipe:
@@ -21,18 +22,20 @@ class UnitPipe:
 
     def __init__(self, unit: Unit) -> None:
         self.unit = unit
-        self.next_free = 0.0
+        self.next_free = 0
         self.issues = 0
 
-    def earliest_issue(self, cycle: int) -> float:
-        return max(float(cycle), self.next_free)
+    def earliest_issue(self, cycle: int) -> int:
+        nf = self.next_free
+        return cycle if cycle > nf else nf
 
     def issue(self, cycle: int, initiation: int) -> int:
         """Issue at (or after) ``cycle``; returns the actual issue cycle."""
-        start = self.earliest_issue(cycle)
+        nf = self.next_free
+        start = cycle if cycle > nf else nf
         self.next_free = start + initiation
         self.issues += 1
-        return int(start)
+        return start
 
 
 class SchedulerUnits:
@@ -40,12 +43,16 @@ class SchedulerUnits:
 
     def __init__(self) -> None:
         self.pipes: Dict[Unit, UnitPipe] = {u: UnitPipe(u) for u in Unit}
+        #: Same pipes indexed by the dense ``UNIT_INDEX`` order — the hot
+        #: path indexes this list with the precomputed unit index instead of
+        #: hashing the enum.
+        self.pipe_list: List[UnitPipe] = [self.pipes[u] for u in UNITS_ORDERED]
 
     def pipe(self, unit: Unit) -> UnitPipe:
         return self.pipes[unit]
 
-    def earliest_issue(self, unit: Unit, cycle: int) -> float:
+    def earliest_issue(self, unit: Unit, cycle: int) -> int:
         return self.pipes[unit].earliest_issue(cycle)
 
-    def busy_until(self, unit: Unit) -> float:
+    def busy_until(self, unit: Unit) -> int:
         return self.pipes[unit].next_free

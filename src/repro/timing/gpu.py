@@ -1,16 +1,24 @@
 """Top-level GPU model: SMs + shared L2/DRAM + CTA scheduler + event loop.
 
-The clock is a single global cycle counter.  Each iteration the loop (1)
-retires CTAs whose last instruction has committed and refills freed
-resources, (2) ticks every SM that can act at the current cycle (each
+The clock is a single global cycle counter.  SMs are tracked in a global
+min-heap keyed by each SM's next-event cycle, so one iteration touches only
+the SMs that can act at the current cycle instead of scanning all of them.
+Each visited cycle the loop (1) retires CTAs whose last instruction has
+committed and refills freed resources, (2) ticks every due SM (each
 scheduler issues at most one instruction per cycle), then (3) jumps the
-clock to the earliest future event any SM reports.  Dense phases advance
-cycle-by-cycle exactly like a classic cycle loop; idle memory-bound gaps are
-skipped without losing cycle accounting.
+clock to the heap's earliest future event.  Dense phases advance
+cycle-by-cycle exactly like a classic cycle loop; idle memory-bound gaps
+are skipped without losing cycle accounting.
+
+Within one visited cycle, due SMs are always processed in ascending SM id —
+the same order the previous full-scan loop used — so shared-state
+interleaving at the L2/DRAM (bank ports, MSHRs) is unchanged and results
+stay bit-identical.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence
 
 from ..config import GPUConfig
@@ -47,6 +55,10 @@ class GPU:
         ]
         self.cta_scheduler = CTAScheduler(config, self.sms, self.policy, gpu=self)
         self._completed_this_step = False
+        #: Global event heap of (next_event_cycle, sm_id, sm).  At most one
+        #: *valid* entry per SM: ``sm._queued_event`` holds the key of that
+        #: entry, and stale entries (key mismatch) are dropped on pop.
+        self._event_heap: List = []
 
     # -- workload setup ---------------------------------------------------------
     def add_stream(self, stream_id: int, kernels: Sequence[KernelTrace]) -> StreamQueue:
@@ -58,6 +70,12 @@ class GPU:
         self._completed_this_step = True
         self.cta_scheduler.on_cta_complete(sm, cta, self.cycle)
 
+    def _push_event(self, sm: SM, t: int) -> None:
+        """Queue (or re-key) ``sm`` in the event heap at cycle ``t``."""
+        if t < sm._queued_event:
+            sm._queued_event = t
+            heapq.heappush(self._event_heap, (t, sm.sm_id, sm))
+
     # -- main loop -----------------------------------------------------------------
     def run(self, max_cycles: int = 200_000_000) -> GPUStats:
         """Simulate until all streams complete; returns the stats object."""
@@ -65,41 +83,75 @@ class GPU:
             raise ValueError("no streams registered; call add_stream first")
         self.policy.configure_memory(self.l2, sorted(self.cta_scheduler.streams))
         cycle = self.cycle
+        heap = self._event_heap
+        for sm in self.sms:
+            sm._queued_event = BLOCKED
+            sm.event_sink = self._push_event
         self.cta_scheduler.fill(cycle)
         interval = self.sample_interval
         next_sample = interval if interval else None
         epoch = self.policy.epoch_interval
         next_epoch = epoch if epoch else None
-        sms = self.sms
         while True:
             self.cycle = cycle
             self._completed_this_step = False
-            for sm in sms:
-                if sm.has_work and sm.next_event_cache <= cycle:
+            # Pop every SM due at this cycle.  Entries whose key no longer
+            # matches the SM's queued key are stale duplicates.
+            due: List[SM] = []
+            while heap and heap[0][0] <= cycle:
+                t, _, sm = heapq.heappop(heap)
+                if t != sm._queued_event:
+                    continue
+                sm._queued_event = BLOCKED
+                due.append(sm)
+            # Heap pops arrive ordered by (cycle, sm_id); restore pure SM-id
+            # order so L2/DRAM interleaving matches the old full-scan loop.
+            due.sort(key=_sm_id)
+            for sm in due:
+                if sm._completions:
                     sm.process_completions(cycle)
-            if self._completed_this_step and self.cta_scheduler.has_issuable_work:
-                self.cta_scheduler.fill(cycle)
-            if self.cta_scheduler.all_complete and not any(
-                sm.has_work for sm in sms
-            ):
-                break
-            for sm in sms:
-                if sm.has_work and sm.next_event_cache <= cycle:
+            if self._completed_this_step:
+                if self.cta_scheduler.has_issuable_work:
+                    self.cta_scheduler.fill(cycle)
+                if self.cta_scheduler.all_complete and not any(
+                    sm.has_work for sm in self.sms
+                ):
+                    break
+                # fill() may have launched onto SMs not yet due this cycle;
+                # their launch events land at cycle 0 — collect them so they
+                # tick this cycle, exactly as the full rescan used to.
+                added = False
+                while heap and heap[0][0] <= cycle:
+                    t, _, sm = heapq.heappop(heap)
+                    if t != sm._queued_event:
+                        continue
+                    sm._queued_event = BLOCKED
+                    due.append(sm)
+                    added = True
+                if added:
+                    due.sort(key=_sm_id)
+            for sm in due:
+                if sm.has_work:
                     sm.tick(cycle)
-                    sm.next_event_cache = sm.next_event(cycle)
+                    t = sm.next_event(cycle)
+                    sm.next_event_cache = t
+                    if t < BLOCKED:
+                        self._push_event(sm, t)
             if next_epoch is not None and cycle >= next_epoch:
                 self.policy.on_epoch(self, cycle)
                 next_epoch = cycle + (epoch or 1)
             if next_sample is not None and cycle >= next_sample:
                 self._sample(cycle)
                 next_sample = cycle + (interval or 1)
+            # Earliest future event = validated heap top.
             nxt = BLOCKED
-            for sm in sms:
-                if not sm.has_work:
+            while heap:
+                t, _, sm = heap[0]
+                if t != sm._queued_event:
+                    heapq.heappop(heap)
                     continue
-                t = sm.next_event_cache
-                if t < nxt:
-                    nxt = t
+                nxt = t
+                break
             if nxt == BLOCKED:
                 # No SM can ever act again.  Either CTAs are waiting for
                 # space that will never free (policy deadlock) or we are done.
@@ -113,7 +165,8 @@ class GPU:
                     continue
                 # Completions may still be queued in the future.
                 pending = [
-                    sm._completions[0][0] for sm in sms if sm._completions
+                    t for t in (sm.next_completion_cycle() for sm in self.sms)
+                    if t is not None
                 ]
                 if pending:
                     cycle = max(cycle + 1, min(pending))
@@ -123,7 +176,7 @@ class GPU:
                         "streams incomplete at cycle %d but no work anywhere" % cycle
                     )
                 break
-            cycle = max(cycle + 1, int(nxt))
+            cycle = max(cycle + 1, nxt)
             if cycle > max_cycles:
                 raise RuntimeError("simulation exceeded %d cycles" % max_cycles)
         self.cycle = cycle
@@ -149,6 +202,10 @@ class GPU:
 
     def kernel_completions(self, stream_id: int):
         return self.cta_scheduler.streams[stream_id].kernel_completions
+
+
+def _sm_id(sm: SM) -> int:
+    return sm.sm_id
 
 
 def simulate(

@@ -53,16 +53,21 @@ class LDSTPath:
         self.l2 = l2
         self.stats = stats
         self.shared_latency = 25
+        # Per-access invariants, resolved once (GPUConfig is frozen).
+        self._l1_hit_latency = config.l1.hit_latency
+        self._icnt_latency = config.icnt_latency
+        self._l1_sectored = bool(config.l1.sector_size)
         # Interconnect injection port: one request per cycle per SM.  A
         # burst of misses queues here before paying the crossbar latency,
         # so memory-divergent kernels feel realistic injection pressure.
-        self._icnt_free = 0.0
+        self._icnt_free = 0
 
     def _inject(self, cycle: int) -> int:
         """Claim the SM's interconnect injection port; returns launch cycle."""
-        start = max(float(cycle), self._icnt_free)
-        self._icnt_free = start + 1.0
-        return int(start)
+        free = self._icnt_free
+        start = cycle if cycle > free else free
+        self._icnt_free = start + 1
+        return start
 
     def update_carveout(self, shared_mem_used: int) -> None:
         """Re-balance the unified array: shared memory in use shrinks the
@@ -92,7 +97,7 @@ class LDSTPath:
         no sector refinement.
         """
         ssize = self.config.l1.sector_size
-        if not ssize or inst.mem is None or inst.mem.sectors is None:
+        if not ssize or inst.mem.sectors is None:
             return 0, None
         from ..memory.cache import sector_mask_of
         sectors = inst.mem.sectors_of_line(line, self._l1_line)
@@ -102,13 +107,21 @@ class LDSTPath:
         return mask, len(sectors) * ssize
 
     def _global_access(self, inst: WarpInstruction, cycle: int, stream: int) -> int:
-        assert inst.mem is not None
-        is_store = inst.info.is_store
-        data_class = inst.mem.data_class
+        mem = inst.mem
+        assert mem is not None
+        info = inst.info
+        is_store = info.is_store
+        bypass_l1 = mem.bypass_l1
+        data_class = mem.data_class
         sstat = self.stats.stream(stream)
+        icnt = self._icnt_latency
+        l2_access = self.l2.access
+        sectored = self._l1_sectored and mem.sectors is not None
         done = cycle
         # Transactions serialise on the L1 port: one line per cycle.
-        for i, line in enumerate(inst.mem.lines):
+        # Coalescing emits sorted, distinct line addresses, so each loop
+        # iteration touches a fresh line — no per-line dedup needed here.
+        for i, line in enumerate(mem.lines):
             t_cycle = cycle + i
             if is_store:
                 # Write-through, no-allocate: update L1 if present, forward
@@ -116,18 +129,20 @@ class LDSTPath:
                 hit = self.l1.probe(line, stream)
                 sstat.note_l1(hit, data_class)
                 launch = self._inject(t_cycle)
-                self.l2.access(line, launch + self.config.icnt_latency,
-                               data_class, stream, is_store=True)
-                completion = t_cycle + inst.info.latency
-            elif inst.mem.bypass_l1:
+                l2_access(line, launch + icnt, data_class, stream,
+                          is_store=True)
+                completion = t_cycle + info.latency
+            elif bypass_l1:
                 # Streaming load (ld.cg): straight to L2, no L1 fill.
                 sstat.mem_transactions += 1
                 launch = self._inject(t_cycle)
-                completion = self.l2.access(
-                    line, launch + self.config.icnt_latency, data_class,
-                    stream) + self.config.icnt_latency
+                completion = l2_access(
+                    line, launch + icnt, data_class, stream) + icnt
             else:
-                mask, fetch_bytes = self._sector_request(inst, line)
+                if sectored:
+                    mask, fetch_bytes = self._sector_request(inst, line)
+                else:
+                    mask, fetch_bytes = 0, None
                 completion = self._load_line(line, t_cycle, data_class,
                                              stream, mask, fetch_bytes)
             if completion > done:
@@ -138,43 +153,46 @@ class LDSTPath:
                    stream: int, sector_mask: int = 0,
                    fetch_bytes: Optional[int] = None) -> int:
         sstat = self.stats.stream(stream)
-        pending: Optional[int] = self.l1.pending_ready(line)
+        l1 = self.l1
+        hit_latency = self._l1_hit_latency
+        pending: Optional[int] = l1._pending.get(line)
         if pending is not None:
             if pending > cycle:
-                hit, merged = self.l1.access(line, cycle, data_class, stream,
-                                             sector_mask=sector_mask)
+                hit, merged = l1.access(line, cycle, data_class, stream,
+                                        sector_mask=sector_mask)
                 sstat.note_l1(hit or merged, data_class)
                 if hit or merged:
-                    return max(cycle + self.config.l1.hit_latency, pending)
+                    done = cycle + hit_latency
+                    return done if done > pending else pending
                 # Sector miss on the in-flight line: fetch the rest below.
             else:
-                self.l1.complete_pending(line)
-                hit, _ = self.l1.access(line, cycle, data_class, stream,
-                                        sector_mask=sector_mask)
+                l1.complete_pending(line)
+                hit, _ = l1.access(line, cycle, data_class, stream,
+                                   sector_mask=sector_mask)
                 sstat.note_l1(hit, data_class)
                 if hit:
-                    return cycle + self.config.l1.hit_latency
+                    return cycle + hit_latency
         else:
-            hit, _ = self.l1.access(line, cycle, data_class, stream,
-                                    sector_mask=sector_mask)
+            hit, _ = l1.access(line, cycle, data_class, stream,
+                               sector_mask=sector_mask)
             sstat.note_l1(hit, data_class)
             if hit:
-                return cycle + self.config.l1.hit_latency
+                return cycle + hit_latency
         # Miss: allocate an MSHR (stalling until one frees if the file is
         # full), cross the interconnect, access L2, come back, fill.
-        if not self.l1.mshr_free:
-            self.l1.purge_pending(cycle)
-            if not self.l1.mshr_free:
-                wait = self.l1.earliest_pending()
+        if not l1.mshr_free:
+            l1.purge_pending(cycle)
+            if not l1.mshr_free:
+                wait = l1.earliest_pending()
                 assert wait is not None
                 cycle = max(cycle, wait)
-                self.l1.purge_pending(cycle)
+                l1.purge_pending(cycle)
+        icnt = self._icnt_latency
         launch = self._inject(cycle)
-        l2_ready = self.l2.access(line, launch + self.config.icnt_latency,
-                                  data_class, stream,
+        l2_ready = self.l2.access(line, launch + icnt, data_class, stream,
                                   sector_mask=sector_mask,
                                   fetch_bytes=fetch_bytes)
-        ready = l2_ready + self.config.icnt_latency
-        self.l1.fill(line, data_class, stream, sector_mask)
-        self.l1.note_pending(line, ready)
+        ready = l2_ready + icnt
+        l1.fill(line, data_class, stream, sector_mask)
+        l1.note_pending(line, ready)
         return ready

@@ -13,6 +13,11 @@ current scoreboard/unit state and re-pushed if not actually ready — the
 classic lazy-deletion priority queue.  This keeps issue selection
 O(log warps) instead of O(warps), which is what makes whole-frame
 simulations tractable in Python.
+
+The re-validation is the single hottest computation in the simulator, so it
+is inlined here against the warp's precomputed issue tuple (``warp.cur``)
+rather than layered through ``dep_ready_cycle`` / ``units.earliest_issue``
+calls: one scoreboard walk plus one pipe-list index per visit.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import itertools
 from typing import List, Optional, Tuple
 
 from ..isa import WarpInstruction
+from ..isa.instructions import IE_INST, IE_REGS, IE_UNIT_IDX
 from .exec_units import SchedulerUnits
 from .warp import BLOCKED, WarpContext
 
@@ -40,8 +46,9 @@ class GTOScheduler:
             raise ValueError("scheduler policy must be 'gto' or 'lrr'")
         self.index = index
         self.units = units
+        self._pipes = units.pipe_list
         self.policy = policy
-        self._heap: List[Tuple[float, int, WarpContext]] = []
+        self._heap: List[Tuple[int, int, WarpContext]] = []
         self._seq = itertools.count()
         self._greedy: Optional[WarpContext] = None
         self._last_warp_id = -1
@@ -49,27 +56,39 @@ class GTOScheduler:
         self.issued = 0
         #: Earliest cycle this scheduler may act; maintained by the SM tick
         #: loop so stalled schedulers are skipped without rescanning.
-        self.next_event_cache = 0.0
+        self.next_event_cache = 0
 
     # -- membership ----------------------------------------------------------
     def add_warp(self, warp: WarpContext) -> None:
-        heapq.heappush(self._heap, (0.0, next(self._seq), warp))
-        self.next_event_cache = 0.0
+        heapq.heappush(self._heap, (0, next(self._seq), warp))
+        self.next_event_cache = 0
 
-    def wake(self, warp: WarpContext, time: float) -> None:
+    def wake(self, warp: WarpContext, time: int) -> None:
         """Re-queue a warp parked on a barrier."""
         heapq.heappush(self._heap, (time, next(self._seq), warp))
         if time < self.next_event_cache:
             self.next_event_cache = time
 
-    def _issue_time(self, warp: WarpContext, cycle: int) -> float:
-        dep = warp.dep_ready_cycle()
-        if dep == BLOCKED:
+    def _issue_time(self, warp: WarpContext, cycle: int) -> int:
+        """Earliest cycle ``warp``'s next instruction can issue (>= cycle).
+
+        Callers guarantee the warp is neither done nor barrier-parked; the
+        scoreboard walk and structural check are inlined against the warp's
+        current issue tuple.
+        """
+        if warp.done or warp.barrier_wait:
             return BLOCKED
-        inst = warp.peek()
-        assert inst is not None
-        structural = self.units.earliest_issue(inst.info.unit, cycle)
-        return max(dep, structural, float(cycle))
+        entry = warp.cur
+        ready = warp.stall_until
+        sb = warp.scoreboard
+        for reg in entry[IE_REGS]:
+            t = sb.get(reg, 0)
+            if t > ready:
+                ready = t
+        nf = self._pipes[entry[IE_UNIT_IDX]].next_free
+        if nf > ready:
+            ready = nf
+        return ready if ready > cycle else cycle
 
     # -- selection -------------------------------------------------------------
     def pick(self, cycle: int) -> Optional[Tuple[WarpContext, WarpInstruction]]:
@@ -78,28 +97,42 @@ class GTOScheduler:
         if self.policy == "gto":
             g = self._greedy
             if g is not None and not g.done and not g.barrier_wait:
-                if self._issue_time(g, cycle) <= cycle:
-                    inst = g.peek()
-                    assert inst is not None
-                    return g, inst
+                # Inline _issue_time for the greedy fast path.
+                entry = g.cur
+                ready = g.stall_until
+                sb = g.scoreboard
+                for reg in entry[IE_REGS]:
+                    t = sb.get(reg, 0)
+                    if t > ready:
+                        ready = t
+                if ready <= cycle and \
+                        self._pipes[entry[IE_UNIT_IDX]].next_free <= cycle:
+                    return g, entry[IE_INST]
             return self._pick_from_heap(cycle)
         return self._pick_lrr(cycle)
 
     def _pick_from_heap(self, cycle: int
                         ) -> Optional[Tuple[WarpContext, WarpInstruction]]:
         heap = self._heap
+        pipes = self._pipes
         while heap and heap[0][0] <= cycle:
             _, _, w = heapq.heappop(heap)
             if w.done or w.barrier_wait:
                 continue  # done warps are dropped; parked warps re-queued by wake()
-            t = self._issue_time(w, cycle)
-            if t <= cycle:
+            entry = w.cur
+            ready = w.stall_until
+            sb = w.scoreboard
+            for reg in entry[IE_REGS]:
+                t = sb.get(reg, 0)
+                if t > ready:
+                    ready = t
+            nf = pipes[entry[IE_UNIT_IDX]].next_free
+            if nf > ready:
+                ready = nf
+            if ready <= cycle:
                 self._picked_from_heap = True
-                inst = w.peek()
-                assert inst is not None
-                return w, inst
-            if t != BLOCKED:
-                heapq.heappush(heap, (t, next(self._seq), w))
+                return w, entry[IE_INST]
+            heapq.heappush(heap, (ready, next(self._seq), w))
         return None
 
     def _pick_lrr(self, cycle: int
@@ -107,7 +140,7 @@ class GTOScheduler:
         """Loose round robin: among warps ready now, pick the one whose id
         follows the last issued warp's (wrapping)."""
         heap = self._heap
-        ready: List[Tuple[float, int, WarpContext]] = []
+        ready: List[Tuple[int, int, WarpContext]] = []
         while heap and heap[0][0] <= cycle:
             entry = heapq.heappop(heap)
             w = entry[2]
@@ -136,7 +169,7 @@ class GTOScheduler:
         assert inst is not None
         return w, inst
 
-    def note_issued(self, warp: WarpContext, next_estimate: float) -> None:
+    def note_issued(self, warp: WarpContext, next_estimate: int) -> None:
         """Record the issue; re-queue the warp for its next instruction."""
         self.issued += 1
         self._greedy = warp if not warp.done else None
@@ -146,7 +179,7 @@ class GTOScheduler:
         self._picked_from_heap = False
 
     # -- event horizon -----------------------------------------------------------
-    def next_event(self, cycle: int) -> float:
+    def next_event(self, cycle: int) -> int:
         """Earliest future cycle at which this scheduler may act.
 
         Estimates may be stale-low; the GPU loop simply visits that cycle
@@ -160,10 +193,7 @@ class GTOScheduler:
         heap = self._heap
         while heap:
             est, _, w = heap[0]
-            if w.done:
-                heapq.heappop(heap)
-                continue
-            if w.barrier_wait:
+            if w.done or w.barrier_wait:
                 heapq.heappop(heap)
                 continue
             if est < best:

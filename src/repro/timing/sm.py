@@ -5,6 +5,10 @@ tracks on-chip resource usage per stream (the accounting fine-grained
 intra-SM partitioning needs, Section III-A), and advances in an
 event-skipping cycle loop: ``tick`` is only called at cycles where at least
 one scheduler may act, and reports the next cycle it needs.
+
+The per-issue path reads the warp's precomputed issue tuple (built once at
+trace load) instead of dereferencing ``inst.info`` attributes, and commits
+stats through the StreamStats object cached on the warp context.
 """
 
 from __future__ import annotations
@@ -13,7 +17,10 @@ import heapq
 from typing import Callable, Dict, List, Optional
 
 from ..config import GPUConfig
-from ..isa import CTAResources, CTATrace, KernelTrace, Op, Space, Unit
+from ..isa import CTAResources, CTATrace, KernelTrace
+from ..isa.instructions import (
+    IE_INITIATION, IE_IS_BAR, IE_LATENCY, IE_UNIT, IE_UNIT_IDX, IE_USES_LDST,
+)
 from ..memory import L2Cache
 from .exec_units import SchedulerUnits
 from .ldst import LDSTPath
@@ -73,7 +80,14 @@ class SM:
         #: Earliest cycle this SM may need attention; the GPU loop skips the
         #: SM entirely until then.  Only this SM's own actions can move it
         #: earlier, so launch/tick refresh it.
-        self.next_event_cache = 0.0
+        self.next_event_cache = 0
+        #: Key of this SM's valid entry in the GPU's global event heap
+        #: (BLOCKED = not queued).  Owned by the GPU loop.
+        self._queued_event = BLOCKED
+        #: Notification hook the GPU's event heap installs: called with
+        #: ``(sm, cycle)`` whenever an action outside the GPU loop's own
+        #: update point (a CTA launch) lowers this SM's next event.
+        self.event_sink: Optional[Callable[["SM", int], None]] = None
         #: Per-stream instructions issued on this SM (Warped-Slicer sampling
         #: reads deltas of these to build its IPC-vs-quota curves).
         self.issued_by_stream: Dict[int, int] = {}
@@ -110,11 +124,14 @@ class SM:
         sstat = self.stats.stream(stream)
         sstat.ctas_launched += 1
         sstat.warps_launched += len(trace.warps)
+        if stream not in self.issued_by_stream:
+            self.issued_by_stream[stream] = 0
         if res.shared_mem:
             self.ldst.update_carveout(
                 self.config.shared_mem_per_sm - self.free_shared_mem)
         for wt in trace.warps:
-            ctx = WarpContext(wt, stream, cta, warp_id=len(cta.warps))
+            ctx = WarpContext(wt, stream, cta, warp_id=len(cta.warps),
+                              sstat=sstat)
             cta.warps.append(ctx)
             if not ctx.done:
                 cta.live_warps += 1
@@ -125,7 +142,9 @@ class SM:
         if cta.live_warps == 0:
             self._retire_cta(cta, complete_cycle=0)
         self.resident.append(cta)
-        self.next_event_cache = 0.0
+        self.next_event_cache = 0
+        if self.event_sink is not None:
+            self.event_sink(self, 0)
         return cta
 
     def _retire_cta(self, cta: ResidentCTA, complete_cycle: int) -> None:
@@ -162,6 +181,12 @@ class SM:
                 self.on_cta_complete(self, cta)
         return freed
 
+    def next_completion_cycle(self) -> Optional[int]:
+        """Cycle of the earliest queued CTA completion, or None."""
+        if not self._completions:
+            return None
+        return self._completions[0][0]
+
     # -- execution -----------------------------------------------------------
     def tick(self, cycle: int) -> None:
         """Issue at most one instruction per scheduler at ``cycle``."""
@@ -177,26 +202,34 @@ class SM:
             sched.next_event_cache = cycle + 1
 
     def _issue(self, sched: GTOScheduler, warp: WarpContext, inst, cycle: int) -> None:
-        info = inst.info
-        pipe = sched.units.pipe(info.unit)
-        issue_cycle = pipe.issue(cycle, info.initiation)
-        if info.unit is Unit.MEM and info.space is not Space.NONE:
+        entry = warp.cur
+        pipe = sched._pipes[entry[IE_UNIT_IDX]]
+        issue_cycle = pipe.issue(cycle, entry[IE_INITIATION])
+        if entry[IE_USES_LDST]:
             complete = self.ldst.issue(inst, issue_cycle, warp.stream)
         else:
-            complete = issue_cycle + info.latency
-        if inst.op is Op.BAR:
+            complete = issue_cycle + entry[IE_LATENCY]
+        if entry[IE_IS_BAR]:
             self._barrier(warp, issue_cycle)
         warp.commit_issue(inst, issue_cycle, complete)
         if warp.done or warp.barrier_wait:
-            estimate = float(issue_cycle + 1)
+            estimate = issue_cycle + 1
         else:
-            estimate = max(warp.dep_ready_cycle(), float(issue_cycle + 1))
+            dep = warp.dep_ready_cycle()
+            nxt = issue_cycle + 1
+            estimate = dep if dep > nxt else nxt
         sched.note_issued(warp, estimate)
-        sstat = self.stats.stream(warp.stream)
-        sstat.note_issue(info.unit, issue_cycle)
-        sstat.note_commit(complete)
-        self.issued_by_stream[warp.stream] = \
-            self.issued_by_stream.get(warp.stream, 0) + 1
+        # Inlined StreamStats.note_issue / note_commit (hot path).
+        sstat = warp.sstat
+        if sstat is None:
+            sstat = self.stats.stream(warp.stream)
+        sstat.instructions += 1
+        sstat.issue_by_unit[entry[IE_UNIT]] += 1
+        if sstat.first_issue_cycle is None or issue_cycle < sstat.first_issue_cycle:
+            sstat.first_issue_cycle = issue_cycle
+        if complete > sstat.last_commit_cycle:
+            sstat.last_commit_cycle = complete
+        self.issued_by_stream[warp.stream] += 1
         if warp.done:
             cta = warp.cta
             cta.live_warps -= 1
@@ -217,13 +250,13 @@ class SM:
                     # release point.
                     if release > w.stall_until:
                         w.stall_until = release
-                    self.schedulers[w.home_sched].wake(w, float(release))
+                    self.schedulers[w.home_sched].wake(w, release)
             cta.barrier_arrived = 0
         else:
             warp.barrier_wait = True
 
     # -- event horizon ---------------------------------------------------------
-    def next_event(self, cycle: int) -> float:
+    def next_event(self, cycle: int) -> int:
         """Earliest future cycle this SM needs to be ticked at."""
         best = BLOCKED
         for sched in self.schedulers:
@@ -231,7 +264,7 @@ class SM:
             if t < best:
                 best = t
         if self._completions and self._completions[0][0] < best:
-            best = float(self._completions[0][0])
+            best = self._completions[0][0]
         return best
 
     @property

@@ -5,6 +5,10 @@ Dependencies are tracked with a per-warp scoreboard mapping register ids to
 the cycle their value becomes available.  The warp exposes the earliest
 cycle its next instruction could issue, which the scheduler and the SM's
 event loop use to skip idle cycles without losing cycle-level accounting.
+
+The hot issue path never touches :class:`~repro.isa.WarpInstruction`
+attributes: the warp walks the trace's precomputed flat issue tuples
+(``WarpTrace.issue_stream``), keeping the current entry in ``cur``.
 """
 
 from __future__ import annotations
@@ -12,28 +16,38 @@ from __future__ import annotations
 from typing import Dict, Optional, TYPE_CHECKING
 
 from ..isa import WarpInstruction, WarpTrace
+from ..isa.instructions import IE_INST, IE_REGS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .sm import ResidentCTA
+    from .stats import StreamStats
 
-#: Sentinel issue time for warps blocked on a barrier.
-BLOCKED = float("inf")
+#: Sentinel issue time for warps blocked on a barrier.  An int (not inf) so
+#: every cycle quantity in the timing core stays integer arithmetic — float
+#: cycles mixed with int cycles risk precision drift on very long runs.
+BLOCKED = 1 << 62
 
 
 class WarpContext:
     """Dynamic state of one resident warp."""
 
     __slots__ = (
-        "trace", "insts", "pc", "scoreboard", "stream", "cta", "warp_id",
-        "last_issue_cycle", "done", "barrier_wait", "last_commit_cycle",
-        "stall_until", "home_sched",
+        "trace", "insts", "stream_entries", "cur", "pc", "scoreboard",
+        "stream", "cta", "warp_id", "last_issue_cycle", "done",
+        "barrier_wait", "last_commit_cycle", "stall_until", "home_sched",
+        "sstat",
     )
 
     def __init__(self, trace: WarpTrace, stream: int, cta: "ResidentCTA",
-                 warp_id: int) -> None:
+                 warp_id: int, sstat: Optional["StreamStats"] = None) -> None:
         self.trace = trace
         self.insts = trace.instructions
+        #: Flat per-warp issue tuples, shared with every replay of the trace.
+        self.stream_entries = trace.issue_stream()
         self.pc = 0
+        #: The issue tuple at ``pc`` (None once the warp is done).
+        self.cur: Optional[tuple] = (
+            self.stream_entries[0] if self.stream_entries else None)
         self.scoreboard: Dict[int, int] = {}
         self.stream = stream
         self.cta = cta
@@ -44,31 +58,27 @@ class WarpContext:
         self.barrier_wait = False
         self.stall_until = 0
         self.home_sched = 0
+        #: The owning stream's StreamStats, resolved once at launch so the
+        #: issue path never goes through ``stats.stream(id)``.
+        self.sstat = sstat
 
     def peek(self) -> Optional[WarpInstruction]:
         if self.done:
             return None
-        return self.insts[self.pc]
+        return self.cur[IE_INST]
 
-    def dep_ready_cycle(self) -> float:
+    def dep_ready_cycle(self) -> int:
         """Earliest cycle the next instruction's source operands are ready.
 
         The destination register is also checked (WAW through the
         scoreboard), mirroring GPGPU-Sim's per-warp in-order issue rules.
         """
-        if self.done:
+        if self.done or self.barrier_wait:
             return BLOCKED
-        if self.barrier_wait:
-            return BLOCKED
-        inst = self.insts[self.pc]
         ready = self.stall_until
         sb = self.scoreboard
-        for reg in inst.srcs:
+        for reg in self.cur[IE_REGS]:
             t = sb.get(reg, 0)
-            if t > ready:
-                ready = t
-        if inst.dst >= 0:
-            t = sb.get(inst.dst, 0)
             if t > ready:
                 ready = t
         return ready
@@ -81,9 +91,13 @@ class WarpContext:
         self.last_issue_cycle = issue_cycle
         if complete_cycle > self.last_commit_cycle:
             self.last_commit_cycle = complete_cycle
-        self.pc += 1
-        if self.pc >= len(self.insts):
+        pc = self.pc + 1
+        self.pc = pc
+        if pc >= len(self.insts):
             self.done = True
+            self.cur = None
+        else:
+            self.cur = self.stream_entries[pc]
 
     def __repr__(self) -> str:
         return "WarpContext(stream=%d, warp=%d, pc=%d/%d%s)" % (

@@ -1,0 +1,74 @@
+"""Golden-stats regression gate for the timing core.
+
+The hot-path overhaul (global event heap, precomputed issue tuples,
+resolved set-mapping tables) is a pure refactor: simulated behaviour must
+be *bit-identical* to the pre-optimisation simulator.  These tests pin
+that contract by replaying the reference workload (sponza + hologram at
+nano on JetsonOrin-mini) under every partition policy and comparing the
+full ``GPUStats.to_dict()`` tree against snapshots in ``tests/golden/``,
+which were generated with the pre-overhaul code.
+
+If a deliberate model change alters the numbers, regenerate the snapshots
+(json.dump(stats.to_dict(), f, indent=1, sort_keys=True)) and say so in
+the commit message — never update them to paper over an accidental diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import get_preset
+from repro.core.platform import collect_streams, execute_streams
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "golden")
+POLICIES = ("shared", "mps", "mig", "fg-even", "warped-slicer", "tap")
+
+
+@pytest.fixture(scope="module")
+def reference_workload():
+    """(config, streams) for the golden workload, built once per module."""
+    config = get_preset("JetsonOrin-mini")
+    streams = collect_streams(config, scene="SPL", res="nano",
+                              compute="HOLO")
+    return config, streams
+
+
+def _canonical(stats) -> dict:
+    # Round-trip through JSON so int dict keys and tuples collapse to the
+    # same shapes the golden files hold.
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_golden_stats(reference_workload, policy):
+    config, streams = reference_workload
+    path = os.path.join(GOLDEN_DIR, "sponza_hologram_nano_%s.json" % policy)
+    with open(path, "r", encoding="utf-8") as f:
+        golden = json.load(f)
+    stats, _ = execute_streams(config, streams, policy=policy)
+    got = _canonical(stats)
+    assert got == golden, (
+        "GPUStats diverged from golden snapshot under policy=%s" % policy)
+
+
+def test_simrate_smoke(reference_workload):
+    """Tier-1 canary: the reference run must stay fast.
+
+    The bound is deliberately loose (the golden runs take ~0.5s each on
+    the overhauled core) — it exists to catch order-of-magnitude
+    regressions like an accidental return to per-cycle full scans, not to
+    benchmark.  Real rates live in benchmarks/test_timing_simrate.py.
+    """
+    config, streams = reference_workload
+    t0 = time.perf_counter()
+    stats, _ = execute_streams(config, streams, policy="mps")
+    wall = time.perf_counter() - t0
+    assert stats.total_instructions > 0
+    assert wall < 60.0, (
+        "reference run took %.1fs; timing-core fast path has regressed"
+        % wall)

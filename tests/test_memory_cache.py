@@ -196,6 +196,110 @@ class TestWayPartition:
         assert load(c, 0, stream=0)
 
 
+class TestResolvedMappingTables:
+    """The access fast path replaces SetPartition.map_set with per-stream
+    tables installed at partition_sets time; these pin the table semantics
+    against the reference map_set."""
+
+    def test_tables_match_map_set(self):
+        p = SetPartition(8, {0: 5, 1: 3})
+        tables = p.mapping_tables()
+        for stream in (0, 1):
+            for raw in range(8):
+                assert tables[stream][raw] == p.map_set(stream, raw)
+
+    def test_absent_stream_has_no_table(self):
+        p = SetPartition(8, {0: 4})
+        assert 9 not in p.mapping_tables()
+
+    def test_absent_stream_identity_via_cache(self):
+        # A stream outside the ratio map must see the full, unremapped
+        # cache even while a partition is installed.
+        c = small_cache(assoc=1, sets=8)
+        c.partition_sets({0: 4, 1: 4})
+        for i in range(8):
+            load(c, i * 128, stream=9)
+        assert all(load(c, i * 128, stream=9) for i in range(8))
+
+    def test_single_set_range(self):
+        p = SetPartition(8, {0: 1, 1: 7})
+        table = p.mapping_tables()[0]
+        assert table == [0] * 8
+        c = small_cache(assoc=1, sets=8)
+        c.partition_sets({0: 1, 1: 7})
+        # Every stream-0 line maps to the same set: each load evicts the
+        # previous one under assoc=1.
+        load(c, 0, stream=0)
+        load(c, 128, stream=0)
+        assert not load(c, 0, stream=0)
+
+    def test_repartition_rebuilds_tables(self):
+        # TAP re-points ranges at runtime by calling partition_sets again;
+        # the resolved tables must follow, not keep the stale geometry.
+        c = small_cache(assoc=1, sets=8)
+        c.partition_sets({0: 6, 1: 2})
+        first = dict(c._set_map)
+        c.partition_sets({0: 2, 1: 6})
+        second = c._set_map
+        assert first[0] != second[0]
+        assert set(second[0]) == set(range(2))
+        assert set(second[1]) == set(range(2, 8))
+
+    def test_clear_partition_restores_identity(self):
+        c = small_cache(assoc=1, sets=8)
+        c.partition_sets({0: 2, 1: 2})
+        c.partition_sets(None)
+        assert c.set_partition is None
+        assert c._set_map == {}
+        for i in range(8):
+            load(c, i * 128, stream=0)
+        assert all(load(c, i * 128, stream=0) for i in range(8))
+
+    def test_non_power_of_two_geometry_falls_back(self):
+        # 3 sets defeats the shift/mask fast path; the divide/mod fallback
+        # must agree with partitioned behaviour.
+        cfg = CacheConfig(size_bytes=3 * 2 * 128, assoc=2)
+        c = SetAssocCache(cfg, "odd")
+        assert c.num_sets == 3
+        assert c._line_shift is None
+        c.partition_sets({0: 1, 1: 2})
+        load(c, 0, stream=0)
+        load(c, 128, stream=0)
+        load(c, 256, stream=0)   # all three collapse to stream 0's one set
+        comp = c.composition_by_stream()
+        assert comp.get(0, 0) <= 2  # bounded by assoc within a single set
+
+
+class TestWayPartitionEdgeCases:
+    def test_absent_stream_uses_all_ways(self):
+        p = WayPartition(4, {0: 2})
+        assert list(p.ways_for(7)) == [0, 1, 2, 3]
+
+    def test_single_way_range(self):
+        c = small_cache(assoc=4, sets=1)
+        c.partition_ways({0: 1, 1: 3})
+        load(c, 0, stream=0)
+        load(c, 128, stream=0)   # evicts the only stream-0 way
+        assert not load(c, 0, stream=0)  # 128 evicted it; this refills 0
+        assert load(c, 0, stream=0)
+        # Stream 1's three ways were never touched by the churn above.
+        load(c, 256, stream=1)
+        assert load(c, 256, stream=1)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            WayPartition(4, {0: 0, 1: 4})
+
+    def test_clear_way_partition(self):
+        c = small_cache(assoc=2, sets=1)
+        c.partition_ways({0: 1, 1: 1})
+        c.partition_ways(None)
+        assert c.way_partition is None
+        load(c, 0, stream=0)
+        load(c, 128, stream=0)
+        assert load(c, 0, stream=0)  # both ways usable again
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
                 min_size=1, max_size=200))
