@@ -1,0 +1,22 @@
+# Developer entry points; CI (.github/workflows/ci.yml) calls these too.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test lint bench bench-smoke
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks
+
+# The two wall-clock gates: timing-core sim-rate and telemetry overhead.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m bench -s \
+		benchmarks/test_timing_simrate.py \
+		benchmarks/test_telemetry_overhead.py
+
+# The full figure/table reproduction suite.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q

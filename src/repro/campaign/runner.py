@@ -23,6 +23,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry.runlog import RunLog
 from ..timing import GPUStats
 from .cache import ResultCache
 from .execute import (
@@ -112,6 +113,10 @@ class CampaignResult:
             json.dump(self.to_dict(), f, indent=1)
 
 
+#: Heartbeat log name inside a campaign telemetry directory.
+HEARTBEAT_FILE = "heartbeats.jsonl"
+
+
 class CampaignRunner:
     """Runs job lists; construct once, reuse across campaigns."""
 
@@ -120,7 +125,8 @@ class CampaignRunner:
                  cache_dir: Optional[str] = None,
                  timeout: Optional[float] = None,
                  retries: int = 1,
-                 progress: bool = False) -> None:
+                 progress: bool = False,
+                 telemetry_dir: Optional[str] = None) -> None:
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.workers = max(1, int(workers))
@@ -128,6 +134,14 @@ class CampaignRunner:
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.progress = progress
+        self.telemetry_dir = telemetry_dir
+        self.heartbeat_path = (os.path.join(telemetry_dir, HEARTBEAT_FILE)
+                               if telemetry_dir else None)
+        self._hb: Optional[RunLog] = None
+
+    def _heartbeat(self, kind: str, **fields) -> None:
+        if self._hb is not None:
+            self._hb.emit(kind, unix_time=time.time(), **fields)
 
     # -- execution ------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> CampaignResult:
@@ -139,6 +153,13 @@ class CampaignRunner:
             fingerprints, labels,
             self.cache.manifests_dir if self.cache is not None else None)
         reporter = ProgressReporter(len(jobs), enabled=self.progress)
+        if self.heartbeat_path is not None:
+            os.makedirs(self.telemetry_dir, exist_ok=True)
+            self._hb = RunLog(self.heartbeat_path, live=True)
+            self._heartbeat("campaign_start",
+                            campaign_id=manifest.campaign_id,
+                            jobs=len(jobs), workers=self.workers,
+                            labels=labels)
 
         results: List[Optional[JobResult]] = [None] * len(jobs)
 
@@ -191,13 +212,23 @@ class CampaignRunner:
 
         manifest.save()
         reporter.close()
-        return CampaignResult(
+        campaign = CampaignResult(
             campaign_id=manifest.campaign_id,
             jobs=jobs,
             results=[r for r in results if r is not None],
             wall_seconds=time.perf_counter() - started,
             manifest_path=manifest.path,
         )
+        if self._hb is not None:
+            self._heartbeat("campaign_end",
+                            campaign_id=manifest.campaign_id,
+                            executed=campaign.executed,
+                            cached=campaign.cached,
+                            failed=campaign.failed,
+                            wall_seconds=campaign.wall_seconds)
+            self._hb.close()
+            self._hb = None
+        return campaign
 
     def _finish(self, manifest: CampaignManifest,
                 reporter: ProgressReporter, fingerprint: str,
@@ -206,6 +237,10 @@ class CampaignRunner:
                         wall_seconds=result.wall_seconds,
                         error=result.error)
         manifest.save()
+        self._heartbeat("job_done", fingerprint=fingerprint,
+                        label=result.label, status=result.status,
+                        wall_seconds=result.wall_seconds,
+                        attempts=result.attempts)
         reporter.job_done(result)
 
     def _execute_wave(self, wave: Sequence[Tuple[int, Job, str]],
@@ -213,6 +248,8 @@ class CampaignRunner:
         if self.workers <= 1 or len(wave) <= 1:
             out = []
             for _, job, fp in wave:
+                self._heartbeat("job_start", fingerprint=fp,
+                                label=job.display_label)
                 result = run_job_guarded(job, self.timeout)
                 on_complete(job, fp, result)
                 out.append(result)
@@ -220,10 +257,11 @@ class CampaignRunner:
         results: List[Optional[JobResult]] = [None] * len(wave)
         with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(wave))) as pool:
-            futures = {
-                pool.submit(run_job_guarded, job, self.timeout): idx
-                for idx, (_, job, _) in enumerate(wave)
-            }
+            futures = {}
+            for idx, (_, job, fp) in enumerate(wave):
+                self._heartbeat("job_start", fingerprint=fp,
+                                label=job.display_label)
+                futures[pool.submit(run_job_guarded, job, self.timeout)] = idx
             for future in as_completed(futures):
                 idx = futures[future]
                 _, job, fp = wave[idx]
@@ -246,8 +284,10 @@ def run_campaign(jobs: Sequence[Job], workers: int = 1,
                  cache_dir: Optional[str] = None,
                  timeout: Optional[float] = None,
                  retries: int = 1,
-                 progress: bool = False) -> CampaignResult:
+                 progress: bool = False,
+                 telemetry_dir: Optional[str] = None) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(workers=workers, cache_dir=cache_dir,
                           timeout=timeout, retries=retries,
-                          progress=progress).run(jobs)
+                          progress=progress,
+                          telemetry_dir=telemetry_dir).run(jobs)

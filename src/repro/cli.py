@@ -7,11 +7,22 @@ Subcommands::
     python -m repro trace-compute VIO --save-trace vio.gz
     python -m repro simulate --graphics spl.gz --compute vio.gz \
         --policy fg-even --config JetsonOrin-mini --csv stats.csv
+    python -m repro simulate --graphics spl.gz --compute vio.gz \
+        --telemetry out/         # metrics.jsonl + Perfetto trace.json
+    python -m repro telemetry out/   # text timeline + stall attribution
     python -m repro figure fig9
 
 Traces saved by ``render`` / ``trace-compute`` are replayed by
 ``simulate`` — collect once, sweep policies many times, exactly the
 artifact workflow.
+
+``--telemetry DIR`` (on ``simulate`` and ``campaign``) enables the
+repro.telemetry recorder: interval counter samples with stall-reason
+attribution land in ``DIR/metrics.jsonl``, kernel/CTA/repartition spans in
+``DIR/trace.json`` (open in https://ui.perfetto.dev), and campaign runs
+write live per-job heartbeats to ``DIR/heartbeats.jsonl``.  ``repro
+telemetry DIR`` renders a collected directory as a text timeline /
+flamegraph-style summary.
 """
 
 from __future__ import annotations
@@ -94,7 +105,13 @@ def _cmd_simulate(args) -> int:
         return 2
     policy = (make_policy(args.policy, config, sorted(streams))
               if len(streams) > 1 else None)
-    gpu = GPU(config, policy=policy, sample_interval=args.sample_interval)
+    telemetry = None
+    if args.telemetry:
+        from .telemetry import Telemetry
+        telemetry = Telemetry(out_dir=args.telemetry,
+                              sample_interval=args.sample_interval or 1000)
+    gpu = GPU(config, policy=policy, sample_interval=args.sample_interval,
+              telemetry=telemetry)
     for sid, kernels in sorted(streams.items()):
         gpu.add_stream(sid, kernels)
     stats = gpu.run()
@@ -107,10 +124,16 @@ def _cmd_simulate(args) -> int:
               "L1 hit %.1f%%"
               % (sid, tag, summary["instructions"], summary["busy_cycles"],
                  summary["ipc"], summary["l1_hit_rate"] * 100))
+    if telemetry is not None:
+        for kind, path in sorted(telemetry.close().items()):
+            print("%s -> %s" % (kind, path))
     if args.csv:
-        from .harness.report import write_sim_report
+        from .harness.report import write_sim_report, write_timeline_csvs
         write_sim_report(args.csv, stats)
         print("stats -> %s" % args.csv)
+        if args.sample_interval:
+            for path in write_timeline_csvs(args.csv, stats):
+                print("timeline -> %s" % path)
     if args.vlog:
         from .harness.visualizer import dump_log
         n = dump_log(args.vlog, stats,
@@ -214,9 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="JetsonOrin-mini",
                    choices=sorted(PRESETS))
     p.add_argument("--sample-interval", type=int, default=None)
-    p.add_argument("--csv", help="write per-stream stats CSV")
+    p.add_argument("--csv", help="write per-stream stats CSV (with "
+                                 "--sample-interval also writes sibling "
+                                 "*_timeline.csv time series)")
     p.add_argument("--vlog", help="write a visualizer log of the sampled "
                                   "time series (requires --sample-interval)")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record metrics.jsonl + Perfetto trace.json into DIR")
 
     p = sub.add_parser("figure", help="run one table/figure experiment")
     p.add_argument("id", choices=FIGURE_IDS)
@@ -256,6 +283,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "summary JSON here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="write live per-job heartbeats to DIR/heartbeats.jsonl")
+
+    p = sub.add_parser(
+        "telemetry",
+        help="summarise a telemetry directory (metrics.jsonl + trace.json) "
+             "as a text timeline")
+    p.add_argument("dir", help="directory written by --telemetry")
+    p.add_argument("--width", type=int, default=60,
+                   help="bar/chart width in characters")
 
     p = sub.add_parser(
         "profile",
@@ -326,7 +363,8 @@ def _cmd_campaign(args) -> int:
     cache_dir = None if args.no_cache else (args.cache_dir
                                             or default_cache_dir())
     runner = CampaignRunner(workers=args.jobs, cache_dir=cache_dir,
-                            timeout=args.timeout, progress=not args.quiet)
+                            timeout=args.timeout, progress=not args.quiet,
+                            telemetry_dir=args.telemetry)
     campaign = runner.run(jobs)
     print("campaign %s: %d jobs, %d executed, %d cached, %d failed (%.1fs)"
           % (campaign.campaign_id, len(campaign.jobs), campaign.executed,
@@ -346,7 +384,23 @@ def _cmd_campaign(args) -> int:
         print("summary -> %s" % args.out)
     if campaign.manifest_path:
         print("manifest -> %s" % campaign.manifest_path)
+    if args.telemetry:
+        print("heartbeats -> %s" % runner.heartbeat_path)
     return 0 if campaign.ok else 1
+
+
+def _cmd_telemetry(args) -> int:
+    import os
+
+    from .harness.report import render_telemetry_summary
+    from .telemetry import METRICS_FILE
+
+    if not os.path.exists(os.path.join(args.dir, METRICS_FILE)):
+        print("error: %s has no %s (run simulate --telemetry first)"
+              % (args.dir, METRICS_FILE), file=sys.stderr)
+        return 2
+    print(render_telemetry_summary(args.dir, width=args.width), end="")
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -377,12 +431,9 @@ def _cmd_profile(args) -> int:
              record["cycles"], record["wall_seconds"], args.repeats))
     print(json.dumps(record, sort_keys=True))
     if args.out:
-        try:
-            with open(args.out, "r", encoding="utf-8") as f:
-                doc = json.load(f)
-        except (OSError, ValueError):
-            doc = {"baseline": None, "runs": []}
-        doc.setdefault("runs", []).append(record)
+        from .profiling import load_bench_doc
+        doc = load_bench_doc(args.out)
+        doc["runs"].append(record)
         with open(args.out, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=1, sort_keys=True)
             f.write("\n")
@@ -439,6 +490,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
+    "telemetry": _cmd_telemetry,
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
     "inspect": _cmd_inspect,

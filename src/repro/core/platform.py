@@ -108,9 +108,11 @@ class CRISP:
     # -- execution ------------------------------------------------------------
     def run(self, streams: Dict[int, Sequence[KernelTrace]],
             policy: Optional[PartitionPolicy] = None,
-            sample_interval: Optional[int] = None) -> GPUStats:
+            sample_interval: Optional[int] = None,
+            telemetry=None) -> GPUStats:
         """Run arbitrary streams on a fresh GPU instance."""
-        gpu = GPU(self.config, policy=policy, sample_interval=sample_interval)
+        gpu = GPU(self.config, policy=policy, sample_interval=sample_interval,
+                  telemetry=telemetry)
         for sid, kernels in sorted(streams.items()):
             gpu.add_stream(sid, kernels)
         return gpu.run()
@@ -189,11 +191,13 @@ def execute_streams(
     streams: Dict[int, Sequence[KernelTrace]],
     policy: Optional[str] = None,
     sample_interval: Optional[int] = None,
+    telemetry=None,
 ) -> Tuple[GPUStats, Optional[PartitionPolicy]]:
     """Run ``streams`` under a named policy, returning stats and the policy
     object (whose post-run state carries e.g. Warped-Slicer decisions)."""
     pol = (make_policy(policy, config, sorted(streams))
            if policy and len(streams) > 1 else None)
     stats = CRISP(config).run(streams, policy=pol,
-                              sample_interval=sample_interval)
+                              sample_interval=sample_interval,
+                              telemetry=telemetry)
     return stats, pol

@@ -183,6 +183,11 @@ class TAPPolicy(MPSPolicy):
         ratios[streams[-1]] = max(1, sets_per_bank - allocated)
         self._l2.partition_sets(ratios)
         self.partition_history.append((cycle, dict(ratios)))
+        if gpu is not None:  # unit tests drive the epoch without a GPU
+            gpu.telemetry.on_repartition(
+                cycle, self.name,
+                {"sets_per_bank": {str(s): n
+                                   for s, n in sorted(ratios.items())}})
         for mon in self.monitors.values():
             mon.reset()
 

@@ -87,6 +87,8 @@ class WarpedSlicerPolicy(FGDynamicPolicy):
         self._sampling = True
         self._sample_requests += 1
         self._sample_end = cycle + self.sample_cycles
+        gpu.telemetry.on_instant(cycle, "warped-slicer:sample-start",
+                                 args={"until": self._sample_end})
         self._baseline = {
             sm.sm_id: dict(sm.issued_by_stream) for sm in gpu.sms
         }
@@ -128,6 +130,10 @@ class WarpedSlicerPolicy(FGDynamicPolicy):
         self.set_fraction(self.streams[0], chosen, cycle)
         self.set_fraction(self.streams[1], 1.0 - chosen, cycle)
         self.decisions.append((cycle, chosen))
+        gpu.telemetry.on_repartition(
+            cycle, self.name,
+            {"fraction": {str(self.streams[0]): chosen,
+                          str(self.streams[1]): 1.0 - chosen}})
 
     # -- reporting ------------------------------------------------------------
     @property

@@ -127,3 +127,188 @@ def write_sim_report(path: str, stats: GPUStats) -> None:
 
 def write_draw_report(path: str, frame: FrameResult) -> None:
     write_csv(path, draw_rows(frame), DRAW_COLUMNS)
+
+
+# ---------------------------------------------------------------------------
+# Sampled time-series CSVs (repro simulate --csv + --sample-interval)
+# ---------------------------------------------------------------------------
+
+OCCUPANCY_TIMELINE_COLUMNS = ("cycle", "stream", "warps", "total_warp_slots",
+                              "occupancy")
+L2_TIMELINE_COLUMNS = ("cycle", "stream", "lines", "total_lines", "share")
+
+
+def occupancy_timeline_rows(stats: GPUStats) -> List[Dict[str, object]]:
+    """One row per (sample, stream) of the occupancy trace."""
+    rows: List[Dict[str, object]] = []
+    for sample in stats.occupancy_trace:
+        for sid in sorted(sample.warps_by_stream):
+            rows.append({
+                "cycle": sample.cycle,
+                "stream": sid,
+                "warps": sample.warps_by_stream[sid],
+                "total_warp_slots": sample.total_warp_slots,
+                "occupancy": round(sample.fraction(sid), 4),
+            })
+    return rows
+
+
+def l2_timeline_rows(stats: GPUStats) -> List[Dict[str, object]]:
+    """One row per (sample, stream) of the L2 line-share snapshots."""
+    rows: List[Dict[str, object]] = []
+    for cycle, by_stream in stats.l2_stream_snapshots:
+        total = sum(by_stream.values())
+        for sid in sorted(by_stream):
+            rows.append({
+                "cycle": cycle,
+                "stream": sid,
+                "lines": by_stream[sid],
+                "total_lines": total,
+                "share": round(by_stream[sid] / total, 4) if total else 0.0,
+            })
+    return rows
+
+
+def write_timeline_csvs(base_path: str, stats: GPUStats) -> List[str]:
+    """Write the sampled time series as siblings of ``base_path``.
+
+    ``stats.csv`` grows ``stats_occupancy_timeline.csv`` and
+    ``stats_l2_timeline.csv`` next to it; series with no samples are
+    skipped.  Returns the paths written.
+    """
+    import os
+    stem, _ = os.path.splitext(base_path)
+    written: List[str] = []
+    occ = occupancy_timeline_rows(stats)
+    if occ:
+        path = stem + "_occupancy_timeline.csv"
+        write_csv(path, occ, OCCUPANCY_TIMELINE_COLUMNS)
+        written.append(path)
+    l2 = l2_timeline_rows(stats)
+    if l2:
+        path = stem + "_l2_timeline.csv"
+        write_csv(path, l2, L2_TIMELINE_COLUMNS)
+        written.append(path)
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Text telemetry summary (repro telemetry DIR)
+# ---------------------------------------------------------------------------
+
+def _bar(fraction: float, width: int) -> str:
+    n = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * n + "." * (width - n)
+
+
+def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
+    """Render a telemetry directory as a text timeline/flamegraph summary.
+
+    Reads ``metrics.jsonl`` (header, samples, final) and, when present,
+    ``trace.json`` (kernel spans) and returns a terminal-friendly report:
+    run header, per-stream kernel table with duration bars, per-stream
+    stall-reason attribution, and an IPC strip chart over sample intervals.
+    """
+    import os
+
+    from ..telemetry import METRICS_FILE, TRACE_FILE, read_jsonl
+
+    metrics_path = os.path.join(telemetry_dir, METRICS_FILE)
+    records = read_jsonl(metrics_path)
+    header = next((r for r in records if r["kind"] == "header"), {})
+    samples = [r for r in records if r["kind"] == "sample"]
+    final = next((r for r in records if r["kind"] == "final"), {})
+    reparts = [r for r in records if r["kind"] == "repartition"]
+
+    lines: List[str] = []
+    lines.append("telemetry: %s" % telemetry_dir)
+    if header:
+        lines.append(
+            "config %s (%s)  policy %s  streams %s  sample interval %s"
+            % (header.get("config", "?"),
+               str(header.get("config_fingerprint", ""))[:12],
+               header.get("policy", "?"), header.get("streams", []),
+               header.get("sample_interval")))
+    if final:
+        lines.append("run: %d cycles, %d instructions, %d samples"
+                     % (final.get("cycles", 0),
+                        final.get("total_instructions", 0),
+                        final.get("samples", len(samples))))
+    total_cycles = final.get("cycles", 0)
+
+    # Kernel spans from the trace (balanced async b/e pairs by id).
+    trace_path = os.path.join(telemetry_dir, TRACE_FILE)
+    if os.path.exists(trace_path) and total_cycles:
+        import json as _json
+        with open(trace_path, "r", encoding="utf-8") as f:
+            events = _json.load(f).get("traceEvents", [])
+        begins: Dict[object, dict] = {}
+        spans: List[dict] = []
+        for ev in events:
+            if ev.get("cat") != "kernel":
+                continue
+            if ev["ph"] == "b":
+                begins[ev["id"]] = ev
+            elif ev["ph"] == "e":
+                b = begins.pop(ev["id"], None)
+                if b is not None:
+                    spans.append({"name": b["name"], "tid": b["tid"],
+                                  "start": b["ts"], "end": ev["ts"]})
+        if spans:
+            lines.append("")
+            lines.append("kernel timeline (one bar per kernel, full width ="
+                         " %d cycles):" % total_cycles)
+            for sp in sorted(spans, key=lambda s: (s["tid"], s["start"])):
+                lead = int(sp["start"] / total_cycles * width)
+                body = max(1, int((sp["end"] - sp["start"])
+                                  / total_cycles * width))
+                body = min(body, width - lead)
+                lines.append("  s%-2d %-20s |%s%s%s| %d..%d"
+                             % (sp["tid"], sp["name"][:20], " " * lead,
+                                "=" * body, " " * (width - lead - body),
+                                sp["start"], sp["end"]))
+
+    # Stall attribution (cumulative warp-samples over all sample ticks).
+    stall_totals = final.get("stall_totals", {})
+    if stall_totals:
+        lines.append("")
+        lines.append("stall attribution (sampled warp states):")
+        for sid in sorted(stall_totals, key=int):
+            reasons = stall_totals[sid]
+            total = sum(reasons.values()) or 1
+            lines.append("  stream %s (%d stalled warp-samples):"
+                         % (sid, total))
+            for reason, n in sorted(reasons.items(), key=lambda kv: -kv[1]):
+                lines.append("    %-16s %s %5.1f%%"
+                             % (reason, _bar(n / total, width // 2),
+                                100.0 * n / total))
+
+    # IPC strip chart per stream.
+    if samples:
+        stream_ids = sorted({sid for s in samples for sid in s["streams"]},
+                            key=int)
+        lines.append("")
+        lines.append("IPC per sample interval (max-normalised):")
+        for sid in stream_ids:
+            series = [s["streams"].get(sid, {}).get("ipc", 0.0)
+                      for s in samples]
+            peak = max(series) or 1.0
+            # Resample to the requested width by bucket-averaging.
+            chart = []
+            buckets = min(width, len(series))
+            for i in range(buckets):
+                lo = i * len(series) // buckets
+                hi = max(lo + 1, (i + 1) * len(series) // buckets)
+                v = sum(series[lo:hi]) / (hi - lo)
+                ramp = " .:-=+*#%@"
+                chart.append(ramp[min(len(ramp) - 1,
+                                      int(v / peak * (len(ramp) - 1)))])
+            lines.append("  stream %s |%s| peak %.2f" % (sid, "".join(chart),
+                                                         peak))
+    if reparts:
+        lines.append("")
+        lines.append("repartition events: %d (%s)"
+                     % (len(reparts),
+                        ", ".join("@%d" % r["cycle"] for r in reparts[:8])
+                        + ("..." if len(reparts) > 8 else "")))
+    return "\n".join(lines) + "\n"

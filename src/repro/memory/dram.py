@@ -74,3 +74,14 @@ class DRAM:
 
     def aggregate_bytes(self) -> int:
         return sum(s.bytes_transferred for s in self.stats.values())
+
+    # -- telemetry ---------------------------------------------------------
+    def bytes_by_stream(self) -> Dict[int, int]:
+        """Cumulative bytes moved per stream (read-only telemetry hook)."""
+        return {stream: st.bytes_transferred
+                for stream, st in self.stats.items()}
+
+    def channel_backlog(self, cycle: int) -> float:
+        """Total cycles of queued transfer time across channels."""
+        return sum(free - cycle for free in self._channel_free
+                   if free > cycle)

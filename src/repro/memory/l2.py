@@ -153,6 +153,15 @@ class L2Cache:
         self.dram.access(line_addr, self._now, stream, is_store=True)
 
     # -- introspection ---------------------------------------------------------
+    def mshr_inflight(self) -> int:
+        """In-flight fills across all banks (read-only telemetry hook)."""
+        return sum(len(bank._pending) for bank in self.banks)
+
+    def bank_queue_depths(self, cycle: int) -> List[int]:
+        """Per-bank port backlog in cycles at ``cycle`` (telemetry hook)."""
+        return [free - cycle if free > cycle else 0
+                for free in self._bank_free]
+
     def composition(self) -> Dict[DataClass, int]:
         comp: Dict[DataClass, int] = {}
         for bank in self.banks:

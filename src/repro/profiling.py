@@ -23,6 +23,13 @@ from .config import GPUConfig
 from .isa import KernelTrace
 
 
+#: Version of the sim-rate record layout.  Schema 2 added ``schema`` itself
+#: and ``config_fingerprint`` so BENCH_timing.json rows from different
+#: presets are distinguishable; schema-1 rows (no ``schema`` key) are still
+#: accepted by :func:`normalize_simrate_record`.
+SIMRATE_SCHEMA = 2
+
+
 def _run(config: GPUConfig, streams: Dict[int, List[KernelTrace]],
          policy: Optional[str], sample_interval: Optional[int]):
     from .core.platform import execute_streams
@@ -30,12 +37,15 @@ def _run(config: GPUConfig, streams: Dict[int, List[KernelTrace]],
                            sample_interval=sample_interval)
 
 
-def simrate_record(stats, wall_seconds: float, label: str = "") -> dict:
+def simrate_record(stats, wall_seconds: float, label: str = "",
+                   config: Optional[GPUConfig] = None) -> dict:
     """Build the machine-readable sim-rate record from a finished run."""
     instructions = stats.total_instructions
     cycles = stats.cycles
     return {
+        "schema": SIMRATE_SCHEMA,
         "label": label,
+        "config_fingerprint": config.fingerprint() if config else None,
         "instructions": instructions,
         "cycles": cycles,
         "wall_seconds": wall_seconds,
@@ -43,6 +53,40 @@ def simrate_record(stats, wall_seconds: float, label: str = "") -> dict:
             instructions / wall_seconds if wall_seconds else 0.0),
         "cycles_per_second": cycles / wall_seconds if wall_seconds else 0.0,
     }
+
+
+def normalize_simrate_record(record: dict) -> dict:
+    """Upgrade an old (schema-1) record in place to the current layout.
+
+    Pre-schema rows carry neither ``schema`` nor ``config_fingerprint``;
+    both are filled with explicit markers so readers can group rows by
+    fingerprint without special-casing missing keys.
+    """
+    if "schema" not in record:
+        record["schema"] = 1
+    if "config_fingerprint" not in record:
+        record["config_fingerprint"] = None
+    return record
+
+
+def load_bench_doc(path: str) -> dict:
+    """Read a BENCH_*.json document, tolerating old-schema rows and a
+    missing/corrupt file (returns an empty document in that case)."""
+    import json
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return {"baseline": None, "runs": []}
+    if not isinstance(doc, dict):
+        return {"baseline": None, "runs": []}
+    doc.setdefault("baseline", None)
+    doc.setdefault("runs", [])
+    if isinstance(doc["baseline"], dict):
+        normalize_simrate_record(doc["baseline"])
+    doc["runs"] = [normalize_simrate_record(r) for r in doc["runs"]
+                   if isinstance(r, dict)]
+    return doc
 
 
 def measure_simrate(
@@ -69,7 +113,7 @@ def measure_simrate(
         if best_wall is None or wall < best_wall:
             best_wall = wall
             best_stats = stats
-    return simrate_record(best_stats, best_wall, label=label)
+    return simrate_record(best_stats, best_wall, label=label, config=config)
 
 
 def profile_simulation(
@@ -96,6 +140,6 @@ def profile_simulation(
     wall = time.perf_counter() - t0
     buf = io.StringIO()
     pstats.Stats(profiler, stream=buf).sort_stats(sort).print_stats(top)
-    record = simrate_record(stats, wall, label=label)
+    record = simrate_record(stats, wall, label=label, config=config)
     record["profiled"] = True
     return buf.getvalue(), record

@@ -182,6 +182,11 @@ class StreamQueue:
         return [(st.kernel.name, st.start_cycle, st.complete_cycle)
                 for st in self.states if st.complete]
 
+    def kernel_span(self, kernel_uid: int):
+        """(name, start_cycle, complete_cycle) of one kernel by uid."""
+        st = self._by_uid[kernel_uid]
+        return st.kernel.name, st.start_cycle, st.complete_cycle
+
 
 class CTAScheduler:
     """Issues CTAs onto SMs subject to the partition policy."""
@@ -244,8 +249,10 @@ class CTAScheduler:
             return False
         if sq.next_kernel_starting and self.gpu is not None:
             self.policy.on_kernel_start(self.gpu, sq.stream_id, kernel, cycle)
+            self.gpu.telemetry.on_kernel_start(sq.stream_id, kernel, cycle)
         kernel_ref, cta = sq.take_cta(cycle)
-        best_sm.launch_cta(kernel_ref, cta, sq.stream_id)
+        resident = best_sm.launch_cta(kernel_ref, cta, sq.stream_id)
+        resident.launch_cycle = cycle
         return True
 
     def fill(self, cycle: int) -> int:
@@ -283,3 +290,7 @@ class CTAScheduler:
         if sq.note_cta_complete(cta.kernel.uid, cycle):
             stats = sm.stats.stream(cta.stream)
             stats.kernels_completed += 1
+            if self.gpu is not None:
+                name, start, end = sq.kernel_span(cta.kernel.uid)
+                self.gpu.telemetry.on_kernel_complete(
+                    cta.stream, cta.kernel.uid, name, start, end)

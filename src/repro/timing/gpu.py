@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from ..config import GPUConfig
 from ..isa import KernelTrace
 from ..memory import L2Cache
+from ..telemetry.recorder import NULL_TELEMETRY
 from .cta import CTAScheduler, PartitionPolicy, StreamQueue
 from .sm import SM, ResidentCTA
 from .stats import GPUStats, OccupancySample
@@ -42,12 +43,16 @@ class GPU:
         config: GPUConfig,
         policy: Optional[PartitionPolicy] = None,
         sample_interval: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.stats = GPUStats()
         self.l2 = L2Cache(config)
         self.policy = policy or PartitionPolicy()
         self.sample_interval = sample_interval
+        #: Instrumentation hooks; NULL_TELEMETRY when not instrumented, so
+        #: every call site stays branch-free (the null hooks are no-ops).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cycle = 0
         self.sms: List[SM] = [
             SM(i, config, self.l2, self.stats, on_cta_complete=self._cta_done)
@@ -68,6 +73,7 @@ class GPU:
     # -- callbacks ---------------------------------------------------------------
     def _cta_done(self, sm: SM, cta: ResidentCTA) -> None:
         self._completed_this_step = True
+        self.telemetry.on_cta_retire(sm, cta, self.cycle)
         self.cta_scheduler.on_cta_complete(sm, cta, self.cycle)
 
     def _push_event(self, sm: SM, t: int) -> None:
@@ -87,9 +93,17 @@ class GPU:
         for sm in self.sms:
             sm._queued_event = BLOCKED
             sm.event_sink = self._push_event
+        tel = self.telemetry
+        tel.on_run_start(self)
         self.cta_scheduler.fill(cycle)
         interval = self.sample_interval
-        next_sample = interval if interval else None
+        # The sample tick serves two consumers on one schedule: the user's
+        # occupancy/L2 snapshots (``sample_interval``) and telemetry's
+        # MetricsRecorder.  When only telemetry wants samples, the tick
+        # fires on its interval but skips the (expensive) L2 composition
+        # walk in _sample.
+        eff_interval = interval if interval else tel.sample_interval
+        next_sample = eff_interval if eff_interval else None
         epoch = self.policy.epoch_interval
         next_epoch = epoch if epoch else None
         while True:
@@ -141,8 +155,10 @@ class GPU:
                 self.policy.on_epoch(self, cycle)
                 next_epoch = cycle + (epoch or 1)
             if next_sample is not None and cycle >= next_sample:
-                self._sample(cycle)
-                next_sample = cycle + (interval or 1)
+                if interval:
+                    self._sample(cycle)
+                tel.on_sample(self, cycle)
+                next_sample = cycle + (eff_interval or 1)
             # Earliest future event = validated heap top.
             nxt = BLOCKED
             while heap:
@@ -181,6 +197,7 @@ class GPU:
                 raise RuntimeError("simulation exceeded %d cycles" % max_cycles)
         self.cycle = cycle
         self.stats.cycles = cycle
+        tel.on_run_end(self)
         return self.stats
 
     # -- sampling -----------------------------------------------------------------
@@ -213,9 +230,11 @@ def simulate(
     streams: Dict[int, Sequence[KernelTrace]],
     policy: Optional[PartitionPolicy] = None,
     sample_interval: Optional[int] = None,
+    telemetry=None,
 ) -> GPUStats:
     """One-shot convenience: build a GPU, add ``streams``, run, return stats."""
-    gpu = GPU(config, policy=policy, sample_interval=sample_interval)
+    gpu = GPU(config, policy=policy, sample_interval=sample_interval,
+              telemetry=telemetry)
     for sid, kernels in sorted(streams.items()):
         gpu.add_stream(sid, kernels)
     return gpu.run()

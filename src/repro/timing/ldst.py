@@ -69,6 +69,16 @@ class LDSTPath:
         self._icnt_free = start + 1
         return start
 
+    # -- telemetry ---------------------------------------------------------
+    def mshr_inflight(self) -> int:
+        """L1 MSHR entries currently tracking in-flight fills (read-only)."""
+        return len(self.l1._pending)
+
+    def icnt_queue_depth(self, cycle: int) -> int:
+        """Cycles of backlog at this SM's interconnect injection port."""
+        backlog = self._icnt_free - cycle
+        return backlog if backlog > 0 else 0
+
     def update_carveout(self, shared_mem_used: int) -> None:
         """Re-balance the unified array: shared memory in use shrinks the
         cache-usable portion."""

@@ -27,7 +27,7 @@ import itertools
 from typing import List, Optional, Tuple
 
 from ..isa import WarpInstruction
-from ..isa.instructions import IE_INST, IE_REGS, IE_UNIT_IDX
+from ..isa.instructions import IE_INST, IE_REGS, IE_UNIT_IDX, IE_USES_LDST
 from .exec_units import SchedulerUnits
 from .warp import BLOCKED, WarpContext
 
@@ -168,6 +168,37 @@ class GTOScheduler:
         inst = w.peek()
         assert inst is not None
         return w, inst
+
+    # -- telemetry ---------------------------------------------------------
+    def stall_reason(self, warp: WarpContext, cycle: int) -> str:
+        """Why ``warp`` cannot issue at ``cycle`` (read-only, sampling only).
+
+        Called by ``SM.sample_stalls`` at telemetry sample ticks, never from
+        the issue path.  Mirrors the ``_issue_time`` walk but names the first
+        binding constraint instead of computing a ready cycle.
+        """
+        from ..telemetry.stall import (
+            READY, STALL_BARRIER, STALL_LDST_QUEUE, STALL_NO_INSTRUCTION,
+            STALL_PIPE_BUSY, STALL_SCOREBOARD,
+        )
+        if warp.done:
+            return STALL_NO_INSTRUCTION
+        if warp.barrier_wait:
+            return STALL_BARRIER
+        entry = warp.cur
+        ready = warp.stall_until
+        sb = warp.scoreboard
+        for reg in entry[IE_REGS]:
+            t = sb.get(reg, 0)
+            if t > ready:
+                ready = t
+        if ready > cycle:
+            return STALL_SCOREBOARD
+        if self._pipes[entry[IE_UNIT_IDX]].next_free > cycle:
+            if entry[IE_USES_LDST]:
+                return STALL_LDST_QUEUE
+            return STALL_PIPE_BUSY
+        return READY
 
     def note_issued(self, warp: WarpContext, next_estimate: int) -> None:
         """Record the issue; re-queue the warp for its next instruction."""

@@ -33,7 +33,8 @@ class ResidentCTA:
     """A CTA currently occupying SM resources."""
 
     __slots__ = ("kernel", "trace", "resources", "stream", "warps",
-                 "live_warps", "barrier_arrived", "barrier_release")
+                 "live_warps", "barrier_arrived", "barrier_release",
+                 "launch_cycle")
 
     def __init__(self, kernel: KernelTrace, trace: CTATrace,
                  resources: CTAResources, stream: int) -> None:
@@ -45,6 +46,7 @@ class ResidentCTA:
         self.live_warps = 0
         self.barrier_arrived = 0
         self.barrier_release = 0
+        self.launch_cycle = 0
 
 
 class SM:
@@ -254,6 +256,25 @@ class SM:
             cta.barrier_arrived = 0
         else:
             warp.barrier_wait = True
+
+    # -- telemetry ---------------------------------------------------------
+    def sample_stalls(self, cycle: int,
+                      into: Dict[int, Dict[str, int]]) -> None:
+        """Classify every resident warp's issue state into ``into``.
+
+        Sampling-profiler hook: called only at telemetry sample ticks, never
+        from the issue path.  Accumulates ``{stream: {reason: count}}``
+        (including ``ready``) without touching simulation state.
+        """
+        scheds = self.schedulers
+        for cta in self.resident:
+            stream = cta.stream
+            bucket = into.get(stream)
+            if bucket is None:
+                bucket = into[stream] = {}
+            for w in cta.warps:
+                reason = scheds[w.home_sched].stall_reason(w, cycle)
+                bucket[reason] = bucket.get(reason, 0) + 1
 
     # -- event horizon ---------------------------------------------------------
     def next_event(self, cycle: int) -> int:

@@ -60,6 +60,29 @@ class TestGPUStatsRoundTrip:
                                             pair_stats.l2_snapshots):
             assert by_class == dict(orig)
 
+    def test_l2_stream_snapshots_survive(self, pair_stats):
+        assert pair_stats.l2_stream_snapshots, \
+            "fixture must sample L2 stream composition"
+        restored = GPUStats.from_dict(
+            json.loads(json.dumps(pair_stats.to_dict())))
+        assert len(restored.l2_stream_snapshots) == \
+            len(pair_stats.l2_stream_snapshots)
+        for (cycle, by_stream), (ocycle, orig) in zip(
+                restored.l2_stream_snapshots, pair_stats.l2_stream_snapshots):
+            assert cycle == ocycle
+            assert by_stream == dict(orig)
+            # Stream keys must come back as ints, not the JSON strings.
+            assert all(isinstance(sid, int) for sid in by_stream)
+
+    def test_l2_stream_snapshots_roundtrip_synthetic(self):
+        stats = GPUStats()
+        stats.cycles = 10
+        stats.l2_stream_snapshots = [(5, {0: 12, 1: 30}), (10, {1: 42})]
+        restored = GPUStats.from_dict(
+            json.loads(json.dumps(stats.to_dict())))
+        assert restored.l2_stream_snapshots == [(5, {0: 12, 1: 30}),
+                                                (10, {1: 42})]
+
 
 class TestStreamStatsRoundTrip:
     def test_empty_stream(self):
