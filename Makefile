@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke
+.PHONY: test lint bench bench-smoke bench-parallel test-parallel
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -16,6 +16,17 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m bench -s \
 		benchmarks/test_timing_simrate.py \
 		benchmarks/test_telemetry_overhead.py
+
+# Sharded-engine gates: bit-identity across every policy (fast, part of
+# tier-1 too) and the serial-vs-workers=4 wall-clock comparison.
+test-parallel:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+		tests/test_parallel_golden.py tests/test_parallel_plan.py \
+		tests/test_api.py
+
+bench-parallel:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -s \
+		benchmarks/test_parallel_speedup.py
 
 # The full figure/table reproduction suite.
 bench:

@@ -1,0 +1,82 @@
+"""Sharded-engine throughput: serial vs workers=4 on the reference pair.
+
+The acceptance bar for ``repro.parallel``: the sharded run must (a) be
+bit-identical to the serial engine — always, on any machine — and (b) on
+a multi-core box beat serial wall-clock by >= 1.3x with 4 workers on the
+reference workload (SPL + HOLO at nano under mps).  Measurements land in
+``BENCH_parallel.json`` (schema-2 sim-rate records) so later PRs can
+track the trajectory.
+"""
+
+import json
+import os
+import time
+
+from bench_util import print_header, write_bench_json
+
+from repro.api import RunRequest, simulate
+from repro.config import get_preset
+from repro.core.platform import collect_streams
+from repro.profiling import SIMRATE_SCHEMA, simrate_record
+
+SPEEDUP_FLOOR = 1.3
+WORKERS = 4
+
+
+def _canonical(stats) -> dict:
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+def test_parallel_speedup():
+    config = get_preset("JetsonOrin-mini")
+    streams = collect_streams(config, scene="SPL", res="nano",
+                              compute="HOLO")
+    request = RunRequest(config=config, streams=streams, policy="mps")
+
+    t0 = time.perf_counter()
+    serial = simulate(request)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = simulate(request, workers=WORKERS, backend="process")
+    sharded_s = time.perf_counter() - t0
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / sharded_s if sharded_s else float("inf")
+    report = sharded.parallel
+
+    print_header("Sharded engine: SPL+HOLO @ nano under mps")
+    print("%-26s %8s" % ("mode", "seconds"))
+    print("%-26s %8.2f" % ("serial", serial_s))
+    print("%-26s %8.2f  (%.2fx, %d cpus, %d shards, backend=%s)"
+          % ("sharded (%d workers)" % WORKERS, sharded_s, speedup, cpus,
+             report.num_shards, report.backend))
+    print("rounds=%d replayed_ops=%d restarted=%s"
+          % (report.rounds, report.replayed_ops, report.restarted))
+
+    write_bench_json("parallel", {
+        "schema": SIMRATE_SCHEMA,
+        "workers": WORKERS,
+        "cpu_count": cpus,
+        "backend": report.backend,
+        "num_shards": report.num_shards,
+        "rounds": report.rounds,
+        "replayed_ops": report.replayed_ops,
+        "restarted": report.restarted,
+        "serial_seconds": serial_s,
+        "sharded_seconds": sharded_s,
+        "speedup": speedup,
+        "serial": simrate_record(serial.stats, serial_s,
+                                 label="serial", config=config),
+        "sharded": simrate_record(sharded.stats, sharded_s,
+                                  label="workers=%d" % WORKERS,
+                                  config=config),
+    })
+
+    # (a) Bit-identity holds unconditionally.
+    assert report.engaged, report.fallback_reason
+    assert _canonical(sharded.stats) == _canonical(serial.stats)
+    # (b) Fan-out pays for itself when the cores exist to back it.
+    if cpus >= 4:
+        assert speedup >= SPEEDUP_FLOOR, \
+            "%d workers on %d cpus only gave %.2fx" % (WORKERS, cpus, speedup)

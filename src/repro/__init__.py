@@ -3,15 +3,32 @@ rendering and compute simulation platform for GPUs.
 
 Public entry points:
 
-* :class:`repro.core.CRISP` — the platform facade (trace scenes, trace
-  compute workloads, run them concurrently under a partition policy).
+* :func:`repro.simulate` — run one simulation, described by a
+  :class:`RunRequest` (or its fields as keywords), returning a
+  :class:`RunResult`.  This is the single execution surface; set
+  ``workers=N`` to use the deterministic sharded engine of
+  :mod:`repro.parallel`.
+* :class:`repro.core.CRISP` — the tracing facade (trace scenes, trace
+  compute workloads).  Its ``run*`` methods are deprecated shims over
+  :func:`simulate`.
 * :mod:`repro.graphics` — the Vulkan-like front-end and rendering pipeline.
 * :mod:`repro.compute` — the CUDA-like kernel tracer and XR workloads.
 * :mod:`repro.timing` — the Accel-Sim-style GPU timing model.
+* :mod:`repro.parallel` — the sharded, bit-identical parallel engine.
+* :mod:`repro.campaign` — parallel, cached, resumable simulation sweeps.
+* :mod:`repro.telemetry` — tracing, stall attribution, time-series metrics.
 * :mod:`repro.scenes` — the six rendering workloads of the paper.
 """
 
+from .api import RunRequest, RunResult, WorkloadSpec, simulate
 from .core import CRISP
 
-__version__ = "1.0.0"
-__all__ = ["CRISP", "__version__"]
+__version__ = "1.1.0"
+__all__ = [
+    "CRISP",
+    "RunRequest",
+    "RunResult",
+    "WorkloadSpec",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,188 @@
+"""repro.api — the unified execution surface.
+
+Every way of running a simulation — CLI subcommands, campaign jobs,
+profiling, benchmarks, library use — funnels through one function::
+
+    from repro.api import RunRequest, simulate
+
+    result = simulate(RunRequest(
+        config="JetsonOrin-mini",
+        workload=WorkloadSpec(scene="SPL", res="nano", compute="HOLO"),
+        policy="mps",
+        workers=4,
+    ))
+    print(result.total_cycles, result.parallel.engaged)
+
+A :class:`RunRequest` describes *what* to simulate (a prebuilt stream dict
+or a declarative :class:`WorkloadSpec`), under which policy, and *how* to
+execute it (``workers``/``backend`` select the sharded engine of
+:mod:`repro.parallel`; it falls back to the serial engine — bit-identical
+— whenever sharding cannot be proven sound).  The returned
+:class:`RunResult` carries the full :class:`~repro.timing.GPUStats`, the
+post-run policy object, and a :class:`~repro.parallel.ShardReport` saying
+how the run was actually executed.
+
+The older entry points (``CRISP.run``/``run_single``/``run_pair`` and
+``core.platform.execute_streams``) remain as deprecated shims that
+delegate here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from .config import GPUConfig, get_preset
+from .isa import KernelTrace
+from .parallel import ShardReport, run_sharded
+from .timing import GPUStats, PartitionPolicy
+
+__all__ = ["WorkloadSpec", "RunRequest", "RunResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of what to trace into streams.
+
+    Mirrors :func:`repro.core.platform.collect_streams`: graphics kernels
+    from rendering ``scene`` at ``res`` or a saved ``graphics_trace``;
+    compute kernels from tracing ``compute`` (with ``compute_args``) or a
+    saved ``compute_trace``.
+    """
+
+    scene: Optional[str] = None
+    res: str = "2k"
+    lod_enabled: Optional[bool] = None
+    compute: Optional[str] = None
+    compute_args: Optional[Dict[str, object]] = None
+    graphics_trace: Optional[str] = None
+    compute_trace: Optional[str] = None
+
+    def collect(self, config: GPUConfig) -> Dict[int, List[KernelTrace]]:
+        from .core.platform import collect_streams
+        return collect_streams(
+            config,
+            scene=self.scene, res=self.res, lod_enabled=self.lod_enabled,
+            compute=self.compute, compute_args=self.compute_args,
+            graphics_trace=self.graphics_trace,
+            compute_trace=self.compute_trace,
+        )
+
+
+@dataclass
+class RunRequest:
+    """One simulation, fully specified.
+
+    Exactly one of ``streams`` (prebuilt traces) or ``workload`` (a
+    declarative spec, traced at execution time) must be given.  ``policy``
+    is a name from ``POLICY_NAMES`` or a policy instance; a *named* policy
+    is only applied when more than one stream runs (single-stream runs own
+    the whole GPU), matching the long-standing ``execute_streams``
+    behaviour, while an *instance* is always applied.
+    """
+
+    config: Union[str, GPUConfig] = "JetsonOrin-mini"
+    streams: Optional[Dict[int, Sequence[KernelTrace]]] = None
+    workload: Optional[WorkloadSpec] = None
+    policy: Union[str, PartitionPolicy, None] = None
+    sample_interval: Optional[int] = None
+    telemetry: Optional[object] = None
+    #: Shard workers for the parallel engine; 1 = serial.
+    workers: int = 1
+    #: "process" (forked workers), "inline" (in-process shards, mainly for
+    #: tests), or None = auto.
+    backend: Optional[str] = None
+    max_cycles: int = 200_000_000
+
+    def resolved_config(self) -> GPUConfig:
+        if isinstance(self.config, GPUConfig):
+            return self.config
+        return get_preset(self.config)
+
+    def resolved_streams(self, config: GPUConfig) -> Dict[int, List[KernelTrace]]:
+        if (self.streams is None) == (self.workload is None):
+            raise ValueError(
+                "RunRequest needs exactly one of streams= or workload=")
+        if self.streams is not None:
+            return {sid: list(kernels)
+                    for sid, kernels in self.streams.items()}
+        return self.workload.collect(config)
+
+    def resolved_policy(self, config: GPUConfig,
+                        streams: Dict[int, Sequence[KernelTrace]]
+                        ) -> Optional[PartitionPolicy]:
+        if not self.policy:
+            return None
+        if isinstance(self.policy, str):
+            if len(streams) <= 1:
+                return None
+            from .core.platform import make_policy
+            return make_policy(self.policy, config, sorted(streams))
+        return self.policy
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`simulate` call."""
+
+    stats: GPUStats
+    #: The policy object actually used (post-run state carries e.g. TAP's
+    #: final ratio); None for unpartitioned runs.
+    policy: Optional[PartitionPolicy]
+    #: How the run executed: sharded or serial, and why.
+    parallel: ShardReport = field(default_factory=ShardReport)
+    #: The request that produced this result.
+    request: Optional[RunRequest] = None
+
+    # -- PairResult-compatible accessors ------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.cycles
+
+    def stream_cycles(self, stream: int) -> int:
+        return self.stats.stream_cycles(stream)
+
+    @property
+    def graphics_cycles(self) -> int:
+        from .core.streams import GRAPHICS_STREAM
+        return self.stats.stream_cycles(GRAPHICS_STREAM)
+
+    @property
+    def compute_cycles(self) -> int:
+        from .core.streams import COMPUTE_STREAM
+        return self.stats.stream_cycles(COMPUTE_STREAM)
+
+    def __repr__(self) -> str:
+        mode = ("sharded x%d" % self.parallel.num_shards
+                if self.parallel.engaged else "serial")
+        return "RunResult(policy=%s, total=%d, %s)" % (
+            self.policy.name if self.policy else None,
+            self.total_cycles, mode)
+
+
+def simulate(request: Optional[RunRequest] = None, **kwargs) -> RunResult:
+    """Execute one simulation — the single entry point for every caller.
+
+    Accepts either a prebuilt :class:`RunRequest` or its fields as keyword
+    arguments (``simulate(workload=..., policy="mps")``).  Dispatch,
+    including the ``workers=1`` serial case, goes through
+    :func:`repro.parallel.run_sharded`, so the execution path is the same
+    object graph everywhere and the result always carries a ShardReport.
+    """
+    if request is None:
+        request = RunRequest(**kwargs)
+    elif kwargs:
+        request = replace(request, **kwargs)
+    config = request.resolved_config()
+    streams = request.resolved_streams(config)
+    policy = request.resolved_policy(config, streams)
+    stats, policy, report = run_sharded(
+        config, streams, policy=policy,
+        sample_interval=request.sample_interval,
+        telemetry=request.telemetry,
+        workers=request.workers,
+        backend=request.backend,
+        max_cycles=request.max_cycles,
+    )
+    return RunResult(stats=stats, policy=policy, parallel=report,
+                     request=request)

@@ -15,7 +15,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..core.platform import collect_streams, execute_streams
+from ..api import simulate
+from ..core.platform import collect_streams
 from .job import Job
 
 #: Terminal job states.
@@ -110,16 +111,16 @@ def run_job(job: Job) -> JobResult:
         compute=job.compute, compute_args=job.compute_args,
         graphics_trace=job.graphics_trace, compute_trace=job.compute_trace,
     )
-    stats, policy = execute_streams(
-        config, streams, policy=job.policy,
-        sample_interval=job.sample_interval)
+    result = simulate(
+        config=config, streams=streams, policy=job.policy,
+        sample_interval=job.sample_interval, workers=job.workers)
     return JobResult(
         fingerprint=job.fingerprint(),
         label=job.display_label,
         status=STATUS_OK,
         wall_seconds=time.perf_counter() - start,
-        stats=stats.to_dict(),
-        extras=_policy_extras(policy),
+        stats=result.stats.to_dict(),
+        extras=_policy_extras(result.policy),
     )
 
 

@@ -54,6 +54,10 @@ class Job:
     params: Dict[str, object] = field(default_factory=dict)
     #: Display name only — never part of the fingerprint.
     label: Optional[str] = None
+    #: Shard workers for the parallel engine.  Execution detail only:
+    #: results are bit-identical for any value, so it is deliberately NOT
+    #: part of the fingerprint (cached serial results stay valid).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.scene and self.graphics_trace:
@@ -140,6 +144,7 @@ class Job:
             "compute_trace": self.compute_trace,
             "params": dict(self.params),
             "label": self.label,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -147,7 +152,7 @@ class Job:
         known = {
             "scene", "res", "lod_enabled", "compute", "compute_args",
             "policy", "config", "sample_interval", "graphics_trace",
-            "compute_trace", "params", "label",
+            "compute_trace", "params", "label", "workers",
         }
         unknown = set(data) - known
         if unknown:
@@ -164,7 +169,8 @@ class Job:
             kwargs.pop("compute_args", None)
         if kwargs.get("params") is None:
             kwargs.pop("params", None)
-        defaults = {"res": "2k", "policy": "mps", "config": "JetsonOrin-mini"}
+        defaults = {"res": "2k", "policy": "mps", "config": "JetsonOrin-mini",
+                    "workers": 1}
         for key, value in defaults.items():
             if kwargs.get(key) is None:
                 kwargs[key] = value

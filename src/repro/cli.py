@@ -33,10 +33,9 @@ from typing import List, Optional
 
 from .compute import WORKLOAD_BUILDERS, build_compute_workload
 from .config import PRESETS, get_preset
-from .core import CRISP, POLICY_NAMES, COMPUTE_STREAM, GRAPHICS_STREAM, make_policy
+from .core import CRISP, POLICY_NAMES, COMPUTE_STREAM, GRAPHICS_STREAM
 from .isa import load_traces, save_traces
-from .scenes import RESOLUTIONS, build_scene, scene_codes, scene_title
-from .timing import GPU
+from .scenes import RESOLUTIONS, scene_codes, scene_title
 
 #: Figure runners exposed through ``repro figure <id>``.
 FIGURE_IDS = ("table1", "table2", "fig3", "fig6", "fig7", "fig9", "fig10",
@@ -103,21 +102,24 @@ def _cmd_simulate(args) -> int:
         print("error: provide --graphics and/or --compute trace files",
               file=sys.stderr)
         return 2
-    policy = (make_policy(args.policy, config, sorted(streams))
-              if len(streams) > 1 else None)
+    from .api import simulate
     telemetry = None
     if args.telemetry:
         from .telemetry import Telemetry
         telemetry = Telemetry(out_dir=args.telemetry,
                               sample_interval=args.sample_interval or 1000)
-    gpu = GPU(config, policy=policy, sample_interval=args.sample_interval,
-              telemetry=telemetry)
-    for sid, kernels in sorted(streams.items()):
-        gpu.add_stream(sid, kernels)
-    stats = gpu.run()
-    print("simulated %d cycles on %s%s"
+    result = simulate(config=config, streams=streams, policy=args.policy,
+                      sample_interval=args.sample_interval,
+                      telemetry=telemetry, workers=args.workers)
+    stats = result.stats
+    mode = ""
+    if args.workers > 1:
+        mode = (" (sharded x%d)" % result.parallel.num_shards
+                if result.parallel.engaged
+                else " (serial: %s)" % result.parallel.fallback_reason)
+    print("simulated %d cycles on %s%s%s"
           % (stats.cycles, config.name,
-             " under %s" % args.policy if policy else ""))
+             " under %s" % args.policy if result.policy else "", mode))
     for sid, summary in stats.summary().items():
         tag = "graphics" if sid == GRAPHICS_STREAM else "compute"
         print("  stream %d (%s): %d instr, %d cycles, IPC %.2f, "
@@ -237,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="JetsonOrin-mini",
                    choices=sorted(PRESETS))
     p.add_argument("--sample-interval", type=int, default=None)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the simulation across N workers where the "
+                        "policy permits (results are bit-identical)")
     p.add_argument("--csv", help="write per-stream stats CSV (with "
                                  "--sample-interval also writes sibling "
                                  "*_timeline.csv time series)")
@@ -309,6 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sort", default="cumulative",
                    choices=("cumulative", "tottime", "ncalls"),
                    help="cProfile sort order")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the measured simulation across N workers")
     p.add_argument("--repeats", type=int, default=1,
                    help="unprofiled timing runs for the sim-rate record "
                         "(best wall-clock wins)")
@@ -418,12 +425,13 @@ def _cmd_profile(args) -> int:
     if not args.no_cprofile:
         report, prof_record = profile_simulation(
             config, streams, policy=args.policy, top=args.top,
-            sort=args.sort, label=label)
+            sort=args.sort, label=label, workers=args.workers)
         print(report, end="")
         print("profiled run: %d cycles in %.2fs (profiler overhead included)"
               % (prof_record["cycles"], prof_record["wall_seconds"]))
     record = measure_simrate(config, streams, policy=args.policy,
-                             repeats=args.repeats, label=label)
+                             repeats=args.repeats, label=label,
+                             workers=args.workers)
     print("sim-rate: %.0f instr/s, %.0f cycles/s "
           "(%d instr, %d cycles, %.2fs wall, best of %d)"
           % (record["instructions_per_second"],

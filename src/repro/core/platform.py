@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compute import build_compute_workload
@@ -24,7 +25,7 @@ from ..graphics.pipeline import GraphicsPipeline, PipelineConfig
 from ..graphics.tracegen import FrameResult
 from ..isa import KernelTrace
 from ..scenes import build_scene, resolution
-from ..timing import GPU, GPUStats, PartitionPolicy
+from ..timing import GPUStats, PartitionPolicy
 from .partition import FGEvenPolicy, MiGPolicy, MPSPolicy
 from .streams import COMPUTE_STREAM, GRAPHICS_STREAM
 from .tap import TAPPolicy
@@ -105,23 +106,36 @@ class CRISP:
         """Build a compute workload's kernel traces by its paper code."""
         return build_compute_workload(name)
 
-    # -- execution ------------------------------------------------------------
+    # -- execution (deprecated: use repro.api.simulate) -----------------------
     def run(self, streams: Dict[int, Sequence[KernelTrace]],
             policy: Optional[PartitionPolicy] = None,
             sample_interval: Optional[int] = None,
             telemetry=None) -> GPUStats:
-        """Run arbitrary streams on a fresh GPU instance."""
-        gpu = GPU(self.config, policy=policy, sample_interval=sample_interval,
-                  telemetry=telemetry)
-        for sid, kernels in sorted(streams.items()):
-            gpu.add_stream(sid, kernels)
-        return gpu.run()
+        """Deprecated: use :func:`repro.api.simulate` instead.
+
+        Runs arbitrary streams on a fresh GPU instance, exactly as before.
+        """
+        warnings.warn(
+            "CRISP.run is deprecated; use repro.api.simulate(RunRequest(...))",
+            DeprecationWarning, stacklevel=2)
+        from ..api import simulate
+        return simulate(config=self.config, streams=streams, policy=policy,
+                        sample_interval=sample_interval,
+                        telemetry=telemetry).stats
 
     def run_single(self, kernels: Sequence[KernelTrace],
                    sample_interval: Optional[int] = None) -> GPUStats:
-        """Run one workload alone (stream 0), fully owning the GPU."""
-        return self.run({GRAPHICS_STREAM: kernels},
-                        sample_interval=sample_interval)
+        """Deprecated: use :func:`repro.api.simulate` instead.
+
+        Runs one workload alone (stream 0), fully owning the GPU.
+        """
+        warnings.warn(
+            "CRISP.run_single is deprecated; use repro.api.simulate",
+            DeprecationWarning, stacklevel=2)
+        from ..api import simulate
+        return simulate(config=self.config,
+                        streams={GRAPHICS_STREAM: kernels},
+                        sample_interval=sample_interval).stats
 
     def run_pair(
         self,
@@ -130,12 +144,20 @@ class CRISP:
         policy: str = "mps",
         sample_interval: Optional[int] = None,
     ) -> PairResult:
-        """Run rendering + compute concurrently under a named policy."""
+        """Deprecated: use :func:`repro.api.simulate` instead.
+
+        Runs rendering + compute concurrently under a named policy.
+        """
+        warnings.warn(
+            "CRISP.run_pair is deprecated; use repro.api.simulate",
+            DeprecationWarning, stacklevel=2)
+        from ..api import simulate
         streams = {GRAPHICS_STREAM: list(graphics),
                    COMPUTE_STREAM: list(compute)}
         pol = make_policy(policy, self.config, sorted(streams))
-        stats = self.run(streams, policy=pol, sample_interval=sample_interval)
-        return PairResult(stats, pol)
+        result = simulate(config=self.config, streams=streams, policy=pol,
+                          sample_interval=sample_interval)
+        return PairResult(result.stats, pol)
 
 
 # ---------------------------------------------------------------------------
@@ -192,12 +214,18 @@ def execute_streams(
     policy: Optional[str] = None,
     sample_interval: Optional[int] = None,
     telemetry=None,
+    workers: int = 1,
 ) -> Tuple[GPUStats, Optional[PartitionPolicy]]:
-    """Run ``streams`` under a named policy, returning stats and the policy
-    object (whose post-run state carries e.g. Warped-Slicer decisions)."""
-    pol = (make_policy(policy, config, sorted(streams))
-           if policy and len(streams) > 1 else None)
-    stats = CRISP(config).run(streams, policy=pol,
-                              sample_interval=sample_interval,
-                              telemetry=telemetry)
-    return stats, pol
+    """Deprecated: use :func:`repro.api.simulate` instead.
+
+    Runs ``streams`` under a named policy, returning stats and the policy
+    object (whose post-run state carries e.g. Warped-Slicer decisions).
+    """
+    warnings.warn(
+        "execute_streams is deprecated; use repro.api.simulate(RunRequest(...))",
+        DeprecationWarning, stacklevel=2)
+    from ..api import simulate
+    result = simulate(config=config, streams=streams, policy=policy,
+                      sample_interval=sample_interval, telemetry=telemetry,
+                      workers=workers)
+    return result.stats, result.policy

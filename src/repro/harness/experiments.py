@@ -24,6 +24,7 @@ from ..analysis import (
     mode,
 )
 from ..analysis.working_set import binned_histogram
+from ..api import simulate
 from ..compute import build_compute_workload
 from ..config import GPUConfig, JETSON_ORIN_MINI, RTX_3070_MINI, RTX_3070_NANO
 from ..core import (
@@ -32,7 +33,7 @@ from ..core import (
     GRAPHICS_STREAM,
     TAPPolicy,
 )
-from ..graphics import GraphicsPipeline, PipelineConfig, Texture2D, checkerboard
+from ..graphics import Texture2D, checkerboard
 from ..isa import DataClass, KernelTrace
 from ..scenes import build_scene, resolution, scene_codes
 from ..timing import GPU
@@ -130,7 +131,8 @@ def run_fig6(config: Optional[GPUConfig] = None,
     for code in codes:
         for res in resolutions:
             frame = crisp.trace_scene(code, res)
-            stats = crisp.run_single(frame.kernels)
+            stats = simulate(config=config,
+                             streams={GRAPHICS_STREAM: frame.kernels}).stats
             ref = hwref.reference_frame_cycles(
                 frame.kernels, config, "%s@%s" % (code, res))
             rows.append((code, res, stats.cycles, ref))

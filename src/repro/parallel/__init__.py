@@ -1,0 +1,25 @@
+"""repro.parallel — deterministic sharded execution of multi-stream runs.
+
+Public surface:
+
+- :func:`run_sharded` — execute a stream dict across K shard workers,
+  bit-identical to the serial engine, with automatic serial fallback.
+- :class:`ShardReport` — how the run was actually executed.
+- :func:`plan_shards` / :class:`ShardPlan` — the shardability decision.
+- :class:`EpochUnsafeError` — raised (and handled internally) when a
+  shard cannot prove serial branch-identity.
+"""
+
+from .engine import ShardReport, run_sharded
+from .fabric import EpochUnsafeError, SENTINEL_BASE
+from .plan import SHARDABLE_POLICIES, ShardPlan, plan_shards
+
+__all__ = [
+    "run_sharded",
+    "ShardReport",
+    "ShardPlan",
+    "plan_shards",
+    "SHARDABLE_POLICIES",
+    "EpochUnsafeError",
+    "SENTINEL_BASE",
+]

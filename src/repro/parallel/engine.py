@@ -1,0 +1,289 @@
+"""Shard coordinator: epoch barriers, ordered replay, threshold events.
+
+The coordinator owns the authoritative shared memory system (L2 + DRAM,
+configured by the real policy) and drives K shard workers in
+bulk-synchronous rounds:
+
+1. every live shard advances to ``min(threshold, its memory horizon)``,
+   logging deferred L2 traffic;
+2. the logs are k-way merged by ``(visited_cycle, sm_id, log position)``
+   — exactly the order the serial loop issues L2 accesses in — and every
+   op below the replay floor ``F = min(shard fronts)`` is replayed
+   against the authoritative L2;
+3. the returned completion cycles are patched back into the shards,
+   which wake parked warps and move their fronts forward.
+
+Policy epochs (TAP repartitioning) and occupancy/L2 sampling fire at
+*threshold events*: once every front passes the next threshold ``T`` and
+no patch is outstanding, the earliest next visited cycle ``E`` across
+shards equals the serial loop's next visited cycle, so the shards advance
+through exactly ``E``, ops at ``E`` are replayed, and the hooks run in
+serial order (epoch, then sample) before the threshold moves to
+``E + interval``.
+
+Determinism: every merge key is total and every replay mutation happens
+in serial order, so ``workers=K`` is bit-identical to the serial engine.
+When a shard raises :class:`EpochUnsafeError` the whole run restarts on
+the serial engine with a pristine policy — identical by construction.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GPUConfig
+from ..isa import KernelTrace
+from ..memory import L2Cache
+from ..timing.gpu import GPU
+from ..timing.stats import GPUStats, OccupancySample
+from ..timing.warp import BLOCKED
+from .fabric import EpochUnsafeError, SENTINEL_BASE
+from .plan import plan_shards, shard_policy
+from .shard import ShardGPU
+
+
+@dataclass
+class ShardReport:
+    """How a run was actually executed (attached to RunResult)."""
+
+    requested_workers: int = 1
+    num_shards: int = 1
+    #: True when the sharded engine produced the result; False means the
+    #: serial engine ran (see fallback_reason).
+    engaged: bool = False
+    fallback_reason: Optional[str] = None
+    backend: Optional[str] = None
+    #: Coordinator barrier rounds and total ops replayed through the
+    #: authoritative L2 (equals the serial run's L2 access count).
+    rounds: int = 0
+    replayed_ops: int = 0
+    #: True when a shard bailed with EpochUnsafeError and the run was
+    #: redone serially.
+    restarted: bool = False
+
+
+class _InlineShard:
+    """Shard handle running in-process (tests, 1-CPU fallback)."""
+
+    def __init__(self, config: GPUConfig, streams, policy, max_cycles: int) -> None:
+        self.gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles)
+        self.gpu.start()
+
+    def advance(self, limit: int):
+        status = self.gpu.advance(limit)
+        return status, self.gpu.front(), self.gpu.next_visit(), self.gpu.take_log()
+
+    def apply_patches(self, patches):
+        self.gpu.apply_patches(patches)
+        return self.gpu.front(), self.gpu.next_visit()
+
+    def occupancy(self) -> Dict[int, int]:
+        return self.gpu.occupancy_by_stream()
+
+    def finalize(self) -> Tuple[GPUStats, int]:
+        return self.gpu.stats, self.gpu.final_cycle
+
+    def stop(self) -> None:
+        pass
+
+
+def _serial_run(config, streams, policy, sample_interval, telemetry,
+                max_cycles) -> GPUStats:
+    gpu = GPU(config, policy=policy, sample_interval=sample_interval,
+              telemetry=telemetry)
+    for sid, kernels in sorted(streams.items()):
+        gpu.add_stream(sid, kernels)
+    return gpu.run(max_cycles=max_cycles)
+
+
+def _replay(queues: List[deque], l2: L2Cache, bound: int,
+            patches: List[List[Tuple[int, int]]]) -> int:
+    """Replay every logged op with visit < ``bound`` in serial order."""
+    heap = []
+    for i, q in enumerate(queues):
+        if q and q[0][1] < bound:
+            op = q[0]
+            heap.append((op[1], op[2], i))
+    heapq.heapify(heap)
+    count = 0
+    access = l2.access
+    while heap:
+        _, _, i = heapq.heappop(heap)
+        q = queues[i]
+        op_id, _, _, kind, line, t, data_class, stream, mask, fetch = q.popleft()
+        if kind == "store":
+            access(line, t, data_class, stream, is_store=True)
+        elif kind == "bypass":
+            patches[i].append((op_id, access(line, t, data_class, stream)))
+        else:
+            patches[i].append((op_id, access(line, t, data_class, stream,
+                                             sector_mask=mask,
+                                             fetch_bytes=fetch)))
+        count += 1
+        if q and q[0][1] < bound:
+            op = q[0]
+            heapq.heappush(heap, (op[1], op[2], i))
+    return count
+
+
+def _run_coordinated(config: GPUConfig, streams, policy, sample_interval,
+                     handles, report: ShardReport,
+                     all_stream_ids: Sequence[int]) -> GPUStats:
+    l2 = L2Cache(config)
+    policy.configure_memory(l2, sorted(all_stream_ids))
+    stats = GPUStats()
+    n = len(handles)
+    queues: List[deque] = [deque() for _ in range(n)]
+    fronts = [0] * n
+    nvs = [0] * n
+    done = [False] * n
+    interval = sample_interval
+    next_sample = interval if interval else None
+    epoch = policy.epoch_interval
+    next_epoch = epoch if epoch else None
+    total_slots = config.num_sms * config.max_warps_per_sm
+
+    while True:
+        if next_epoch is not None and next_sample is not None:
+            threshold = min(next_epoch, next_sample)
+        elif next_epoch is not None:
+            threshold = next_epoch
+        else:
+            threshold = next_sample
+        limit = threshold if threshold is not None else BLOCKED
+        report.rounds += 1
+        for i, h in enumerate(handles):
+            if done[i]:
+                continue
+            status, front, nv, ops = h.advance(limit)
+            queues[i].extend(ops)
+            fronts[i] = front
+            nvs[i] = nv
+            if status == "done":
+                done[i] = True
+        live = [i for i in range(n) if not done[i]]
+        floor = min((fronts[i] for i in live), default=BLOCKED)
+        patches: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        report.replayed_ops += _replay(queues, l2, floor, patches)
+        patched = False
+        for i, p in enumerate(patches):
+            if p:
+                patched = True
+                fronts[i], nvs[i] = handles[i].apply_patches(p)
+        if patched:
+            continue
+        if not live:
+            if any(queues):
+                raise AssertionError("ops left unreplayed after completion")
+            break
+        if threshold is None:
+            continue
+        if any(fronts[i] < threshold for i in live):
+            continue
+        # Threshold event: with no patch outstanding the earliest next
+        # visited cycle across shards is the serial loop's next visited
+        # cycle (see module docstring for the proof sketch).
+        event = min((nvs[i] for i in live if nvs[i] < SENTINEL_BASE),
+                    default=BLOCKED)
+        if event >= SENTINEL_BASE:
+            raise EpochUnsafeError("coordinator found no runnable shard")
+        for i in live:
+            status, front, nv, ops = handles[i].advance(event + 1)
+            queues[i].extend(ops)
+            fronts[i] = front
+            nvs[i] = nv
+            if status == "done":
+                done[i] = True
+        report.replayed_ops += _replay(queues, l2, event + 1, patches)
+        for i, p in enumerate(patches):
+            if p:
+                fronts[i], nvs[i] = handles[i].apply_patches(p)
+        if next_epoch is not None and event >= next_epoch:
+            # Serial passes the GPU only for telemetry, which is off in
+            # sharded runs; every certified policy accepts None.
+            policy.on_epoch(None, event)
+            next_epoch = event + (epoch or 1)
+        if next_sample is not None and event >= next_sample:
+            warps: Dict[int, int] = {}
+            for h in handles:
+                for stream, cnt in h.occupancy().items():
+                    warps[stream] = warps.get(stream, 0) + cnt
+            stats.occupancy_trace.append(
+                OccupancySample(event, warps, total_slots))
+            stats.l2_snapshots.append((event, l2.composition()))
+            stats.l2_stream_snapshots.append(
+                (event, l2.composition_by_stream()))
+            next_sample = event + (interval or 1)
+
+    final = 0
+    for h in handles:
+        shard_stats, final_cycle = h.finalize()
+        for sid, st in shard_stats.streams.items():
+            stats.streams[sid] = st
+        if final_cycle is not None and final_cycle > final:
+            final = final_cycle
+    stats.cycles = final
+    return stats
+
+
+def run_sharded(
+    config: GPUConfig,
+    streams: Dict[int, Sequence[KernelTrace]],
+    policy=None,
+    sample_interval: Optional[int] = None,
+    telemetry=None,
+    workers: int = 1,
+    backend: Optional[str] = None,
+    max_cycles: int = 200_000_000,
+) -> Tuple[GPUStats, object, ShardReport]:
+    """Execute ``streams``, sharded across ``workers`` where sound.
+
+    Returns ``(stats, policy, report)``.  Falls back to the serial engine
+    (same results, ``report.engaged = False``) whenever the plan or an
+    epoch-safety check says sharding cannot be proven bit-identical.
+    """
+    plan, reason = plan_shards(policy, streams.keys(), workers, telemetry)
+    report = ShardReport(requested_workers=workers)
+    if plan is None:
+        report.fallback_reason = reason
+        stats = _serial_run(config, streams, policy, sample_interval,
+                            telemetry, max_cycles)
+        return stats, policy, report
+
+    pristine = copy.deepcopy(policy)
+    report.num_shards = plan.num_shards
+    if backend is None:
+        from .worker import fork_available
+        backend = "process" if fork_available() else "inline"
+    report.backend = backend
+    handles = []
+    try:
+        try:
+            for group in plan.groups:
+                group_streams = {sid: streams[sid] for sid in group}
+                spolicy = shard_policy(plan, group)
+                if backend == "process":
+                    from .worker import ProcessShard
+                    handles.append(ProcessShard(config, group_streams,
+                                                spolicy, max_cycles))
+                else:
+                    handles.append(_InlineShard(config, group_streams,
+                                                spolicy, max_cycles))
+            stats = _run_coordinated(config, streams, policy, sample_interval,
+                                     handles, report, sorted(streams))
+            report.engaged = True
+            return stats, policy, report
+        finally:
+            for h in handles:
+                h.stop()
+    except EpochUnsafeError as exc:
+        report.engaged = False
+        report.restarted = True
+        report.fallback_reason = "epoch-unsafe, redone serially: %s" % exc
+        stats = _serial_run(config, streams, pristine, sample_interval,
+                            telemetry, max_cycles)
+        return stats, pristine, report

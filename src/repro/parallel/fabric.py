@@ -1,0 +1,199 @@
+"""Deferred memory fabric: the shard-side stand-in for the shared L2.
+
+A shard advances its SMs' warp/scheduler/L1 state without an L2 model.
+Every access that would cross the interconnect is *deferred*: recorded in
+an ordered log (keyed by the event-loop visited cycle and SM id, exactly
+the order the serial loop would have made the call in) and answered with a
+unique integer *sentinel* far above any real cycle count.  Sentinels flow
+through scoreboards, L1 MSHR entries and scheduler heaps unchanged —
+every comparison in the timing core treats them as "very far in the
+future", which is conservative and safe because the true completion of a
+deferred access provably lands at or after the shard's epoch horizon.
+
+At each barrier the coordinator replays the merged logs against the
+authoritative L2/DRAM and sends back ``(op_id, return_cycle)`` patches;
+:meth:`ShardFabric.apply_patches` rewrites the sentinels into real cycles
+and wakes the parked warps.
+
+The horizon guarantee: a deferred load issued at visited cycle ``V``
+completes no earlier than ``V + 2*icnt_latency + l2_hit_latency``
+(injection -> crossbar -> bank port -> crossbar back), so a shard that
+never advances past ``min(V_op + MIN_ROUNDTRIP)`` can never miss an event
+that depends on an unpatched value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import GPUConfig
+from ..timing.warp import BLOCKED
+
+#: Base of the sentinel range.  Below ``BLOCKED`` (1 << 62) so the event
+#: loop's "no event" marker stays distinguishable, but far above any real
+#: cycle count, so sentinel-keyed heap entries and scoreboard values park
+#: harmlessly until patched.
+SENTINEL_BASE = 1 << 61
+
+
+class EpochUnsafeError(RuntimeError):
+    """A shard hit a state where serial branch-identity cannot be proven.
+
+    The only known case is an L1 MSHR-full stall whose wait cycle depends
+    on the (unknown) completion of an in-epoch deferred fill.  The engine
+    answers by rerunning the whole simulation on the serial engine, which
+    is bit-identical by construction.
+    """
+
+
+class LineOp:
+    """One deferred per-line memory operation (load / bypass / merge)."""
+
+    __slots__ = ("op_id", "sentinel", "kind", "line", "t", "visit", "ldst",
+                 "dependents", "mergers", "probe_done", "value")
+
+    def __init__(self, op_id: int, kind: str, line: int, t: int,
+                 visit: int, ldst=None) -> None:
+        self.op_id = op_id
+        self.sentinel = SENTINEL_BASE + op_id
+        self.kind = kind
+        self.line = line
+        #: Cycle the request presents at the L2 (launch + icnt); the replay
+        #: passes exactly this, and completion lower bounds derive from it.
+        self.t = t
+        #: Event-loop visited cycle at which the op was generated — the
+        #: replay-order key (with sm_id and log position).
+        self.visit = visit
+        self.ldst = ldst
+        #: IssueRecords whose instruction completion folds this op's value.
+        self.dependents: List[IssueRecord] = []
+        #: Child merge ops riding on this op's fill.
+        self.mergers: List[LineOp] = []
+        self.probe_done = 0
+        self.value: Optional[int] = None
+
+
+class IssueRecord:
+    """One deferred *instruction* completion (max over its line ops)."""
+
+    __slots__ = ("sentinel", "remaining", "local_done", "warp", "dst",
+                 "sstat", "sm")
+
+    def __init__(self, sentinel: int, remaining: int, local_done: int) -> None:
+        self.sentinel = sentinel
+        self.remaining = remaining
+        #: Running max of resolved completions (starts at the max over the
+        #: instruction's non-deferred line accesses).
+        self.local_done = local_done
+        self.warp = None
+        self.dst = -1
+        self.sstat = None
+        self.sm = None
+
+
+class ShardFabric:
+    """Per-shard log of deferred shared-memory traffic."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.icnt = config.icnt_latency
+        self.l2_hit = config.l2.hit_latency
+        #: A deferred load issued at visited cycle V completes at
+        #: >= V + min_roundtrip; the epoch horizon rests on this.
+        self.min_roundtrip = 2 * self.icnt + self.l2_hit
+        #: Current event-loop position, set by the shard loop before ticks.
+        self.cycle = 0
+        self.sm_id = 0
+        self._next_id = 0
+        #: Ordered op log for the coordinator, drained every round.  Tuples
+        #: of (op_id|None, visit, sm_id, kind, line, t, data_class, stream,
+        #: sector_mask, fetch_bytes).
+        self.log: List[Tuple] = []
+        #: op_id -> LineOp awaiting a replay patch (loads/bypass only).
+        self.unresolved: Dict[int, LineOp] = {}
+        #: issue sentinel -> IssueRecord awaiting full resolution.
+        self.issue_records: Dict[int, IssueRecord] = {}
+
+    # -- deferral (called from ShardLDSTPath) -------------------------------
+    def defer_load(self, ldst, kind: str, line: int, t: int, data_class,
+                   stream: int, sector_mask: int,
+                   fetch_bytes: Optional[int]) -> LineOp:
+        self._next_id += 1
+        op = LineOp(self._next_id, kind, line, t, self.cycle, ldst)
+        self.log.append((op.op_id, self.cycle, self.sm_id, kind, line, t,
+                         data_class, stream, sector_mask, fetch_bytes))
+        self.unresolved[op.op_id] = op
+        return op
+
+    def record_store(self, line: int, t: int, data_class, stream: int) -> None:
+        """Stores are fire-and-forget: replayed for L2/DRAM state, no patch."""
+        self.log.append((None, self.cycle, self.sm_id, "store", line, t,
+                         data_class, stream, 0, None))
+
+    def merge_load(self, base: LineOp, probe_done: int) -> LineOp:
+        """An L1 hit/merge on a line whose fill is still deferred.
+
+        Serial semantics: ``max(probe_done, pending)`` — resolved the
+        moment the base op's patch arrives.  Not logged (no L2 traffic).
+        """
+        self._next_id += 1
+        op = LineOp(self._next_id, "merge", base.line, base.t, self.cycle)
+        op.probe_done = probe_done
+        base.mergers.append(op)
+        return op
+
+    def make_issue(self, ops: List[LineOp], local_done: int) -> int:
+        """Register a deferred instruction completion over ``ops``."""
+        self._next_id += 1
+        sentinel = SENTINEL_BASE + self._next_id
+        rec = IssueRecord(sentinel, len(ops), local_done)
+        for op in ops:
+            op.dependents.append(rec)
+        self.issue_records[sentinel] = rec
+        return sentinel
+
+    # -- horizon ------------------------------------------------------------
+    def mem_horizon(self) -> int:
+        """Earliest cycle any unpatched completion could land (BLOCKED if
+        nothing is outstanding)."""
+        if not self.unresolved:
+            return BLOCKED
+        mrt = self.min_roundtrip
+        return min(op.visit for op in self.unresolved.values()) + mrt
+
+    def completion_lower_bound(self, op: LineOp) -> int:
+        """Provable lower bound on the op's serial completion cycle."""
+        return op.t + self.l2_hit + self.icnt
+
+    # -- patch application --------------------------------------------------
+    def apply_patches(self, patches: List[Tuple[int, int]]) -> Set:
+        """Rewrite sentinels with replayed L2 return cycles.
+
+        Returns the set of SMs whose state changed (the shard loop re-keys
+        them in its event heap).
+        """
+        touched: Set = set()
+        for op_id, ret in patches:
+            op = self.unresolved.pop(op_id)
+            self._finish_line(op, ret + self.icnt, touched)
+        return touched
+
+    def _finish_line(self, op: LineOp, value: int, touched: Set) -> None:
+        op.value = value
+        if op.kind == "load":
+            ldst = op.ldst
+            l1 = ldst.l1
+            if l1._pending.get(op.line) == op.sentinel:
+                l1._pending[op.line] = value
+            if ldst._pending_ops.get(op.line) is op:
+                del ldst._pending_ops[op.line]
+        for child in op.mergers:
+            cval = child.probe_done
+            self._finish_line(child, cval if cval > value else value, touched)
+        for rec in op.dependents:
+            if value > rec.local_done:
+                rec.local_done = value
+            rec.remaining -= 1
+            if rec.remaining == 0:
+                del self.issue_records[rec.sentinel]
+                rec.sm.apply_issue_patch(rec)
+                touched.add(rec.sm)

@@ -1,0 +1,87 @@
+"""Shard planning: decide whether and how a run can be sharded.
+
+Sharding is only sound when the partition policy dedicates disjoint SM
+sets to the streams — then every SM, L1, warp and CTA decision is local to
+one shard and the only shared state (L2/ICNT/DRAM, plus TAP's monitors
+which live on the L2) sits behind the deferred fabric.  That covers the
+MPS family: ``mps``, ``mig`` and ``tap``.  ``shared``, ``fg-even`` and
+``warped-slicer`` co-schedule streams on the same SMs, so they fall back
+to the serial engine (bit-identical by definition).
+
+The plan groups streams — a shard owns whole streams, never a fraction of
+one — round-robin over ``min(workers, len(streams))`` shard workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.partition import MiGPolicy, MPSPolicy
+from ..core.tap import TAPPolicy
+
+#: Policy types certified shard-safe: disjoint ``sm_assignment`` (validated
+#: by MPSPolicy), ``quota``/``on_kernel_start`` inherited no-ops, and all
+#: memory-side behaviour (MiG bank routing, TAP monitors + repartitioning)
+#: living on the authoritative L2 the coordinator replays against.
+SHARDABLE_POLICIES = (MPSPolicy, MiGPolicy, TAPPolicy)
+
+
+@dataclass
+class ShardPlan:
+    """Stream grouping for one sharded run."""
+
+    #: Stream ids per shard worker (each inner list non-empty).
+    groups: List[List[int]] = field(default_factory=list)
+    #: Full stream -> SM-id assignment, from the policy.
+    assignment: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.groups)
+
+
+def plan_shards(policy, stream_ids: Sequence[int],
+                workers: int, telemetry=None
+                ) -> Tuple[Optional[ShardPlan], Optional[str]]:
+    """Return ``(plan, None)`` if the run can shard, else ``(None, reason)``.
+
+    ``reason`` is a short human-readable explanation recorded in the run
+    report so a user asking for ``workers=K`` can see why a run stayed
+    serial.
+    """
+    streams = sorted(stream_ids)
+    if workers <= 1:
+        return None, "workers <= 1"
+    if len(streams) < 2:
+        return None, "single stream (nothing to shard)"
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        return None, "telemetry recorder attached (hooks need the serial loop)"
+    if policy is None:
+        return None, "no partition policy (fully shared GPU)"
+    if type(policy) not in SHARDABLE_POLICIES:
+        return None, "policy %r does not dedicate SMs per stream" % policy.name
+    assignment = getattr(policy, "sm_assignment", None)
+    if not assignment:
+        return None, "policy has no SM assignment"
+    for sid in streams:
+        if not assignment.get(sid):
+            return None, "stream %d has no dedicated SM set" % sid
+    k = min(workers, len(streams))
+    groups: List[List[int]] = [[] for _ in range(k)]
+    for i, sid in enumerate(streams):
+        groups[i % k].append(sid)
+    plan = ShardPlan(groups=groups,
+                     assignment={sid: list(assignment[sid]) for sid in streams})
+    return plan, None
+
+
+def shard_policy(plan: ShardPlan, group: List[int]) -> MPSPolicy:
+    """Build the stripped per-shard policy for one stream group.
+
+    A plain MPSPolicy over the group's SM assignment reproduces the serial
+    CTA-launch decisions exactly: for every certified policy the scheduler
+    consults only ``allowed_sms`` (same lists), ``quota`` (None) and
+    ``interleave`` (True).  Epoch hooks (TAP) are the coordinator's job.
+    """
+    return MPSPolicy({sid: list(plan.assignment[sid]) for sid in group})

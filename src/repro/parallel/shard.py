@@ -1,0 +1,653 @@
+"""One shard: a group of streams advancing on its dedicated SMs.
+
+A shard is a full GPU instance minus the shared memory system: the same
+SMs, schedulers, L1s and CTA scheduler as the serial engine (so every
+local decision is taken by the very same code), with the L2 replaced by a
+:class:`~repro.parallel.fabric.ShardFabric` that defers shared-memory
+traffic and hands out sentinels.  The event loop is the serial
+``GPU.run`` loop restructured into a resumable :meth:`ShardGPU.advance`
+that stops at an externally supplied limit or at the shard's memory
+horizon, whichever is earlier.
+
+Only SM-partitioned policies are sharded (see ``plan.py``), so every SM,
+L1, warp, CTA and stat a shard touches is exclusively its own; the only
+shared state is behind the fabric.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..config import GPUConfig
+from ..isa import KernelTrace
+from ..isa.instructions import (
+    IE_INITIATION, IE_IS_BAR, IE_LATENCY, IE_UNIT, IE_UNIT_IDX, IE_USES_LDST,
+)
+from ..isa.instructions import IE_INST, IE_REGS
+from ..timing.cta import CTAScheduler
+from ..timing.exec_units import SchedulerUnits
+from ..timing.gpu import DeadlockError, _sm_id
+from ..timing.ldst import LDSTPath
+from ..timing.scheduler import GTOScheduler
+from ..timing.sm import SM
+from ..timing.stats import GPUStats
+from ..timing.warp import BLOCKED
+from .fabric import EpochUnsafeError, IssueRecord, LineOp, SENTINEL_BASE, ShardFabric
+
+
+class ShardScheduler(GTOScheduler):
+    """GTO/LRR scheduler that parks sentinel-dependent warps off-heap.
+
+    Bit-identity hinges on the lazy heap's ``(estimate, seq)`` keys: ties
+    between simultaneously-ready warps break on the sequence counter, so a
+    shard must consume seqs in exactly the serial order *and* re-create the
+    exact keys serial computes.  When a popped warp's next instruction reads
+    a sentinel register, serial would re-push ``(max(partial, dep), seq)``
+    with the real dependency value — unknown here until the patch arrives.
+    Pushing the sentinel would freeze the entry under a key that never
+    converts; waking later with a fresh seq would shift every subsequent
+    tie-break.  Instead the pop consumes its seq and records
+    ``(partial_key, seq)`` in a park ledger; once a patch makes every
+    operand real, :meth:`ShardSM.apply_issue_patch` re-pushes each entry as
+    ``(max(partial_key, dep_ready), seq)`` — the serial key, because the
+    patched completions are exactly the values serial's scoreboard held and
+    stall/pipe components were folded into ``partial_key`` at pop time.
+    """
+
+    def __init__(self, index: int, units: SchedulerUnits,
+                 policy: str = "gto") -> None:
+        super().__init__(index, units, policy)
+        #: id(warp) -> [(partial_key, seq), ...] awaiting patch re-push.
+        self._park_ledger: Dict[int, List] = {}
+
+    def _pick_from_heap(self, cycle: int):
+        heap = self._heap
+        pipes = self._pipes
+        ledger = self._park_ledger
+        while heap and heap[0][0] <= cycle:
+            _, _, w = heapq.heappop(heap)
+            if w.done or w.barrier_wait:
+                continue
+            entry = w.cur
+            ready = w.stall_until
+            parked = False
+            sb = w.scoreboard
+            for reg in entry[IE_REGS]:
+                t = sb.get(reg, 0)
+                if t >= SENTINEL_BASE:
+                    parked = True
+                elif t > ready:
+                    ready = t
+            nf = pipes[entry[IE_UNIT_IDX]].next_free
+            if nf > ready:
+                ready = nf
+            if parked:
+                ledger.setdefault(id(w), []).append((ready, next(self._seq)))
+                continue
+            if ready <= cycle:
+                self._picked_from_heap = True
+                return w, entry[IE_INST]
+            heapq.heappush(heap, (ready, next(self._seq), w))
+        return None
+
+    def _pick_lrr(self, cycle: int):
+        heap = self._heap
+        pipes = self._pipes
+        ledger = self._park_ledger
+        ready_entries: List = []
+        while heap and heap[0][0] <= cycle:
+            item = heapq.heappop(heap)
+            w = item[2]
+            if w.done or w.barrier_wait:
+                continue
+            entry = w.cur
+            t = w.stall_until
+            parked = False
+            sb = w.scoreboard
+            for reg in entry[IE_REGS]:
+                v = sb.get(reg, 0)
+                if v >= SENTINEL_BASE:
+                    parked = True
+                elif v > t:
+                    t = v
+            nf = pipes[entry[IE_UNIT_IDX]].next_free
+            if nf > t:
+                t = nf
+            if parked:
+                ledger.setdefault(id(w), []).append((t, next(self._seq)))
+                continue
+            if t <= cycle:
+                ready_entries.append(item)
+            else:
+                heapq.heappush(heap, (t, next(self._seq), w))
+        if not ready_entries:
+            return None
+        last = self._last_warp_id
+
+        def rr_key(item):
+            wid = item[2].warp_id
+            return (wid - last - 1) % 4096
+
+        chosen = min(ready_entries, key=rr_key)
+        for item in ready_entries:
+            if item is not chosen:
+                heapq.heappush(heap, item)
+        self._picked_from_heap = True
+        w = chosen[2]
+        inst = w.peek()
+        assert inst is not None
+        return w, inst
+
+
+class ShardLDSTPath(LDSTPath):
+    """LDST path whose L2-bound traffic is deferred through the fabric."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, fabric: ShardFabric,
+                 stats: GPUStats) -> None:
+        super().__init__(sm_id, config, None, stats)
+        self._fabric = fabric
+        #: line -> LineOp for lines whose L1 pending entry is a sentinel.
+        self._pending_ops: Dict[int, LineOp] = {}
+
+    # Serial ``_global_access`` with deferred-completion bookkeeping: real
+    # (local) completions fold into ``done``; deferred ones collect into an
+    # IssueRecord whose sentinel becomes the instruction's completion.
+    def _global_access(self, inst, cycle: int, stream: int) -> int:
+        mem = inst.mem
+        assert mem is not None
+        info = inst.info
+        is_store = info.is_store
+        bypass_l1 = mem.bypass_l1
+        data_class = mem.data_class
+        sstat = self.stats.stream(stream)
+        icnt = self._icnt_latency
+        fabric = self._fabric
+        sectored = self._l1_sectored and mem.sectors is not None
+        done = cycle
+        ops: Optional[List[LineOp]] = None
+        for i, line in enumerate(mem.lines):
+            t_cycle = cycle + i
+            if is_store:
+                hit = self.l1.probe(line, stream)
+                sstat.note_l1(hit, data_class)
+                launch = self._inject(t_cycle)
+                fabric.record_store(line, launch + icnt, data_class, stream)
+                completion = t_cycle + info.latency
+            elif bypass_l1:
+                sstat.mem_transactions += 1
+                launch = self._inject(t_cycle)
+                op = fabric.defer_load(self, "bypass", line, launch + icnt,
+                                       data_class, stream, 0, None)
+                if ops is None:
+                    ops = []
+                ops.append(op)
+                continue
+            else:
+                if sectored:
+                    mask, fetch_bytes = self._sector_request(inst, line)
+                else:
+                    mask, fetch_bytes = 0, None
+                completion = self._load_line(line, t_cycle, data_class,
+                                             stream, mask, fetch_bytes)
+                if type(completion) is not int:
+                    if ops is None:
+                        ops = []
+                    ops.append(completion)
+                    continue
+            if completion > done:
+                done = completion
+        if ops is None:
+            return done
+        return fabric.make_issue(ops, done)
+
+    # Serial ``_load_line`` with three changes: a sentinel-valued pending
+    # entry takes the in-flight-merge branch (returning a merge op), a miss
+    # defers through the fabric, and the MSHR-full wait refuses to guess
+    # when a sentinel could be the earliest pending fill.
+    def _load_line(self, line: int, cycle: int, data_class, stream: int,
+                   sector_mask: int = 0, fetch_bytes: Optional[int] = None):
+        sstat = self.stats.stream(stream)
+        l1 = self.l1
+        hit_latency = self._l1_hit_latency
+        fabric = self._fabric
+        pending: Optional[int] = l1._pending.get(line)
+        if pending is not None:
+            if pending >= SENTINEL_BASE:
+                base = self._pending_ops[line]
+                if cycle >= fabric.completion_lower_bound(base):
+                    # Serial could have completed this fill by now; which
+                    # branch it takes depends on the unpatched value.
+                    raise EpochUnsafeError(
+                        "L1 pending compare against deferred fill at cycle %d"
+                        % cycle)
+                hit, merged = l1.access(line, cycle, data_class, stream,
+                                        sector_mask=sector_mask)
+                sstat.note_l1(hit or merged, data_class)
+                if hit or merged:
+                    return fabric.merge_load(base, cycle + hit_latency)
+                # Sector miss on the in-flight line: fetch the rest below.
+            elif pending > cycle:
+                hit, merged = l1.access(line, cycle, data_class, stream,
+                                        sector_mask=sector_mask)
+                sstat.note_l1(hit or merged, data_class)
+                if hit or merged:
+                    done = cycle + hit_latency
+                    return done if done > pending else pending
+            else:
+                l1.complete_pending(line)
+                hit, _ = l1.access(line, cycle, data_class, stream,
+                                   sector_mask=sector_mask)
+                sstat.note_l1(hit, data_class)
+                if hit:
+                    return cycle + hit_latency
+        else:
+            hit, _ = l1.access(line, cycle, data_class, stream,
+                               sector_mask=sector_mask)
+            sstat.note_l1(hit, data_class)
+            if hit:
+                return cycle + hit_latency
+        if not l1.mshr_free:
+            self._check_purge_safe(l1, cycle)
+            l1.purge_pending(cycle)
+            if not l1.mshr_free:
+                cycle = self._mshr_wait(l1, cycle)
+                l1.purge_pending(cycle)
+        icnt = self._icnt_latency
+        launch = self._inject(cycle)
+        op = fabric.defer_load(self, "load", line, launch + icnt, data_class,
+                               stream, sector_mask, fetch_bytes)
+        l1.fill(line, data_class, stream, sector_mask)
+        l1.note_pending(line, op.sentinel)
+        self._pending_ops[line] = op
+        return op
+
+    def _check_purge_safe(self, l1, cycle: int) -> None:
+        """Purging at ``cycle`` matches serial only if no deferred fill
+        could serially have completed by then."""
+        fabric = self._fabric
+        for line, ready in l1._pending.items():
+            if ready >= SENTINEL_BASE and \
+                    cycle >= fabric.completion_lower_bound(self._pending_ops[line]):
+                raise EpochUnsafeError(
+                    "MSHR purge at cycle %d could race a deferred fill" % cycle)
+
+    def _mshr_wait(self, l1, cycle: int) -> int:
+        """Serial ``wait = earliest_pending()`` under sentinels.
+
+        Safe only when the earliest *real* pending fill provably precedes
+        every deferred fill's completion lower bound — then the serial
+        minimum is that real value and the subsequent purge behaves
+        identically on both sides.  Anything else bails to the serial
+        engine.
+        """
+        fabric = self._fabric
+        min_real = None
+        min_lb = None
+        for line, ready in l1._pending.items():
+            if ready >= SENTINEL_BASE:
+                lb = fabric.completion_lower_bound(self._pending_ops[line])
+                if min_lb is None or lb < min_lb:
+                    min_lb = lb
+            elif min_real is None or ready < min_real:
+                min_real = ready
+        if min_real is None:
+            raise EpochUnsafeError(
+                "L1 MSHRs full of deferred fills at cycle %d" % cycle)
+        wait = min_real
+        if min_lb is not None and (wait >= min_lb or cycle >= min_lb):
+            raise EpochUnsafeError(
+                "ambiguous MSHR wait at cycle %d (deferred fill could be "
+                "earliest)" % cycle)
+        return cycle if cycle > wait else wait
+
+
+class ShardSM(SM):
+    """SM that tolerates deferred instruction completions."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, fabric: ShardFabric,
+                 stats: GPUStats, on_cta_complete=None) -> None:
+        super().__init__(sm_id, config, None, stats,
+                         on_cta_complete=on_cta_complete)
+        self.ldst = ShardLDSTPath(sm_id, config, fabric, stats)
+        self.schedulers = [
+            ShardScheduler(i, SchedulerUnits(),
+                           policy=config.scheduler_policy)
+            for i in range(config.schedulers_per_sm)
+        ]
+        #: id(warp) -> count of unresolved deferred instructions; CTAs with
+        #: a pending warp retire only after their last patch lands.
+        self._warp_pending: Dict[int, int] = {}
+        #: (cta, completion_seq) pairs whose retire awaits patches.  The
+        #: seq is allocated at the serial trigger moment (the last warp's
+        #: final issue) so the completions heap orders ties exactly as the
+        #: serial engine does.
+        self._deferred_retires: List = []
+
+    # Serial ``_issue`` with a deferred branch: a sentinel completion is
+    # committed without touching last_commit_cycle (folded at patch time)
+    # and the CTA retire is parked until every warp's patches resolve.
+    def _issue(self, sched, warp, inst, cycle: int) -> None:
+        entry = warp.cur
+        pipe = sched._pipes[entry[IE_UNIT_IDX]]
+        issue_cycle = pipe.issue(cycle, entry[IE_INITIATION])
+        if entry[IE_USES_LDST]:
+            complete = self.ldst.issue(inst, issue_cycle, warp.stream)
+        else:
+            complete = issue_cycle + entry[IE_LATENCY]
+        if entry[IE_IS_BAR]:
+            self._barrier(warp, issue_cycle)
+        deferred = complete >= SENTINEL_BASE
+        if deferred:
+            rec = self.ldst._fabric.issue_records[complete]
+            rec.warp = warp
+            rec.dst = inst.dst
+            rec.sm = self
+            wid = id(warp)
+            self._warp_pending[wid] = self._warp_pending.get(wid, 0) + 1
+            # commit_issue minus the last_commit_cycle update.
+            if inst.dst >= 0:
+                warp.scoreboard[inst.dst] = complete
+            warp.last_issue_cycle = issue_cycle
+            pc = warp.pc + 1
+            warp.pc = pc
+            if pc >= len(warp.insts):
+                warp.done = True
+                warp.cur = None
+            else:
+                warp.cur = warp.stream_entries[pc]
+        else:
+            warp.commit_issue(inst, issue_cycle, complete)
+        if warp.done or warp.barrier_wait:
+            estimate = issue_cycle + 1
+        else:
+            dep = warp.dep_ready_cycle()
+            nxt = issue_cycle + 1
+            estimate = dep if dep > nxt else nxt
+        if estimate >= SENTINEL_BASE:
+            # note_issued minus the heap push: serial would push the warp at
+            # its real dependency estimate, unknown until the patch.  Consume
+            # the seq now (keeping the counter in serial lockstep) and park
+            # it in the ledger for apply_issue_patch to re-push.
+            sched.issued += 1
+            sched._greedy = warp
+            sched._last_warp_id = warp.warp_id
+            if sched._picked_from_heap:
+                sched._park_ledger.setdefault(id(warp), []).append(
+                    (issue_cycle + 1, next(sched._seq)))
+            sched._picked_from_heap = False
+        else:
+            sched.note_issued(warp, estimate)
+        sstat = warp.sstat
+        if sstat is None:
+            sstat = self.stats.stream(warp.stream)
+        sstat.instructions += 1
+        sstat.issue_by_unit[entry[IE_UNIT]] += 1
+        if sstat.first_issue_cycle is None or issue_cycle < sstat.first_issue_cycle:
+            sstat.first_issue_cycle = issue_cycle
+        if deferred:
+            rec.sstat = sstat
+        elif complete > sstat.last_commit_cycle:
+            sstat.last_commit_cycle = complete
+        self.issued_by_stream[warp.stream] += 1
+        if warp.done:
+            cta = warp.cta
+            cta.live_warps -= 1
+            if cta.live_warps == 0:
+                pending = self._warp_pending
+                if pending and any(id(w) in pending for w in cta.warps):
+                    self._completion_seq += 1
+                    self._deferred_retires.append((cta, self._completion_seq))
+                else:
+                    last = max(w.last_commit_cycle for w in cta.warps)
+                    self._retire_cta(cta, last)
+
+    # -- patch plumbing -----------------------------------------------------
+    def apply_issue_patch(self, rec: IssueRecord) -> None:
+        """Land a fully resolved deferred instruction completion."""
+        value = rec.local_done
+        warp = rec.warp
+        if rec.dst >= 0 and warp.scoreboard.get(rec.dst) == rec.sentinel:
+            warp.scoreboard[rec.dst] = value
+        if value > warp.last_commit_cycle:
+            warp.last_commit_cycle = value
+        sstat = rec.sstat
+        if value > sstat.last_commit_cycle:
+            sstat.last_commit_cycle = value
+        wid = id(warp)
+        left = self._warp_pending[wid] - 1
+        if left:
+            self._warp_pending[wid] = left
+        else:
+            del self._warp_pending[wid]
+        sched = self.schedulers[warp.home_sched]
+        ledger = sched._park_ledger.get(wid)
+        if ledger is not None:
+            # Re-push the parked heap entries with their serial keys once
+            # every register the next instruction reads is real again.
+            dep = warp.dep_ready_cycle()
+            if dep < SENTINEL_BASE:
+                heap = sched._heap
+                for base, seq in ledger:
+                    key = base if base > dep else dep
+                    heapq.heappush(heap, (key, seq, warp))
+                    if key < sched.next_event_cache:
+                        sched.next_event_cache = key
+                del sched._park_ledger[wid]
+
+    def flush_deferred_retires(self) -> bool:
+        """Queue parked CTA retires whose warps are now fully patched."""
+        if not self._deferred_retires:
+            return False
+        pending = self._warp_pending
+        still: List = []
+        queued = False
+        for cta, seq in self._deferred_retires:
+            if pending and any(id(w) in pending for w in cta.warps):
+                still.append((cta, seq))
+                continue
+            last = max(w.last_commit_cycle for w in cta.warps)
+            heapq.heappush(self._completions, (last, seq, cta))
+            queued = True
+        self._deferred_retires = still
+        return queued
+
+
+class ShardGPU:
+    """The serial GPU event loop, resumable and fabric-backed."""
+
+    def __init__(self, config: GPUConfig, streams: Dict[int, Sequence[KernelTrace]],
+                 policy, max_cycles: int = 200_000_000) -> None:
+        self.config = config
+        self.stats = GPUStats()
+        self.fabric = ShardFabric(config)
+        self.policy = policy
+        self.max_cycles = max_cycles
+        # Full SM list so CTAScheduler's positional indexing matches the
+        # serial engine; SMs outside this shard's assignment stay idle.
+        self.sms: List[ShardSM] = [
+            ShardSM(i, config, self.fabric, self.stats,
+                    on_cta_complete=self._cta_done)
+            for i in range(config.num_sms)
+        ]
+        self.cta_scheduler = CTAScheduler(config, self.sms, policy, gpu=self)
+        from ..telemetry.recorder import NULL_TELEMETRY
+        self.telemetry = NULL_TELEMETRY
+        self.cycle = 0
+        self.final_cycle: Optional[int] = None
+        self._completed_this_step = False
+        self._event_heap: List = []
+        self._next_visit = 0
+        for sid, kernels in sorted(streams.items()):
+            self.cta_scheduler.add_stream(sid, kernels)
+
+    # -- serial-loop plumbing (mirrors GPU) ---------------------------------
+    def _cta_done(self, sm, cta) -> None:
+        self._completed_this_step = True
+        self.cta_scheduler.on_cta_complete(sm, cta, self.cycle)
+
+    def _push_event(self, sm, t: int) -> None:
+        if t < sm._queued_event:
+            sm._queued_event = t
+            heapq.heappush(self._event_heap, (t, sm.sm_id, sm))
+
+    def start(self) -> None:
+        """Serial ``run`` preamble: memory configuration is the
+        coordinator's job, everything else is identical."""
+        for sm in self.sms:
+            sm._queued_event = BLOCKED
+            sm.event_sink = self._push_event
+        self.cta_scheduler.fill(0)
+
+    # -- coordinator surface ------------------------------------------------
+    def front(self) -> int:
+        """All ops this shard will ever log from here on have
+        ``visit >= front()`` — the coordinator's replay floor."""
+        nv = self._next_visit
+        mh = self.fabric.mem_horizon()
+        return nv if nv < mh else mh
+
+    def next_visit(self) -> int:
+        """Next event-loop cycle (>= SENTINEL_BASE means parked on
+        patches; BLOCKED means no event at all)."""
+        return self._next_visit
+
+    def take_log(self) -> List:
+        log = self.fabric.log
+        self.fabric.log = []
+        return log
+
+    def apply_patches(self, patches) -> None:
+        touched: Set = self.fabric.apply_patches(patches)
+        for sm in touched:
+            sm.flush_deferred_retires()
+            t = sm.next_event(self.cycle)
+            sm.next_event_cache = t
+            if t < BLOCKED:
+                self._push_event(sm, t)
+        if touched:
+            self._refresh_next_visit()
+
+    def _refresh_next_visit(self) -> None:
+        heap = self._event_heap
+        while heap:
+            t, _, sm = heap[0]
+            if t != sm._queued_event:
+                heapq.heappop(heap)
+                continue
+            if t < self._next_visit:
+                self._next_visit = t
+            break
+
+    def occupancy_by_stream(self) -> Dict[int, int]:
+        warps: Dict[int, int] = {}
+        for sm in self.sms:
+            for stream, n in sm.warps_resident_by_stream().items():
+                if n:
+                    warps[stream] = warps.get(stream, 0) + n
+        return warps
+
+    # -- the loop -----------------------------------------------------------
+    def advance(self, limit: int) -> str:
+        """Process visited cycles < min(limit, memory horizon).
+
+        Returns "done" when this shard's streams have fully completed,
+        "limit" when it stopped at the bound, or "blocked" when it can do
+        nothing until patches arrive.  The loop body is the serial
+        ``GPU.run`` loop verbatim, minus sampling/epoch hooks (fired by
+        the coordinator at merge barriers).
+        """
+        heap = self._event_heap
+        fabric = self.fabric
+        while True:
+            bound = fabric.mem_horizon()
+            if limit < bound:
+                bound = limit
+            cycle = self._next_visit
+            if cycle >= bound:
+                return "limit"
+            self.cycle = cycle
+            self._completed_this_step = False
+            due: List[ShardSM] = []
+            while heap and heap[0][0] <= cycle:
+                t, _, sm = heapq.heappop(heap)
+                if t != sm._queued_event:
+                    continue
+                sm._queued_event = BLOCKED
+                due.append(sm)
+            due.sort(key=_sm_id)
+            for sm in due:
+                if sm._completions:
+                    sm.process_completions(cycle)
+            if self._completed_this_step:
+                if self.cta_scheduler.has_issuable_work:
+                    self.cta_scheduler.fill(cycle)
+                if self.cta_scheduler.all_complete and not any(
+                    sm.has_work for sm in self.sms
+                ):
+                    self.final_cycle = cycle
+                    self.stats.cycles = cycle
+                    return "done"
+                added = False
+                while heap and heap[0][0] <= cycle:
+                    t, _, sm = heapq.heappop(heap)
+                    if t != sm._queued_event:
+                        continue
+                    sm._queued_event = BLOCKED
+                    due.append(sm)
+                    added = True
+                if added:
+                    due.sort(key=_sm_id)
+            fabric.cycle = cycle
+            for sm in due:
+                if sm.has_work:
+                    fabric.sm_id = sm.sm_id
+                    sm.tick(cycle)
+                    t = sm.next_event(cycle)
+                    sm.next_event_cache = t
+                    if t < BLOCKED:
+                        self._push_event(sm, t)
+            nxt = BLOCKED
+            while heap:
+                t, _, sm = heap[0]
+                if t != sm._queued_event:
+                    heapq.heappop(heap)
+                    continue
+                nxt = t
+                break
+            if nxt == BLOCKED:
+                if self.cta_scheduler.has_issuable_work:
+                    if self.cta_scheduler.fill(cycle) == 0:
+                        if fabric.unresolved:
+                            # Space frees once parked retires are patched.
+                            self._next_visit = BLOCKED
+                            return "blocked"
+                        raise DeadlockError(
+                            "CTAs pending at cycle %d but no SM can accept "
+                            "them (policy %r quota too small?)"
+                            % (cycle, self.policy.name))
+                    cycle += 1
+                    self._next_visit = cycle
+                    continue
+                pending = [
+                    t for t in (sm.next_completion_cycle() for sm in self.sms)
+                    if t is not None
+                ]
+                if pending:
+                    nxt_c = min(pending)
+                    self._next_visit = cycle + 1 if cycle + 1 > nxt_c else nxt_c
+                    continue
+                if fabric.unresolved:
+                    self._next_visit = BLOCKED
+                    return "blocked"
+                if not self.cta_scheduler.all_complete:
+                    raise DeadlockError(
+                        "streams incomplete at cycle %d but no work anywhere"
+                        % cycle)
+                self.final_cycle = cycle
+                self.stats.cycles = cycle
+                return "done"
+            self._next_visit = cycle + 1 if cycle + 1 > nxt else nxt
+            if SENTINEL_BASE > self._next_visit > self.max_cycles:
+                raise RuntimeError(
+                    "simulation exceeded %d cycles" % self.max_cycles)

@@ -1,0 +1,113 @@
+"""Process backend: one forked worker per shard, pipe-driven BSP rounds.
+
+Workers are forked (never spawned) so traces, config and the stripped
+shard policy are inherited by memory — nothing is pickled on the way in.
+Only op logs, patches and the final stats dict cross the pipe.  On
+platforms without fork the engine auto-selects the inline backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Optional, Tuple
+
+from ..config import GPUConfig
+from ..timing.stats import GPUStats
+from .fabric import EpochUnsafeError
+from .shard import ShardGPU
+
+
+def fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+    return True
+
+
+def _worker_main(conn, config: GPUConfig, streams, policy,
+                 max_cycles: int) -> None:
+    """Child process loop: drive one ShardGPU from coordinator commands."""
+    try:
+        gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles)
+        gpu.start()
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "advance":
+                status = gpu.advance(msg[1])
+                conn.send(("ok", status, gpu.front(), gpu.next_visit(),
+                           gpu.take_log()))
+            elif cmd == "patch":
+                gpu.apply_patches(msg[1])
+                conn.send(("ok", gpu.front(), gpu.next_visit()))
+            elif cmd == "occupancy":
+                conn.send(("ok", gpu.occupancy_by_stream()))
+            elif cmd == "finalize":
+                conn.send(("ok", gpu.stats.to_dict(), gpu.final_cycle))
+            elif cmd == "stop":
+                break
+    except EpochUnsafeError as exc:
+        conn.send(("unsafe", str(exc)))
+    except EOFError:  # pragma: no cover - coordinator died
+        pass
+    except Exception as exc:  # pragma: no cover - surfaced by coordinator
+        import traceback
+        conn.send(("error", "%s\n%s" % (exc, traceback.format_exc())))
+    finally:
+        conn.close()
+
+
+class ProcessShard:
+    """Coordinator-side handle for one forked shard worker."""
+
+    def __init__(self, config: GPUConfig, streams, policy,
+                 max_cycles: int) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child, config, streams, policy, max_cycles),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+
+    def _rpc(self, *msg):
+        self._conn.send(msg)
+        try:
+            reply = self._conn.recv()
+        except EOFError:
+            raise RuntimeError("shard worker died unexpectedly")
+        if reply[0] == "unsafe":
+            raise EpochUnsafeError(reply[1])
+        if reply[0] == "error":
+            raise RuntimeError("shard worker failed:\n%s" % reply[1])
+        return reply
+
+    def advance(self, limit: int):
+        _, status, front, nv, ops = self._rpc("advance", limit)
+        return status, front, nv, ops
+
+    def apply_patches(self, patches):
+        _, front, nv = self._rpc("patch", patches)
+        return front, nv
+
+    def occupancy(self) -> Dict[int, int]:
+        return self._rpc("occupancy")[1]
+
+    def finalize(self) -> Tuple[GPUStats, Optional[int]]:
+        _, stats_dict, final_cycle = self._rpc("finalize")
+        return GPUStats.from_dict(stats_dict), final_cycle
+
+    def stop(self) -> None:
+        try:
+            if self._proc.is_alive():
+                self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        self._conn.close()
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+            self._proc.join(timeout=5)

@@ -31,10 +31,12 @@ SIMRATE_SCHEMA = 2
 
 
 def _run(config: GPUConfig, streams: Dict[int, List[KernelTrace]],
-         policy: Optional[str], sample_interval: Optional[int]):
-    from .core.platform import execute_streams
-    return execute_streams(config, streams, policy=policy,
-                           sample_interval=sample_interval)
+         policy: Optional[str], sample_interval: Optional[int],
+         workers: int = 1):
+    from .api import simulate
+    result = simulate(config=config, streams=streams, policy=policy,
+                      sample_interval=sample_interval, workers=workers)
+    return result.stats, result.policy
 
 
 def simrate_record(stats, wall_seconds: float, label: str = "",
@@ -96,6 +98,7 @@ def measure_simrate(
     sample_interval: Optional[int] = None,
     repeats: int = 1,
     label: str = "",
+    workers: int = 1,
 ) -> dict:
     """Time the simulation (best wall-clock of ``repeats`` runs).
 
@@ -108,7 +111,8 @@ def measure_simrate(
     best_stats = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        stats, _ = _run(config, streams, policy, sample_interval)
+        stats, _ = _run(config, streams, policy, sample_interval,
+                        workers=workers)
         wall = time.perf_counter() - t0
         if best_wall is None or wall < best_wall:
             best_wall = wall
@@ -124,6 +128,7 @@ def profile_simulation(
     top: int = 20,
     sort: str = "cumulative",
     label: str = "",
+    workers: int = 1,
 ) -> Tuple[str, dict]:
     """Run one simulation under cProfile.
 
@@ -135,7 +140,8 @@ def profile_simulation(
     profiler = cProfile.Profile()
     t0 = time.perf_counter()
     profiler.enable()
-    stats, _ = _run(config, streams, policy, sample_interval)
+    stats, _ = _run(config, streams, policy, sample_interval,
+                    workers=workers)
     profiler.disable()
     wall = time.perf_counter() - t0
     buf = io.StringIO()

@@ -1,0 +1,158 @@
+"""Contract tests for the unified ``repro.api`` execution surface.
+
+Pins three things: the public surface itself (names and call signatures,
+so accidental breaks show up as a failed snapshot rather than a user bug
+report), the deprecation shims (old entry points must warn *and* still
+return the exact pre-redesign results), and request resolution semantics
+(streams-vs-workload exclusivity, named-policy single-stream behaviour).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+from repro.api import RunRequest, RunResult, WorkloadSpec, simulate
+from repro.config import get_preset
+from repro.core.platform import (
+    CRISP,
+    PairResult,
+    collect_streams,
+    execute_streams,
+    make_policy,
+)
+from repro.core.streams import COMPUTE_STREAM, GRAPHICS_STREAM
+
+
+@pytest.fixture(scope="module")
+def reference_workload():
+    config = get_preset("JetsonOrin-mini")
+    streams = collect_streams(config, scene="SPL", res="nano",
+                              compute="HOLO")
+    return config, streams
+
+
+@pytest.fixture(scope="module")
+def baseline(reference_workload):
+    """The canonical result every other path must reproduce."""
+    config, streams = reference_workload
+    return simulate(config=config, streams=streams, policy="mps")
+
+
+# -- surface snapshot --------------------------------------------------------
+
+def test_package_exports():
+    assert set(repro.__all__) == {
+        "CRISP", "RunRequest", "RunResult", "WorkloadSpec", "simulate",
+        "__version__",
+    }
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_simulate_signature():
+    params = list(inspect.signature(simulate).parameters)
+    assert params == ["request", "kwargs"]
+
+
+def test_run_request_fields():
+    fields = list(inspect.signature(RunRequest).parameters)
+    assert fields == [
+        "config", "streams", "workload", "policy", "sample_interval",
+        "telemetry", "workers", "backend", "max_cycles",
+    ]
+
+
+def test_workload_spec_fields():
+    fields = list(inspect.signature(WorkloadSpec).parameters)
+    assert fields == [
+        "scene", "res", "lod_enabled", "compute", "compute_args",
+        "graphics_trace", "compute_trace",
+    ]
+
+
+# -- request resolution ------------------------------------------------------
+
+def test_streams_xor_workload(reference_workload):
+    config, streams = reference_workload
+    with pytest.raises(ValueError):
+        simulate(RunRequest(config=config))
+    with pytest.raises(ValueError):
+        simulate(RunRequest(config=config, streams=streams,
+                            workload=WorkloadSpec(scene="SPL")))
+
+
+def test_named_policy_skipped_for_single_stream(reference_workload):
+    """A *named* policy only applies with >1 stream (execute_streams
+    parity); single-stream runs own the whole GPU."""
+    config, streams = reference_workload
+    solo = {GRAPHICS_STREAM: streams[GRAPHICS_STREAM]}
+    result = simulate(config=config, streams=solo, policy="mps")
+    assert result.policy is None
+
+
+def test_policy_instance_always_applies(reference_workload, baseline):
+    config, streams = reference_workload
+    pol = make_policy("mps", config, sorted(streams))
+    result = simulate(config=config, streams=streams, policy=pol)
+    assert result.policy is pol
+    assert result.stats.to_dict() == baseline.stats.to_dict()
+
+
+def test_workload_spec_matches_prebuilt_streams(baseline):
+    result = simulate(
+        workload=WorkloadSpec(scene="SPL", res="nano", compute="HOLO"),
+        policy="mps")
+    assert result.stats.to_dict() == baseline.stats.to_dict()
+
+
+def test_result_accessors(baseline):
+    r = baseline
+    assert r.total_cycles == r.stats.cycles
+    assert r.graphics_cycles == r.stats.stream_cycles(GRAPHICS_STREAM)
+    assert r.compute_cycles == r.stats.stream_cycles(COMPUTE_STREAM)
+    assert r.parallel.requested_workers == 1
+    assert not r.parallel.engaged
+    assert isinstance(r, RunResult)
+    assert "serial" in repr(r)
+
+
+# -- deprecation shims -------------------------------------------------------
+
+def test_execute_streams_warns_and_matches(reference_workload, baseline):
+    config, streams = reference_workload
+    with pytest.warns(DeprecationWarning, match="execute_streams"):
+        stats, policy = execute_streams(config, streams, policy="mps")
+    assert stats.to_dict() == baseline.stats.to_dict()
+    assert policy.name == "mps"
+
+
+def test_crisp_run_pair_warns_and_matches(reference_workload, baseline):
+    config, streams = reference_workload
+    crisp = CRISP(config)
+    with pytest.warns(DeprecationWarning, match="run_pair"):
+        pair = crisp.run_pair(streams[GRAPHICS_STREAM],
+                              streams[COMPUTE_STREAM], policy="mps")
+    assert isinstance(pair, PairResult)
+    assert pair.stats.to_dict() == baseline.stats.to_dict()
+
+
+def test_crisp_run_single_warns(reference_workload):
+    config, streams = reference_workload
+    crisp = CRISP(config)
+    with pytest.warns(DeprecationWarning, match="run_single"):
+        stats = crisp.run_single(streams[GRAPHICS_STREAM])
+    solo = simulate(config=config,
+                    streams={GRAPHICS_STREAM: streams[GRAPHICS_STREAM]})
+    assert stats.to_dict() == solo.stats.to_dict()
+
+
+def test_crisp_run_warns(reference_workload, baseline):
+    config, streams = reference_workload
+    crisp = CRISP(config)
+    pol = make_policy("mps", config, sorted(streams))
+    with pytest.warns(DeprecationWarning, match="CRISP.run"):
+        stats = crisp.run(streams, policy=pol)
+    assert stats.to_dict() == baseline.stats.to_dict()

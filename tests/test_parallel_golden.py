@@ -1,0 +1,102 @@
+"""Bit-identity gate for the sharded parallel engine.
+
+``repro.parallel.run_sharded`` promises results *bit-identical* to the
+serial engine for every partition policy: the MPS family (mps, mig, tap)
+actually shards, the rest fall back serially.  These tests replay the
+reference workload (sponza + hologram at nano on JetsonOrin-mini) through
+``workers=2`` and ``workers=4`` and compare the full ``GPUStats.to_dict()``
+tree against the same ``tests/golden/`` snapshots the serial engine is
+pinned to — one source of truth for both engines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import simulate
+from repro.config import get_preset
+from repro.core.platform import collect_streams
+from repro.parallel import run_sharded
+from repro.parallel.worker import fork_available
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "golden")
+POLICIES = ("shared", "mps", "mig", "fg-even", "warped-slicer", "tap")
+#: Policies whose SM assignment is disjoint per stream, hence shardable.
+SHARDED = ("mps", "mig", "tap")
+
+
+@pytest.fixture(scope="module")
+def reference_workload():
+    config = get_preset("JetsonOrin-mini")
+    streams = collect_streams(config, scene="SPL", res="nano",
+                              compute="HOLO")
+    return config, streams
+
+
+def _golden(policy: str) -> dict:
+    path = os.path.join(GOLDEN_DIR, "sponza_hologram_nano_%s.json" % policy)
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _canonical(stats) -> dict:
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_workers2_bit_identical(reference_workload, policy):
+    """workers=2 must reproduce the serial golden stats for every policy —
+    sharded where the plan allows, serial fallback where it doesn't."""
+    config, streams = reference_workload
+    result = simulate(config=config, streams=streams, policy=policy,
+                      workers=2, backend="inline")
+    assert _canonical(result.stats) == _golden(policy), (
+        "sharded run diverged from serial goldens under policy=%s" % policy)
+    report = result.parallel
+    if policy in SHARDED:
+        assert report.engaged and report.num_shards == 2
+        assert report.fallback_reason is None
+        assert report.replayed_ops > 0 and report.rounds > 0
+    else:
+        assert not report.engaged
+        assert report.fallback_reason
+
+
+@pytest.mark.parametrize("policy", SHARDED)
+def test_workers4_bit_identical(reference_workload, policy):
+    """More workers than streams: shards clamp to one stream each and the
+    result stays bit-identical."""
+    config, streams = reference_workload
+    result = simulate(config=config, streams=streams, policy=policy,
+                      workers=4, backend="inline")
+    assert _canonical(result.stats) == _golden(policy)
+    assert result.parallel.engaged
+    # Two streams -> at most two shards regardless of requested workers.
+    assert result.parallel.num_shards == 2
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="fork start method unavailable")
+def test_process_backend_bit_identical(reference_workload):
+    """The forked-worker backend must match the inline one exactly."""
+    config, streams = reference_workload
+    from repro.core.platform import make_policy
+    policy = make_policy("mps", config, sorted(streams))
+    stats, _, report = run_sharded(config, streams, policy=policy,
+                                   workers=2, backend="process")
+    assert report.engaged and report.backend == "process"
+    assert _canonical(stats) == _golden("mps")
+
+
+def test_telemetry_forces_serial(reference_workload):
+    """Telemetry hooks need the serial loop; the engine must notice."""
+    from repro.telemetry import Telemetry
+    config, streams = reference_workload
+    result = simulate(config=config, streams=streams, policy="mps",
+                      workers=2, telemetry=Telemetry(sample_interval=1000))
+    assert not result.parallel.engaged
+    assert "telemetry" in result.parallel.fallback_reason

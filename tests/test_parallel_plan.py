@@ -1,0 +1,122 @@
+"""Unit tests for shard planning and the deferred-traffic fabric.
+
+These cover the decision logic (:func:`repro.parallel.plan.plan_shards`)
+and the arithmetic the epoch-safety proof rests on (sentinel encoding,
+memory horizon, completion lower bound) without running a simulation —
+the end-to-end bit-identity gate lives in ``test_parallel_golden.py``.
+"""
+
+from __future__ import annotations
+
+from repro.config import get_preset
+from repro.core.partition import FGEvenPolicy, MiGPolicy, MPSPolicy
+from repro.core.tap import TAPPolicy
+from repro.core.warped_slicer import WarpedSlicerPolicy
+from repro.parallel import SENTINEL_BASE, plan_shards
+from repro.parallel.fabric import ShardFabric
+from repro.parallel.plan import shard_policy
+from repro.timing.warp import BLOCKED
+
+
+CONFIG = get_preset("JetsonOrin-mini")
+STREAMS = (0, 1)
+
+
+def _mps():
+    return MPSPolicy.even(CONFIG.num_sms, list(STREAMS))
+
+
+# -- plan_shards -------------------------------------------------------------
+
+def test_plan_requires_multiple_workers():
+    plan, reason = plan_shards(_mps(), STREAMS, workers=1)
+    assert plan is None and "workers" in reason
+
+
+def test_plan_requires_multiple_streams():
+    plan, reason = plan_shards(_mps(), [0], workers=2)
+    assert plan is None and "single stream" in reason
+
+
+def test_plan_requires_policy():
+    plan, reason = plan_shards(None, STREAMS, workers=2)
+    assert plan is None and "no partition policy" in reason
+
+
+def test_plan_rejects_co_scheduling_policies():
+    for policy in (FGEvenPolicy.even(list(STREAMS)),
+                   WarpedSlicerPolicy(list(STREAMS))):
+        plan, reason = plan_shards(policy, STREAMS, workers=2)
+        assert plan is None, policy.name
+        assert "does not dedicate SMs" in reason
+
+
+def test_plan_accepts_mps_family():
+    policies = (_mps(),
+                MiGPolicy.even(CONFIG.num_sms, list(STREAMS),
+                               CONFIG.l2_banks),
+                TAPPolicy.even(CONFIG.num_sms, list(STREAMS)))
+    for policy in policies:
+        plan, reason = plan_shards(policy, STREAMS, workers=2)
+        assert reason is None, policy.name
+        assert plan.num_shards == 2
+        assert sorted(sid for g in plan.groups for sid in g) == [0, 1]
+
+
+def test_plan_clamps_shards_to_stream_count():
+    plan, _ = plan_shards(_mps(), STREAMS, workers=8)
+    assert plan.num_shards == 2
+    assert all(len(g) == 1 for g in plan.groups)
+
+
+def test_plan_groups_round_robin():
+    streams = [0, 1, 2]
+    policy = MPSPolicy.even(CONFIG.num_sms, streams)
+    plan, _ = plan_shards(policy, streams, workers=2)
+    assert plan.groups == [[0, 2], [1]]
+
+
+def test_shard_policy_restricts_to_group():
+    plan, _ = plan_shards(_mps(), STREAMS, workers=2)
+    group = plan.groups[0]
+    sub = shard_policy(plan, group)
+    assert isinstance(sub, MPSPolicy)
+    assert sorted(sub.sm_assignment) == sorted(group)
+    for sid in group:
+        assert sub.sm_assignment[sid] == plan.assignment[sid]
+
+
+# -- fabric arithmetic -------------------------------------------------------
+
+def test_sentinels_sort_below_blocked():
+    fabric = ShardFabric(CONFIG)
+    sentinel = fabric.make_issue([], local_done=0)
+    assert SENTINEL_BASE < sentinel < BLOCKED
+
+
+def test_min_roundtrip_matches_config():
+    fabric = ShardFabric(CONFIG)
+    assert fabric.min_roundtrip == (2 * CONFIG.icnt_latency
+                                    + CONFIG.l2.hit_latency)
+
+
+def test_mem_horizon_tracks_earliest_unresolved_visit():
+    fabric = ShardFabric(CONFIG)
+    assert fabric.mem_horizon() == BLOCKED  # nothing outstanding
+    fabric.cycle = 100
+    op_a = fabric.defer_load(None, "load", line=0x40, t=100, data_class=0,
+                             stream=0, sector_mask=1, fetch_bytes=32)
+    fabric.cycle = 250
+    fabric.defer_load(None, "load", line=0x80, t=250, data_class=0,
+                      stream=0, sector_mask=1, fetch_bytes=32)
+    assert fabric.mem_horizon() == 100 + fabric.min_roundtrip
+    assert fabric.completion_lower_bound(op_a) == (
+        100 + CONFIG.l2.hit_latency + CONFIG.icnt_latency)
+
+
+def test_store_log_entries_need_no_patch():
+    fabric = ShardFabric(CONFIG)
+    fabric.record_store(line=0xc0, t=7, data_class=0, stream=1)
+    assert not fabric.unresolved
+    (entry,) = fabric.log
+    assert entry[0] is None and entry[3] == "store"
