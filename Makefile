@@ -3,7 +3,8 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-parallel test-parallel
+.PHONY: test lint bench bench-smoke bench-parallel test-parallel \
+	fuzz fuzz-smoke check-goldens
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -27,6 +28,19 @@ test-parallel:
 bench-parallel:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -s \
 		benchmarks/test_parallel_speedup.py
+
+# Differential fuzzing: every engine must agree bit-for-bit on random
+# configs/workloads/policies. `fuzz` is the nightly CI leg (failures land
+# in fuzz-corpus/ as minimal shrunk repros); `fuzz-smoke` rides tier-1.
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate fuzz \
+		--seeds 200 --invariants --corpus fuzz-corpus
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate fuzz \
+		--seeds 20 --invariants --quiet
+
+check-goldens:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate check-goldens
 
 # The full figure/table reproduction suite.
 bench:

@@ -12,6 +12,7 @@ the comparison is about contention, not about the scaled workload sizes.
 from bench_util import print_header, run_once
 
 from repro.analysis.qos import QoSRequirement, cycles_to_ms, evaluate
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM
 
@@ -21,8 +22,11 @@ def test_ext_qos_policies(benchmark):
         crisp = CRISP(JETSON_ORIN_MINI)
         frame = crisp.trace_scene("SPH", "2k")
         vio = crisp.trace_compute("VIO")
-        gfx_alone = crisp.run_single(frame.kernels).cycles
-        vio_alone = crisp.run_single(vio).cycles
+        gfx_alone = simulate(config=crisp.config,
+                             streams={GRAPHICS_STREAM: frame.kernels}
+                             ).stats.cycles
+        vio_alone = simulate(config=crisp.config,
+                             streams={GRAPHICS_STREAM: vio}).stats.cycles
         cfg = crisp.config
         # Budgets: 40% headroom over isolated execution — the slack a
         # system designer might provision for sharing.
@@ -34,7 +38,10 @@ def test_ext_qos_policies(benchmark):
         ]
         rows = {}
         for policy in ("mps", "mig", "fg-even", "tap"):
-            stats = crisp.run_pair(frame.kernels, vio, policy=policy).stats
+            stats = simulate(config=cfg,
+                             streams={GRAPHICS_STREAM: frame.kernels,
+                                      COMPUTE_STREAM: vio},
+                             policy=policy).stats
             rows[policy] = evaluate(stats, cfg, reqs)
         return rows, reqs
 

@@ -20,8 +20,9 @@ import time
 
 import pytest
 
+from repro.api import simulate
 from repro.config import get_preset
-from repro.core.platform import collect_streams, execute_streams
+from repro.core.platform import collect_streams
 from repro.telemetry import Telemetry
 
 from bench_util import print_header
@@ -42,8 +43,8 @@ def _best_of(config, streams, telemetry_factory):
     for _ in range(REPEATS):
         tel = telemetry_factory()
         started = time.perf_counter()
-        stats, _ = execute_streams(config, streams, policy="mps",
-                                   telemetry=tel)
+        stats = simulate(config=config, streams=streams, policy="mps",
+                         telemetry=tel).stats
         wall = time.perf_counter() - started
         best = wall if best is None else min(best, wall)
         cycles = stats.cycles

@@ -12,8 +12,9 @@ Run:  python examples/animation.py [--frames 8]
 import argparse
 import math
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
-from repro.core import CRISP
+from repro.core import CRISP, GRAPHICS_STREAM
 from repro.graphics import Camera, GraphicsPipeline
 from repro.scenes import build_scene, resolution
 
@@ -42,7 +43,8 @@ def main():
     total_cycles = 0
     for i, camera in enumerate(cameras):
         frame = pipe.render_frame(scene.draws, camera, w, h)
-        stats = crisp.run_single(frame.kernels)
+        stats = simulate(config=crisp.config,
+                         streams={GRAPHICS_STREAM: frame.kernels}).stats
         frags = sum(d.fragments for d in frame.draw_stats)
         ms = stats.cycles / clock_khz
         print("%5d %10d %10d %9.3f %8.0f"
@@ -55,7 +57,8 @@ def main():
     # vertex work overlaps frame N's fragments across the double buffer).
     pipe2 = GraphicsPipeline(build_scene(args.scene).textures)
     seq = pipe2.render_sequence(scene.draws, cameras, w, h)
-    stats = crisp.run_single(seq.kernels)
+    stats = simulate(config=crisp.config,
+                     streams={GRAPHICS_STREAM: seq.kernels}).stats
     print("swapchain-pipelined: %.3f ms mean frame time (%.2fx throughput)"
           % (stats.cycles / args.frames / clock_khz,
              total_cycles / stats.cycles))

@@ -9,6 +9,7 @@ try spatial-sharing policies.
 Run:  python examples/concurrent_xr.py
 """
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM
 
@@ -29,22 +30,27 @@ def main():
     vio = crisp.trace_compute("VIO")            # visual-inertial odometry
 
     print("\n-- Each workload alone on the whole GPU --")
-    gfx_alone = crisp.run_single(frame.kernels)
+    gfx_alone = simulate(config=crisp.config,
+                         streams={GRAPHICS_STREAM: frame.kernels}).stats
     describe("rendering", gfx_alone, GRAPHICS_STREAM, clock)
-    vio_alone = crisp.run_single(vio)
+    vio_alone = simulate(config=crisp.config,
+                         streams={GRAPHICS_STREAM: vio}).stats
     describe("VIO", vio_alone, GRAPHICS_STREAM, clock)
 
     print("\n-- Concurrent, intra-SM fine-grained sharing (async compute) --")
-    pair = crisp.run_pair(frame.kernels, vio, policy="fg-even")
-    describe("rendering", pair.stats, GRAPHICS_STREAM, clock)
-    describe("VIO", pair.stats, COMPUTE_STREAM, clock)
-    print("  total: %d cycles" % pair.total_cycles)
+    pair_stats = simulate(config=crisp.config,
+                          streams={GRAPHICS_STREAM: frame.kernels,
+                                   COMPUTE_STREAM: vio},
+                          policy="fg-even").stats
+    describe("rendering", pair_stats, GRAPHICS_STREAM, clock)
+    describe("VIO", pair_stats, COMPUTE_STREAM, clock)
+    print("  total: %d cycles" % pair_stats.cycles)
 
     serial = gfx_alone.cycles + vio_alone.cycles
     print("\nSerial execution would take %d cycles; concurrent takes %d "
-          "(%.2fx speedup)" % (serial, pair.total_cycles,
-                               serial / pair.total_cycles))
-    slowdown = pair.graphics_cycles / gfx_alone.cycles
+          "(%.2fx speedup)" % (serial, pair_stats.cycles,
+                               serial / pair_stats.cycles))
+    slowdown = pair_stats.stream_cycles(GRAPHICS_STREAM) / gfx_alone.cycles
     print("Rendering pays %.1f%% frame-time overhead for hosting VIO — the "
           "QoS cost a runtime manager must budget." % ((slowdown - 1) * 100))
 

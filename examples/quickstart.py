@@ -8,8 +8,9 @@ replays those traces cycle by cycle.
 Run:  python examples/quickstart.py
 """
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
-from repro.core import CRISP
+from repro.core import CRISP, GRAPHICS_STREAM
 
 def main():
     crisp = CRISP(JETSON_ORIN_MINI)
@@ -28,7 +29,8 @@ def main():
                                  d.triangles_rasterized, d.fragments))
 
     # 2. Replay the traces on the timing model (the whole GPU to itself).
-    stats = crisp.run_single(frame.kernels)
+    stats = simulate(config=crisp.config,
+                     streams={GRAPHICS_STREAM: frame.kernels}).stats
     s = stats.stream(0)
     print("\nTiming simulation on %s:" % crisp.config.name)
     print("  frame time      : %d cycles (%.2f ms at %d MHz)"

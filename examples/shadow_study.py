@@ -52,7 +52,10 @@ def main():
              sum(d.fragments for d in frame.draw_stats)))
 
     crisp = CRISP(JETSON_ORIN_MINI)
-    stats = crisp.run_single(list(shadow_kernels) + list(frame.kernels))
+    from repro.api import simulate
+    stats = simulate(
+        config=crisp.config,
+        streams={0: list(shadow_kernels) + list(frame.kernels)}).stats
     s = stats.stream(0)
     print("\nfull frame (shadow + main): %d cycles, %d TEX transactions, "
           "L1 hit %.1f%%" % (stats.cycles, s.l1_tex_accesses,

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro simulate --graphics spl.gz --compute vio.gz \
         --telemetry out/         # metrics.jsonl + Perfetto trace.json
     python -m repro telemetry out/   # text timeline + stall attribution
+    python -m repro validate fuzz --seeds 20 --invariants
+    python -m repro validate check-goldens
     python -m repro figure fig9
 
 Traces saved by ``render`` / ``trace-compute`` are replayed by
@@ -144,6 +146,63 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    from .validate import goldens
+
+    if args.action == "check-goldens":
+        problems = goldens.check(golden_dir=args.golden_dir)
+        for policy in goldens.GOLDEN_POLICIES:
+            status = problems.get(policy, "ok")
+            print("%-14s %s" % (policy, status))
+        return 0 if not problems else 1
+
+    if args.action == "regen-goldens":
+        for path in goldens.regen(golden_dir=args.golden_dir):
+            print("wrote %s" % path)
+        return 0
+
+    if args.action == "invariants":
+        from .core.platform import collect_streams
+        from .validate import InvariantChecker, InvariantViolation
+        from .api import simulate
+        config = get_preset(args.config)
+        streams = collect_streams(config, scene=args.scene, res=args.res,
+                                  compute=args.compute)
+        checker = InvariantChecker(sample_interval=args.check_interval)
+        try:
+            result = simulate(config=config, streams=streams,
+                              policy=args.policy, telemetry=checker)
+        except InvariantViolation as exc:
+            print("INVARIANT VIOLATION: %s" % exc, file=sys.stderr)
+            return 1
+        print("ok: %d cycles under %s, invariants hold (%s)"
+              % (result.stats.cycles, args.policy,
+                 ", ".join("%s x%d" % kv
+                           for kv in sorted(checker.counts.items()))))
+        return 0
+
+    if args.action == "fuzz":
+        from .validate import run_fuzz
+        seeds = range(args.start_seed, args.start_seed + args.seeds)
+        progress = None if args.quiet else print
+        report = run_fuzz(seeds, check_invariants=args.invariants,
+                          corpus_dir=args.corpus,
+                          allow_scenes=not args.no_scenes,
+                          include_process=not args.no_process,
+                          progress=progress)
+        import json
+        print(json.dumps(report.summary(), sort_keys=True))
+        if not report.ok:
+            print("%d failing seeds: %s"
+                  % (len(report.failures),
+                     [f["seed"] for f in report.failures]), file=sys.stderr)
+            if args.corpus:
+                print("failure corpus -> %s" % args.corpus, file=sys.stderr)
+        return 0 if report.ok else 1
+
+    return 2  # pragma: no cover - argparse restricts choices
+
+
 def _cmd_figure(args) -> int:
     from .harness import experiments as E
     fig = args.id
@@ -249,6 +308,51 @@ def build_parser() -> argparse.ArgumentParser:
                                   "time series (requires --sample-interval)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="record metrics.jsonl + Perfetto trace.json into DIR")
+
+    p = sub.add_parser(
+        "validate",
+        help="correctness tooling: golden snapshots, invariant-checked "
+             "runs, differential fuzzing")
+    vsub = p.add_subparsers(dest="action", required=True)
+    for action in ("check-goldens", "regen-goldens"):
+        vp = vsub.add_parser(
+            action,
+            help=("diff the golden snapshots against the current engine"
+                  if action == "check-goldens"
+                  else "rewrite the golden snapshots (intentional timing "
+                       "changes only)"))
+        vp.add_argument("--golden-dir", default=None,
+                        help="snapshot directory (default tests/golden)")
+    vp = vsub.add_parser(
+        "invariants",
+        help="run one workload under the invariant checker")
+    vp.add_argument("--scene", default="SPL", choices=scene_codes())
+    vp.add_argument("--compute", default="HOLO",
+                    choices=sorted(WORKLOAD_BUILDERS))
+    vp.add_argument("--res", default="nano", choices=sorted(RESOLUTIONS))
+    vp.add_argument("--policy", default="mps", choices=POLICY_NAMES)
+    vp.add_argument("--config", default="JetsonOrin-mini",
+                    choices=sorted(PRESETS))
+    vp.add_argument("--check-interval", type=int, default=1000,
+                    help="cycles between mid-run invariant sweeps")
+    vp = vsub.add_parser(
+        "fuzz",
+        help="differential-test fuzzed configs across all engines")
+    vp.add_argument("--seeds", type=int, default=20,
+                    help="number of fuzz seeds to run")
+    vp.add_argument("--start-seed", type=int, default=0,
+                    help="first seed (reproduce a CI failure from its seed)")
+    vp.add_argument("--invariants", action="store_true",
+                    help="also re-run each passing case under the "
+                         "invariant checker")
+    vp.add_argument("--corpus", metavar="DIR",
+                    help="write one JSON repro per failing seed into DIR")
+    vp.add_argument("--no-scenes", action="store_true",
+                    help="skip rendered-scene workloads (faster)")
+    vp.add_argument("--no-process", action="store_true",
+                    help="skip the forked process backend")
+    vp.add_argument("--quiet", action="store_true",
+                    help="suppress per-seed progress lines")
 
     p = sub.add_parser("figure", help="run one table/figure experiment")
     p.add_argument("id", choices=FIGURE_IDS)
@@ -496,6 +600,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "trace-compute": _cmd_trace_compute,
     "simulate": _cmd_simulate,
+    "validate": _cmd_validate,
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
     "telemetry": _cmd_telemetry,

@@ -40,6 +40,24 @@ class SetPartition:
             self.ranges[stream] = (start, count)
             start += count
 
+    def validate(self) -> None:
+        """Check the installed ranges are in-bounds and pairwise disjoint.
+
+        Raises ``ValueError`` on violation.  Ranges are disjoint by
+        construction today; the invariant checker re-verifies after every
+        runtime re-pointing (the TAP path) so a future in-place mutation
+        cannot silently alias two streams onto one set."""
+        spans = sorted(self.ranges.values())
+        prev_end = 0
+        for start, count in spans:
+            if count <= 0:
+                raise ValueError("set range with non-positive count %d" % count)
+            if start < prev_end:
+                raise ValueError("set ranges overlap at set %d" % start)
+            prev_end = start + count
+        if prev_end > self.num_sets:
+            raise ValueError("set ranges exceed %d sets" % self.num_sets)
+
     def map_set(self, stream: int, raw_set: int) -> int:
         """Map a raw set index into the stream's assigned range."""
         rng = self.ranges.get(stream)
@@ -178,6 +196,39 @@ class SetAssocCache:
         else:
             self.set_partition = None
             self._set_map = {}
+
+    def validate_partition(self) -> None:
+        """Check the partition state and its resolved mapping tables agree.
+
+        The access path reads ``_set_map``, not ``set_partition``; a stale
+        table after a runtime re-pointing would silently route streams into
+        the wrong sets.  Raises ``ValueError`` on any inconsistency."""
+        part = self.set_partition
+        if part is None:
+            if self._set_map:
+                raise ValueError(
+                    "%s: mapping tables present without a set partition"
+                    % self.name)
+            return
+        part.validate()
+        if part.num_sets != self.num_sets:
+            raise ValueError("%s: partition sized for %d sets, cache has %d"
+                             % (self.name, part.num_sets, self.num_sets))
+        if set(self._set_map) != set(part.ranges):
+            raise ValueError("%s: mapping tables cover streams %s, partition "
+                             "covers %s" % (self.name, sorted(self._set_map),
+                                            sorted(part.ranges)))
+        for stream, (start, count) in part.ranges.items():
+            table = self._set_map[stream]
+            if len(table) != self.num_sets:
+                raise ValueError("%s: stream %d table has %d entries"
+                                 % (self.name, stream, len(table)))
+            for raw, mapped in enumerate(table):
+                if mapped != start + raw % count:
+                    raise ValueError(
+                        "%s: stream %d maps raw set %d to %d, partition "
+                        "says %d" % (self.name, stream, raw, mapped,
+                                     start + raw % count))
 
     def partition_ways(self, ways: Optional[Dict[int, int]]) -> None:
         self.way_partition = WayPartition(self.assoc, ways) if ways else None

@@ -77,6 +77,39 @@ class L2Cache:
         for bank in self.banks:
             bank.partition_sets(ratios)
 
+    def validate_partitions(self) -> None:
+        """Re-check bank routing and per-bank set partitions for soundness.
+
+        Raises ``ValueError`` when a bank assignment stops being disjoint or
+        a bank's resolved set-mapping tables drift from its installed
+        partition (see :meth:`SetAssocCache.validate_partition`).  TAP
+        re-points set ranges at every epoch, so the invariant checker calls
+        this after each repartition as well as at sample ticks."""
+        if self._bank_assignment is not None:
+            claimed: set = set()
+            for stream, banks in self._bank_assignment.items():
+                if not banks:
+                    raise ValueError("stream %d routed to zero banks" % stream)
+                if any(b < 0 or b >= self.num_banks for b in banks):
+                    raise ValueError("stream %d routed to out-of-range bank"
+                                     % stream)
+                overlap = claimed.intersection(banks)
+                if overlap:
+                    raise ValueError("banks %s routed to multiple streams"
+                                     % sorted(overlap))
+                claimed.update(banks)
+        ref = self.banks[0].set_partition
+        ref_ranges = ref.ranges if ref is not None else None
+        for bank in self.banks:
+            bank.validate_partition()
+            ranges = (bank.set_partition.ranges
+                      if bank.set_partition is not None else None)
+            if ranges != ref_ranges:
+                raise ValueError(
+                    "%s set partition differs from bank 0 (%r vs %r); "
+                    "partition_sets installs one ratio map on every bank"
+                    % (bank.name, ranges, ref_ranges))
+
     @property
     def sets_per_bank(self) -> int:
         return self.banks[0].num_sets

@@ -200,6 +200,17 @@ class GPU:
         tel.on_run_end(self)
         return self.stats
 
+    # -- introspection -------------------------------------------------------------
+    def event_heap_entries(self) -> List:
+        """Validated (cycle, sm_id, sm) entries of the global event heap.
+
+        Stale entries — keys that no longer match the SM's ``_queued_event``
+        — are filtered out; they are dropped lazily on pop by the run loop.
+        Read-only debug/validation hook, never called from the hot loop.
+        """
+        return [(t, sm_id, sm) for t, sm_id, sm in self._event_heap
+                if t == sm._queued_event]
+
     # -- sampling -----------------------------------------------------------------
     def _sample(self, cycle: int) -> None:
         warps: Dict[int, int] = {}

@@ -1,0 +1,341 @@
+"""Differential oracle: every execution engine must agree bit-for-bit.
+
+The sharded parallel engine promises results *bit-identical* to the serial
+engine.  The golden tests pin six hand-picked workloads; this module
+checks the promise on arbitrary fuzzed cases by running each case through
+the serial engine, ``workers=2`` and ``workers=4`` inline sharding, and
+the forked process backend, then comparing the full canonical
+``GPUStats.to_dict()`` trees.  A mismatch is shrunk to a minimal failing
+case (fewer streams, kernels, CTAs, a simpler policy) before it is
+reported, so a CI failure arrives as a small repro, not a 40-kernel blob.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..api import simulate
+from ..isa import KernelTrace
+from ..parallel.plan import plan_shards
+from .fuzz import FuzzCase
+
+__all__ = ["ENGINES", "CaseResult", "FuzzReport", "engines_for", "run_case",
+           "check_case", "shrink_case", "run_fuzz", "first_difference"]
+
+#: Engine labels the oracle can drive.
+ENGINES = ("serial", "workers2", "workers4", "process")
+
+_ENGINE_ARGS = {
+    "serial": {"workers": 1, "backend": None},
+    "workers2": {"workers": 2, "backend": "inline"},
+    "workers4": {"workers": 4, "backend": "inline"},
+    "process": {"workers": 2, "backend": "process"},
+}
+
+
+def engines_for(case: FuzzCase, include_process: bool = True
+                ) -> List[str]:
+    """Engines worth running for ``case``.
+
+    When the shard plan refuses the case's policy, every ``workers=K`` run
+    is the same serial code path; one ``workers2`` run still exercises the
+    fallback dispatch, but ``workers4``/``process`` would simulate the
+    exact same thing twice more for no coverage.
+    """
+    plan, _ = plan_shards(case.make_policy(), case.streams.keys(), 2, None)
+    if plan is None:
+        return ["serial", "workers2"]
+    engines = ["serial", "workers2", "workers4"]
+    if include_process:
+        from ..parallel.worker import fork_available
+        if fork_available():
+            engines.append("process")
+    return engines
+
+
+def canonical(stats) -> dict:
+    """JSON-canonical form of a stats tree (the bit-identity currency)."""
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+def first_difference(a, b, path: str = "$") -> Optional[str]:
+    """Human-readable locus of the first difference between two trees."""
+    if type(a) is not type(b):
+        return "%s: type %s vs %s" % (path, type(a).__name__,
+                                      type(b).__name__)
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                return "%s.%s: missing on left" % (path, k)
+            if k not in b:
+                return "%s.%s: missing on right" % (path, k)
+            diff = first_difference(a[k], b[k], "%s.%s" % (path, k))
+            if diff:
+                return diff
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return "%s: length %d vs %d" % (path, len(a), len(b))
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = first_difference(x, y, "%s[%d]" % (path, i))
+            if diff:
+                return diff
+        return None
+    if a != b:
+        return "%s: %r vs %r" % (path, a, b)
+    return None
+
+
+def run_case(case: FuzzCase, engine: str):
+    """Execute ``case`` on one engine; returns the RunResult."""
+    args = _ENGINE_ARGS[engine]
+    return simulate(case.request(workers=args["workers"],
+                                 backend=args["backend"]))
+
+
+@dataclass
+class CaseResult:
+    """Oracle verdict for one case."""
+
+    case: FuzzCase
+    engines: List[str]
+    #: engine -> first-difference description (empty when all agree).
+    mismatches: Dict[str, str] = field(default_factory=dict)
+    #: True when at least one engine actually sharded.
+    any_engaged: bool = False
+    #: True when a shard bailed (EpochUnsafeError) and reran serially.
+    any_restarted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def check_case(case: FuzzCase, engines: Optional[Sequence[str]] = None,
+               run: Callable = run_case) -> CaseResult:
+    """Run ``case`` through ``engines`` and compare against the serial run.
+
+    ``run`` is injectable so tests can wrap the engine with a deliberate
+    regression and watch the shrinker catch it.
+    """
+    if engines is None:
+        engines = engines_for(case)
+    result = CaseResult(case=case, engines=list(engines))
+    reference = None
+    for engine in engines:
+        out = run(case, engine)
+        tree = canonical(out.stats)
+        report = getattr(out, "parallel", None)
+        if report is not None:
+            result.any_engaged |= bool(report.engaged)
+            result.any_restarted |= bool(report.restarted)
+        if engine == "serial":
+            reference = tree
+            continue
+        if reference is None:
+            raise ValueError("engine list must start with 'serial'")
+        diff = first_difference(reference, tree)
+        if diff:
+            result.mismatches[engine] = diff
+    return result
+
+
+# -- shrinking ---------------------------------------------------------------
+
+def _subset_kernel(kernel: KernelTrace, ctas) -> KernelTrace:
+    return KernelTrace(
+        kernel.name, list(ctas), kernel.threads_per_cta,
+        regs_per_thread=kernel.regs_per_thread,
+        shared_mem_per_cta=kernel.shared_mem_per_cta,
+        kind=kernel.kind, depends_on_prev=kernel.depends_on_prev,
+    )
+
+
+def _with_streams(case: FuzzCase, streams: Dict[int, List[KernelTrace]],
+                  policy_spec="unchanged", note: str = "") -> FuzzCase:
+    spec = case.policy_spec if policy_spec == "unchanged" else policy_spec
+    descr = dict(case.descr)
+    descr["shrunk"] = descr.get("shrunk", []) + [note]
+    descr["workload"] = {
+        str(sid): {"kind": "shrunk",
+                   "kernels": [{"name": k.name, "ctas": k.num_ctas,
+                                "insts": k.num_instructions}
+                               for k in kernels]}
+        for sid, kernels in streams.items()
+    }
+    descr["policy"] = spec
+    return FuzzCase(seed=case.seed, config=case.config, streams=streams,
+                    policy_spec=spec, descr=descr)
+
+
+def _candidates(case: FuzzCase):
+    """Smaller variants of ``case``, most aggressive first."""
+    streams = case.streams
+    if len(streams) > 1:
+        for sid in sorted(streams):
+            rest = {s: list(k) for s, k in streams.items() if s != sid}
+            yield _with_streams(case, rest, note="drop stream %d" % sid)
+    for sid in sorted(streams):
+        kernels = streams[sid]
+        if len(kernels) > 1:
+            half = len(kernels) // 2
+            for part, label in ((kernels[:half], "first"),
+                                (kernels[half:], "last")):
+                out = {s: (list(part) if s == sid else list(k))
+                       for s, k in streams.items()}
+                yield _with_streams(case, out,
+                                    note="stream %d %s half" % (sid, label))
+            for i in range(len(kernels)):
+                part = kernels[:i] + kernels[i + 1:]
+                out = {s: (part if s == sid else list(k))
+                       for s, k in streams.items()}
+                yield _with_streams(case, out,
+                                    note="stream %d drop kernel %d" % (sid, i))
+    for sid in sorted(streams):
+        for i, kernel in enumerate(streams[sid]):
+            if kernel.num_ctas > 1:
+                keep = kernel.ctas[:max(1, kernel.num_ctas // 2)]
+                part = list(streams[sid])
+                part[i] = _subset_kernel(kernel, keep)
+                out = {s: (part if s == sid else list(k))
+                       for s, k in streams.items()}
+                yield _with_streams(
+                    case, out,
+                    note="stream %d kernel %d -> %d CTAs" % (sid, i,
+                                                             len(keep)))
+    if case.policy_spec not in (None, {"name": "mps"}):
+        yield _with_streams(case, {s: list(k) for s, k in streams.items()},
+                            policy_spec={"name": "mps"},
+                            note="policy -> mps")
+
+
+def _size(case: FuzzCase):
+    return (len(case.streams),
+            sum(len(k) for k in case.streams.values()),
+            sum(kr.num_ctas for k in case.streams.values() for kr in k))
+
+
+def shrink_case(case: FuzzCase, is_failing: Callable[[FuzzCase], bool],
+                max_evals: int = 120):
+    """Greedily minimise ``case`` while ``is_failing`` stays true.
+
+    Returns ``(minimal_case, evaluations)``.  Classic ddmin-style descent:
+    try dropping streams, kernel halves, single kernels, CTA halves and the
+    policy, restarting from the first smaller variant that still fails.
+    """
+    evals = 0
+    current = case
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(current):
+            if _size(candidate) >= _size(current):
+                continue
+            evals += 1
+            if is_failing(candidate):
+                current = candidate
+                improved = True
+                break
+            if evals >= max_evals:
+                break
+    return current, evals
+
+
+# -- fuzz driver -------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz sweep (what the CLI prints / CI uploads)."""
+
+    seeds: List[int] = field(default_factory=list)
+    failures: List[dict] = field(default_factory=list)
+    cases_engaged: int = 0
+    cases_restarted: int = 0
+    invariant_runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        return {
+            "seeds": len(self.seeds),
+            "failures": len(self.failures),
+            "cases_sharded": self.cases_engaged,
+            "cases_epoch_restarted": self.cases_restarted,
+            "invariant_checked_runs": self.invariant_runs,
+        }
+
+
+def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
+             corpus_dir: Optional[str] = None, allow_scenes: bool = True,
+             include_process: bool = True,
+             progress: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Differential-test every seed; optionally re-run with invariants on.
+
+    With ``check_invariants``, each case additionally runs serially under
+    an :class:`~repro.validate.InvariantChecker` and the checked run must
+    be bit-identical to the unchecked serial reference — proving on the
+    whole fuzz corpus that the checker observes without disturbing.
+
+    Failures (mismatch details plus the shrunk minimal case description)
+    are appended to ``report.failures`` and, when ``corpus_dir`` is given,
+    written there as one JSON file per failing seed.
+    """
+    import os
+
+    from .fuzz import build_case
+    from .invariants import InvariantChecker, InvariantViolation
+
+    report = FuzzReport()
+    for seed in seeds:
+        case = build_case(seed, allow_scenes=allow_scenes)
+        engines = engines_for(case, include_process=include_process)
+        result = check_case(case, engines)
+        report.seeds.append(seed)
+        report.cases_engaged += 1 if result.any_engaged else 0
+        report.cases_restarted += 1 if result.any_restarted else 0
+        failure = None
+        if not result.ok:
+            def still_fails(c: FuzzCase) -> bool:
+                return not check_case(c, engines_for(
+                    c, include_process=include_process)).ok
+            minimal, evals = shrink_case(case, still_fails)
+            failure = {
+                "seed": seed,
+                "kind": "engine-mismatch",
+                "mismatches": result.mismatches,
+                "case": case.descr,
+                "minimal": minimal.descr,
+                "shrink_evals": evals,
+            }
+        elif check_invariants:
+            report.invariant_runs += 1
+            checker = InvariantChecker()
+            try:
+                checked = simulate(case.request(telemetry=checker))
+                serial = run_case(case, "serial")
+                diff = first_difference(canonical(serial.stats),
+                                        canonical(checked.stats))
+                if diff:
+                    failure = {"seed": seed, "kind": "invariants-perturbed",
+                               "diff": diff, "case": case.descr}
+            except InvariantViolation as exc:
+                failure = {"seed": seed, "kind": "invariant-violation",
+                           "error": str(exc), "case": case.descr,
+                           "checks": checker.report()}
+        if failure:
+            report.failures.append(failure)
+            if corpus_dir:
+                os.makedirs(corpus_dir, exist_ok=True)
+                path = os.path.join(corpus_dir, "fuzz-seed-%d.json" % seed)
+                with open(path, "w", encoding="utf-8") as f:
+                    json.dump(failure, f, indent=1, sort_keys=True)
+        if progress:
+            status = "FAIL" if failure else "ok"
+            progress("seed %d: %s (%d insts, engines: %s)"
+                     % (seed, status, case.total_instructions,
+                        ",".join(engines)))
+    return report

@@ -7,6 +7,7 @@ from repro.compute import (
     build_timewarp_kernels,
     build_upscaler_kernels,
 )
+from repro.api import simulate as api_simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import CRISP
 from repro.isa import Op, Unit
@@ -45,9 +46,13 @@ class TestTimewarp:
     def test_latency_critical_short(self):
         """ATW must be far shorter than a rendering frame (its whole point)."""
         crisp = CRISP(JETSON_ORIN_MINI)
-        frame_cycles = crisp.run_single(
-            crisp.trace_scene("SPL", "2k").kernels).cycles
-        atw_cycles = crisp.run_single(build_timewarp_kernels()).cycles
+        frame_cycles = api_simulate(
+            config=crisp.config,
+            streams={0: crisp.trace_scene("SPL", "2k").kernels},
+        ).stats.cycles
+        atw_cycles = api_simulate(
+            config=crisp.config,
+            streams={0: build_timewarp_kernels()}).stats.cycles
         assert atw_cycles < frame_cycles / 3
 
 
@@ -79,8 +84,11 @@ class TestUpscaler:
         crisp = CRISP(JETSON_ORIN_MINI)
         frame = crisp.trace_scene("SPL", "4k")
         dlss = build_upscaler_kernels(frames=2)
-        pair = crisp.run_pair(frame.kernels, dlss, policy="fg-even")
-        mps = crisp.run_pair(frame.kernels, dlss, policy="mps")
+        streams = {0: frame.kernels, 1: dlss}
+        pair = api_simulate(config=crisp.config, streams=streams,
+                            policy="fg-even").stats
+        mps = api_simulate(config=crisp.config, streams=streams,
+                           policy="mps").stats
         # Intra-SM sharing with complementary units is at worst mildly
         # slower, typically faster, than dedicating SMs.
-        assert pair.total_cycles < mps.total_cycles * 1.15
+        assert pair.cycles < mps.cycles * 1.15

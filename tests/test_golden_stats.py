@@ -21,8 +21,9 @@ import time
 
 import pytest
 
+from repro.api import simulate
 from repro.config import get_preset
-from repro.core.platform import collect_streams, execute_streams
+from repro.core.platform import collect_streams
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "golden")
@@ -50,7 +51,7 @@ def test_golden_stats(reference_workload, policy):
     path = os.path.join(GOLDEN_DIR, "sponza_hologram_nano_%s.json" % policy)
     with open(path, "r", encoding="utf-8") as f:
         golden = json.load(f)
-    stats, _ = execute_streams(config, streams, policy=policy)
+    stats = simulate(config=config, streams=streams, policy=policy).stats
     got = _canonical(stats)
     assert got == golden, (
         "GPUStats diverged from golden snapshot under policy=%s" % policy)
@@ -66,7 +67,7 @@ def test_simrate_smoke(reference_workload):
     """
     config, streams = reference_workload
     t0 = time.perf_counter()
-    stats, _ = execute_streams(config, streams, policy="mps")
+    stats = simulate(config=config, streams=streams, policy="mps").stats
     wall = time.perf_counter() - t0
     assert stats.total_instructions > 0
     assert wall < 60.0, (

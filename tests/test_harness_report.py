@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import CRISP
 from repro.harness.report import (
@@ -22,7 +23,8 @@ from repro.harness.report import (
 def frame_and_stats():
     crisp = CRISP(JETSON_ORIN_MINI)
     frame = crisp.trace_scene("SPL", "2k")
-    stats = crisp.run_single(frame.kernels)
+    stats = simulate(config=JETSON_ORIN_MINI,
+                     streams={0: frame.kernels}).stats
     return frame, stats
 
 

@@ -8,6 +8,7 @@ small versions of the case-study experiments.
 import numpy as np
 import pytest
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI, RTX_3070_MINI
 from repro.core import (
     COMPUTE_STREAM,
@@ -16,8 +17,22 @@ from repro.core import (
     POLICY_NAMES,
     make_policy,
 )
+from repro.core.platform import PairResult
 from repro.isa import DataClass, ShaderKind
 from repro.timing import GPU
+
+
+def run_pair(crisp, graphics, compute, policy):
+    """The old CRISP.run_pair convenience, expressed via repro.api."""
+    streams = {GRAPHICS_STREAM: list(graphics), COMPUTE_STREAM: list(compute)}
+    pol = make_policy(policy, crisp.config, sorted(streams))
+    return PairResult(
+        simulate(config=crisp.config, streams=streams, policy=pol).stats, pol)
+
+
+def run_single(crisp, kernels):
+    return simulate(config=crisp.config,
+                    streams={GRAPHICS_STREAM: list(kernels)}).stats
 
 
 @pytest.fixture(scope="module")
@@ -41,7 +56,7 @@ class TestPlatformFacade:
         assert kinds == {ShaderKind.VERTEX, ShaderKind.FRAGMENT}
 
     def test_run_single(self, crisp, spl_frame):
-        stats = crisp.run_single(spl_frame.kernels)
+        stats = run_single(crisp, spl_frame.kernels)
         assert stats.cycles > 0
         assert stats.stream(GRAPHICS_STREAM).instructions == \
             sum(k.num_instructions for k in spl_frame.kernels)
@@ -59,7 +74,7 @@ class TestPlatformFacade:
                                         "warped-slicer", "tap"])
     def test_concurrent_pair_completes_under_every_policy(
             self, crisp, spl_frame, vio_kernels, policy):
-        result = crisp.run_pair(spl_frame.kernels, vio_kernels, policy=policy)
+        result = run_pair(crisp, spl_frame.kernels, vio_kernels, policy)
         gfx = result.stats.stream(GRAPHICS_STREAM)
         cmp_ = result.stats.stream(COMPUTE_STREAM)
         assert gfx.kernels_completed == len(spl_frame.kernels)
@@ -70,7 +85,7 @@ class TestPlatformFacade:
     def test_concurrent_execution_overlaps(self, crisp, spl_frame, vio_kernels):
         """Both streams make progress in the same cycle span (the paper's
         core capability)."""
-        result = crisp.run_pair(spl_frame.kernels, vio_kernels, policy="mps")
+        result = run_pair(crisp, spl_frame.kernels, vio_kernels, "mps")
         gfx = result.stats.stream(GRAPHICS_STREAM)
         cmp_ = result.stats.stream(COMPUTE_STREAM)
         overlap_start = max(gfx.first_issue_cycle, cmp_.first_issue_cycle)
@@ -79,8 +94,8 @@ class TestPlatformFacade:
 
     def test_concurrent_slower_than_isolated(self, crisp, spl_frame,
                                              vio_kernels):
-        iso = crisp.run_single(spl_frame.kernels).cycles
-        pair = crisp.run_pair(spl_frame.kernels, vio_kernels, policy="mps")
+        iso = run_single(crisp, spl_frame.kernels).cycles
+        pair = run_pair(crisp, spl_frame.kernels, vio_kernels, "mps")
         assert pair.total_cycles > iso * 0.8  # sharing cannot be free
 
     def test_mig_limits_l2_banks(self, crisp, spl_frame, vio_kernels):

@@ -12,6 +12,7 @@ from repro.analysis.qos import (
     summarize_policies,
     worst_slack,
 )
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM
 
@@ -46,7 +47,10 @@ class TestEvaluate:
         crisp = CRISP(JETSON_ORIN_MINI)
         frame = crisp.trace_scene("SPL", "2k")
         vio = crisp.trace_compute("VIO")
-        return crisp.run_pair(frame.kernels, vio, policy="fg-even").stats
+        return simulate(config=JETSON_ORIN_MINI,
+                        streams={GRAPHICS_STREAM: frame.kernels,
+                                 COMPUTE_STREAM: vio},
+                        policy="fg-even").stats
 
     def test_generous_deadlines_met(self, pair_stats):
         reqs = [QoSRequirement(GRAPHICS_STREAM, "render", 1000.0),

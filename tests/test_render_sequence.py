@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import CRISP, GRAPHICS_STREAM
 from repro.graphics import Camera, GraphicsPipeline, Texture2D, checkerboard
@@ -85,8 +86,9 @@ class TestRenderSequence:
         pipe2 = make_pipe()
         for cam in orbit_cameras(3):
             frame = pipe2.render_frame(scene_draws(), cam, 96, 54)
-            crisp = CRISP(JETSON_ORIN_MINI)
-            serial += crisp.run_single(frame.kernels).cycles
+            serial += simulate(
+                config=JETSON_ORIN_MINI,
+                streams={GRAPHICS_STREAM: frame.kernels}).stats.cycles
         assert pipelined < serial
 
     def test_frame_images_differ(self):

@@ -8,6 +8,7 @@ from repro.config import CacheConfig, RTX_3070_MINI
 from repro.core import CRISP
 from repro.isa import DataClass
 from repro.memory import SetAssocCache, coalesce_sectors, sector_mask_of
+from repro.api import simulate as api_simulate
 from repro.timing import simulate
 
 
@@ -112,7 +113,8 @@ class TestSectoredTraffic:
     def test_graphics_frame_runs_sectored(self):
         crisp = CRISP(sectored_l1())
         frame = crisp.trace_scene("SPL", "2k")
-        stats = crisp.run_single(frame.kernels)
+        stats = api_simulate(config=crisp.config,
+                             streams={0: frame.kernels}).stats
         assert stats.stream(0).kernels_completed == len(frame.kernels)
 
     def test_traces_carry_sectors(self):

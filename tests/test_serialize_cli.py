@@ -7,6 +7,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.api import simulate
 from repro.cli import main
 from repro.compute import build_vio_kernels
 from repro.core import CRISP
@@ -48,8 +49,10 @@ class TestSaveLoad:
         loaded = load_traces(path)
         assert traces_equal(frame.kernels, loaded)
         # Replay is cycle-identical.
-        assert crisp.run_single(frame.kernels).cycles == \
-            crisp.run_single(loaded).cycles
+        assert simulate(config=crisp.config,
+                        streams={0: frame.kernels}).stats.cycles == \
+            simulate(config=crisp.config,
+                     streams={0: loaded}).stats.cycles
 
     def test_roundtrip_nano_frame(self, tmp_path):
         """Cached-by-trace-file campaign jobs rely on save/load returning

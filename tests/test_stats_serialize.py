@@ -17,9 +17,11 @@ def pair_stats():
     crisp = CRISP(JETSON_ORIN_MINI)
     frame = crisp.trace_scene("SPL", "nano")
     vio = crisp.trace_compute("VIO")
-    return crisp.run(
-        {GRAPHICS_STREAM: frame.kernels, COMPUTE_STREAM: vio},
-        sample_interval=500)
+    from repro.api import simulate
+    return simulate(
+        config=crisp.config,
+        streams={GRAPHICS_STREAM: frame.kernels, COMPUTE_STREAM: vio},
+        sample_interval=500).stats
 
 
 class TestGPUStatsRoundTrip:

@@ -6,8 +6,9 @@ import os
 
 import pytest
 
+from repro.api import simulate
 from repro.config import get_preset
-from repro.core.platform import collect_streams, execute_streams
+from repro.core.platform import collect_streams
 from repro.telemetry import (
     NULL_TELEMETRY, READY, STALL_REASONS, Telemetry, read_jsonl,
 )
@@ -29,7 +30,8 @@ def telemetry_run(reference_workload):
     """One fully instrumented mps run, shared by the assertion tests."""
     config, streams = reference_workload
     tel = Telemetry(sample_interval=1000)
-    stats, _ = execute_streams(config, streams, policy="mps", telemetry=tel)
+    stats = simulate(config=config, streams=streams, policy="mps",
+                     telemetry=tel).stats
     return config, stats, tel
 
 
@@ -49,7 +51,7 @@ class TestZeroOverheadContract:
         """A run with no telemetry argument (NULL recorder) is bit-identical
         to the pre-telemetry golden snapshot."""
         config, streams = reference_workload
-        stats, _ = execute_streams(config, streams, policy="mps")
+        stats = simulate(config=config, streams=streams, policy="mps").stats
         assert _canonical(stats) == _golden("mps")
 
     def test_instrumented_run_still_matches_golden(self, telemetry_run):
@@ -184,8 +186,9 @@ class TestRepartitionEvents:
     def test_tap_emits_repartition_records(self, reference_workload):
         config, streams = reference_workload
         tel = Telemetry(sample_interval=None, sampling=False)
-        stats, pol = execute_streams(config, streams, policy="tap",
-                                     telemetry=tel)
+        result = simulate(config=config, streams=streams, policy="tap",
+                          telemetry=tel)
+        pol = result.policy
         reparts = [r for r in tel.runlog.records
                    if r["kind"] == "repartition"]
         assert len(reparts) == len(pol.partition_history)

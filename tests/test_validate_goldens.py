@@ -1,0 +1,71 @@
+"""Golden-snapshot manager: regen is byte-stable, check mirrors tier-1.
+
+``repro validate regen-goldens`` replaces the ad-hoc scripts that used to
+regenerate ``tests/golden``; these tests pin that the manager writes the
+*exact historical byte format* (an unchanged engine regenerates byte-for-
+byte identical files) and that ``check`` reports differences usefully.
+"""
+
+import filecmp
+import json
+import os
+
+import pytest
+
+from repro.validate import check_goldens, regen_goldens
+from repro.validate.goldens import (
+    GOLDEN_POLICIES,
+    compute_golden,
+    default_golden_dir,
+    golden_path,
+    reference_workload,
+)
+
+
+def test_default_golden_dir_is_the_repo_checkout():
+    d = default_golden_dir()
+    assert os.path.isdir(d)
+    assert os.path.basename(d) == "golden"
+    assert os.path.exists(golden_path("mps"))
+
+
+def test_check_current_engine_matches_snapshots():
+    problems = check_goldens()
+    assert problems == {}, (
+        "engine diverged from golden snapshots: %r" % problems)
+
+
+def test_regen_is_byte_identical_for_unchanged_engine(tmp_path):
+    written = regen_goldens(golden_dir=str(tmp_path))
+    assert len(written) == len(GOLDEN_POLICIES)
+    for policy in GOLDEN_POLICIES:
+        fresh = golden_path(policy, str(tmp_path))
+        checked_in = golden_path(policy)
+        assert filecmp.cmp(fresh, checked_in, shallow=False), (
+            "regen-goldens no longer reproduces the checked-in bytes for "
+            "policy %r" % policy)
+
+
+def test_check_reports_missing_snapshot(tmp_path):
+    problems = check_goldens(golden_dir=str(tmp_path),
+                             policies=("mps",))
+    assert "missing snapshot" in problems["mps"]
+
+
+def test_check_localises_a_difference(tmp_path):
+    config, streams = reference_workload()
+    tree = compute_golden("mps", config, streams)
+    tree["cycles"] += 1
+    path = golden_path("mps", str(tmp_path))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(tree, f, indent=1, sort_keys=True)
+    problems = check_goldens(golden_dir=str(tmp_path), policies=("mps",))
+    assert "$.cycles" in problems["mps"]
+
+
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+def test_snapshot_format_is_canonical(policy):
+    """sorted keys, indent=1, no trailing newline — diffs stay reviewable."""
+    with open(golden_path(policy), "r", encoding="utf-8") as f:
+        raw = f.read()
+    assert raw == json.dumps(json.loads(raw), indent=1, sort_keys=True)

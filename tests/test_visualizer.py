@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.api import simulate
 from repro.config import JETSON_ORIN_MINI
 from repro.core import COMPUTE_STREAM, CRISP, GRAPHICS_STREAM
 from repro.harness.visualizer import (
@@ -65,7 +66,8 @@ class TestDumpLoad:
 
     def test_unsampled_run_rejected(self, tmp_path):
         crisp = CRISP(JETSON_ORIN_MINI)
-        stats = crisp.run_single(crisp.trace_compute("VIO"))
+        stats = simulate(config=JETSON_ORIN_MINI,
+                         streams={COMPUTE_STREAM: crisp.trace_compute("VIO")}).stats
         with pytest.raises(ValueError, match="sample"):
             dump_log(str(tmp_path / "x.vlog"), stats)
 
