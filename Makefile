@@ -4,7 +4,7 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke bench-parallel test-parallel \
-	fuzz fuzz-smoke check-goldens
+	fuzz fuzz-smoke check-goldens qos-smoke qos-campaign
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -41,6 +41,18 @@ fuzz-smoke:
 
 check-goldens:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate check-goldens
+
+# Open-loop QoS: a short adaptive bursty run (prints the SLO report and
+# must rerun bit-identically — the same contract the QoS goldens pin);
+# qos-campaign scores adaptive vs every static policy on all scenarios
+# and fails unless adaptive wins an SLO no static policy meets.
+qos-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro qos run \
+		--scenario bursty --clients 3 --seed 7 --requests 4 \
+		--out /tmp/qos-smoke
+qos-campaign:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro qos campaign \
+		--out benchmarks/QOS_campaign.json --require-win
 
 # The full figure/table reproduction suite.
 bench:

@@ -87,6 +87,9 @@ class RunRequest:
     policy: Union[str, PartitionPolicy, None] = None
     sample_interval: Optional[int] = None
     telemetry: Optional[object] = None
+    #: Open-loop arrival cycles, ``{stream_id: [cycle per kernel]}``.
+    #: Streams absent from the dict stay closed-loop (ready at cycle 0).
+    arrivals: Optional[Dict[int, Sequence[int]]] = None
     #: Shard workers for the parallel engine; 1 = serial.
     workers: int = 1
     #: "process" (forked workers), "inline" (in-process shards, mainly for
@@ -183,6 +186,7 @@ def simulate(request: Optional[RunRequest] = None, **kwargs) -> RunResult:
         workers=request.workers,
         backend=request.backend,
         max_cycles=request.max_cycles,
+        arrivals=request.arrivals,
     )
     return RunResult(stats=stats, policy=policy, parallel=report,
                      request=request)

@@ -12,6 +12,8 @@ Subcommands::
     python -m repro telemetry out/   # text timeline + stall attribution
     python -m repro validate fuzz --seeds 20 --invariants
     python -m repro validate check-goldens
+    python -m repro qos run --scenario bursty --clients 3 --seed 7
+    python -m repro qos campaign --out QOS_campaign.json
     python -m repro figure fig9
 
 Traces saved by ``render`` / ``trace-compute`` are replayed by
@@ -151,9 +153,11 @@ def _cmd_validate(args) -> int:
 
     if args.action == "check-goldens":
         problems = goldens.check(golden_dir=args.golden_dir)
-        for policy in goldens.GOLDEN_POLICIES:
-            status = problems.get(policy, "ok")
-            print("%-14s %s" % (policy, status))
+        names = list(goldens.GOLDEN_POLICIES) + [
+            "qos:%s" % s for s in goldens.QOS_GOLDEN_SCENARIOS]
+        for name in names:
+            status = problems.get(name, "ok")
+            print("%-14s %s" % (name, status))
         return 0 if not problems else 1
 
     if args.action == "regen-goldens":
@@ -199,6 +203,73 @@ def _cmd_validate(args) -> int:
             if args.corpus:
                 print("failure corpus -> %s" % args.corpus, file=sys.stderr)
         return 0 if report.ok else 1
+
+    return 2  # pragma: no cover - argparse restricts choices
+
+
+def _cmd_qos(args) -> int:
+    from .qos import (canonical_report, get_scenario, qos_policy_names,
+                      run_campaign, run_scenario, scenario_names,
+                      write_campaign, write_report)
+
+    if args.action == "list":
+        from .qos import SCENARIOS
+        print("QoS scenarios:")
+        for name in scenario_names():
+            s = SCENARIOS[name]
+            print("  %-8s %s (%d clients, epoch %d)"
+                  % (name, s.description, len(s.clients), s.epoch_interval))
+        print("Policies: %s" % ", ".join(qos_policy_names()))
+        return 0
+
+    if args.action == "run":
+        from .harness.report import render_qos_report
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        if args.policy not in qos_policy_names():
+            print("error: unknown policy %r; known: %s"
+                  % (args.policy, ", ".join(qos_policy_names())),
+                  file=sys.stderr)
+            return 2
+        try:
+            report = run_scenario(scenario, args.seed, policy=args.policy,
+                                  clients=args.clients,
+                                  requests=args.requests,
+                                  epoch_interval=args.epoch_interval)
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(render_qos_report(report), end="")
+        out_dir = args.out or ("qos_%s_%s_seed%d"
+                               % (scenario.name, args.policy, args.seed))
+        for kind, path in sorted(write_report(report, out_dir).items()):
+            print("%s -> %s" % (kind, path))
+        if args.print_canonical:
+            print(canonical_report(report))
+        return 0
+
+    if args.action == "campaign":
+        from .harness.report import render_qos_campaign
+        progress = None if args.quiet else print
+        try:
+            doc = run_campaign(scenarios=args.scenario or None,
+                               policies=args.policy or None,
+                               seed=args.seed, requests=args.requests,
+                               progress=progress)
+        except KeyError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(render_qos_campaign(doc), end="")
+        if args.out:
+            print("campaign -> %s" % write_campaign(doc, args.out))
+        if args.require_win and not doc["headline"]["adaptive_wins"]:
+            print("error: campaign produced no adaptive-only SLO win",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     return 2  # pragma: no cover - argparse restricts choices
 
@@ -353,6 +424,51 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the forked process backend")
     vp.add_argument("--quiet", action="store_true",
                     help="suppress per-seed progress lines")
+
+    p = sub.add_parser(
+        "qos",
+        help="open-loop QoS: scenarios, SLO reports, adaptive-vs-static "
+             "campaign")
+    qsub = p.add_subparsers(dest="action", required=True)
+    qsub.add_parser("list", help="list QoS scenarios and policies")
+    qp = qsub.add_parser(
+        "run",
+        help="run one scenario under one policy; print + persist the "
+             "SLO report")
+    qp.add_argument("--scenario", required=True,
+                    help="scenario name (see: repro qos list)")
+    qp.add_argument("--policy", default="adaptive",
+                    help="adaptive or a static partition policy")
+    qp.add_argument("--seed", type=int, default=7)
+    qp.add_argument("--clients", type=int, default=None,
+                    help="use only the first N clients of the scenario")
+    qp.add_argument("--requests", type=int, default=None,
+                    help="override every client's request count (short runs)")
+    qp.add_argument("--epoch-interval", type=int, default=None,
+                    help="override the controller epoch length (cycles)")
+    qp.add_argument("--out", default=None,
+                    help="report directory (default "
+                         "qos_<scenario>_<policy>_seed<seed>)")
+    qp.add_argument("--print-canonical", action="store_true",
+                    help="also print the canonical report line (the "
+                         "bit-identity currency; diff two runs with it)")
+    qp = qsub.add_parser(
+        "campaign",
+        help="score the adaptive controller against every static policy "
+             "over the scenario suite")
+    qp.add_argument("--scenario", nargs="*", default=[],
+                    help="scenario subset (default: all)")
+    qp.add_argument("--policy", nargs="*", default=[],
+                    help="policy subset (default: all)")
+    qp.add_argument("--seed", type=int, default=7)
+    qp.add_argument("--requests", type=int, default=None,
+                    help="override request counts (smoke runs)")
+    qp.add_argument("--out", help="write the campaign JSON here")
+    qp.add_argument("--require-win", action="store_true",
+                    help="exit 1 unless the adaptive controller meets an "
+                         "SLO every static policy misses")
+    qp.add_argument("--quiet", action="store_true",
+                    help="suppress per-run progress lines")
 
     p = sub.add_parser("figure", help="run one table/figure experiment")
     p.add_argument("id", choices=FIGURE_IDS)
@@ -601,6 +717,7 @@ _COMMANDS = {
     "trace-compute": _cmd_trace_compute,
     "simulate": _cmd_simulate,
     "validate": _cmd_validate,
+    "qos": _cmd_qos,
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
     "telemetry": _cmd_telemetry,

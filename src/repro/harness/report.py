@@ -312,3 +312,102 @@ def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
                         ", ".join("@%d" % r["cycle"] for r in reparts[:8])
                         + ("..." if len(reparts) > 8 else "")))
     return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# QoS report / campaign rendering (repro qos run / repro qos campaign)
+# ---------------------------------------------------------------------------
+
+def render_qos_report(report: dict) -> str:
+    """Terminal rendering of one QoS run report (runner.run_scenario)."""
+    lines: List[str] = []
+    scenario = report["scenario"]
+    lines.append("qos run: scenario %s  policy %s  seed %s  (%s, %d cycles)"
+                 % (scenario["name"], report["policy"], report["seed"],
+                    report["config"]["name"], report["total_cycles"]))
+    lines.append("  %s" % scenario["description"])
+    lines.append("")
+    hdr = ("%-10s %4s | %8s %8s %8s %8s | %9s %4s %-4s"
+           % ("client", "reqs", "p50", "p95", "p99", "max",
+              "budget", "vio", "slo"))
+    lines.append("frame time (cycles):")
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    for name in sorted(report["clients"]):
+        c = report["clients"][name]
+        ft = c["frame_time_cycles"]
+        slo = c["slo"]
+        budget = ("%9d" % slo["budget_cycles"]
+                  if slo["budget_cycles"] is not None else "        -")
+        verdict = ("met" if slo["met"] else "MISS"
+                   ) if slo["budget_cycles"] is not None else "-"
+        lines.append("%-10s %4d | %8d %8d %8d %8d | %s %4d %-4s"
+                     % (name[:10], c["requests"], ft["p50"], ft["p95"],
+                        ft["p99"], ft["max"], budget, slo["violations"],
+                        verdict))
+    lines.append("")
+    lines.append("kernel turnaround (cycles):")
+    hdr2 = ("%-10s %8s %8s %8s %8s" % ("client", "p50", "p95", "p99", "max"))
+    lines.append(hdr2)
+    lines.append("-" * len(hdr2))
+    for name in sorted(report["clients"]):
+        kt = report["clients"][name]["kernel_turnaround_cycles"]
+        lines.append("%-10s %8d %8d %8d %8d"
+                     % (name[:10], kt["p50"], kt["p95"], kt["p99"],
+                        kt["max"]))
+    ctl = report.get("controller")
+    if ctl:
+        lines.append("")
+        lines.append("controller %s: %d interventions, "
+                     "final compute shares %s, final L2 shares %s"
+                     % (ctl["name"], ctl["interventions"],
+                        ctl["final_compute_shares"], ctl["final_l2_shares"]))
+        for cycle, decision in ctl["history"][:12]:
+            lines.append("  @%-8d %s: stream %s -> stream %s"
+                         % (cycle, decision["kind"], decision["from"],
+                            decision["to"]))
+        if len(ctl["history"]) > 12:
+            lines.append("  ... %d more" % (len(ctl["history"]) - 12))
+    return "\n".join(lines) + "\n"
+
+
+def render_qos_campaign(doc: dict) -> str:
+    """Terminal rendering of a QoS campaign document (run_campaign)."""
+    lines: List[str] = []
+    lines.append("qos campaign: seed %s, scenarios %s"
+                 % (doc["seed"], ", ".join(doc["scenarios"])))
+    lines.append("")
+    hdr = ("%-8s %-14s %-6s %6s %10s %12s %5s"
+           % ("scenario", "policy", "slo", "worst%", "cycles",
+              "p99 (slo cl)", "moves"))
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    for row in doc["rows"]:
+        if row["status"] != "ok":
+            lines.append("%-8s %-14s %s" % (row["scenario"], row["policy"],
+                                            "n/a (%s)" % row.get("reason")))
+            continue
+        slo_p99 = [c["p99_frame_cycles"] for c in row["clients"].values()
+                   if c["budget_ms"] is not None]
+        lines.append("%-8s %-14s %-6s %5.1f%% %10d %12s %5d"
+                     % (row["scenario"], row["policy"],
+                        "met" if row["slo_met_all"] else "MISS",
+                        100 * row["worst_violation_rate"],
+                        row["total_cycles"],
+                        "/".join(str(v) for v in slo_p99) or "-",
+                        row["interventions"]))
+    wins = doc["headline"]["adaptive_wins"]
+    lines.append("")
+    if wins:
+        lines.append("adaptive-only SLO wins (adaptive meets, every "
+                     "static misses):")
+        for w in wins:
+            lines.append("  %s/%s: adaptive p99 %.3fms within %.3fms; "
+                         "statics %s"
+                         % (w["scenario"], w["client"], w["adaptive_p99_ms"],
+                            w["budget_ms"],
+                            ", ".join("%s=%.3fms" % kv for kv in
+                                      sorted(w["static_p99_ms"].items()))))
+    else:
+        lines.append("no adaptive-only SLO wins in this campaign")
+    return "\n".join(lines) + "\n"

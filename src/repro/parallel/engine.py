@@ -92,11 +92,12 @@ class _InlineShard:
 
 
 def _serial_run(config, streams, policy, sample_interval, telemetry,
-                max_cycles) -> GPUStats:
+                max_cycles, arrivals=None) -> GPUStats:
     gpu = GPU(config, policy=policy, sample_interval=sample_interval,
               telemetry=telemetry)
+    arrivals = arrivals or {}
     for sid, kernels in sorted(streams.items()):
-        gpu.add_stream(sid, kernels)
+        gpu.add_stream(sid, kernels, arrivals=arrivals.get(sid))
     return gpu.run(max_cycles=max_cycles)
 
 
@@ -239,13 +240,22 @@ def run_sharded(
     workers: int = 1,
     backend: Optional[str] = None,
     max_cycles: int = 200_000_000,
+    arrivals: Optional[Dict[int, Sequence[int]]] = None,
 ) -> Tuple[GPUStats, object, ShardReport]:
     """Execute ``streams``, sharded across ``workers`` where sound.
 
     Returns ``(stats, policy, report)``.  Falls back to the serial engine
     (same results, ``report.engaged = False``) whenever the plan or an
     epoch-safety check says sharding cannot be proven bit-identical.
+    Open-loop ``arrivals`` always run serially: the shard coordinator's
+    threshold-event proof does not yet cover arrival-gated issue.
     """
+    if arrivals:
+        report = ShardReport(requested_workers=workers)
+        report.fallback_reason = "open-loop arrivals require the serial engine"
+        stats = _serial_run(config, streams, policy, sample_interval,
+                            telemetry, max_cycles, arrivals=arrivals)
+        return stats, policy, report
     plan, reason = plan_shards(policy, streams.keys(), workers, telemetry)
     report = ShardReport(requested_workers=workers)
     if plan is None:

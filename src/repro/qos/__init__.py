@@ -1,0 +1,69 @@
+"""repro.qos — open-loop traffic, SLO monitors, adaptive partitioning.
+
+The paper's evaluation is closed-loop: every kernel is ready at cycle 0
+and the GPU drains the backlog.  A serving node sees the opposite shape —
+requests *arrive* over time, queue behind each other, and are judged
+against latency SLOs.  This package builds that serving-shaped layer on
+top of :func:`repro.api.simulate`:
+
+* :mod:`~repro.qos.arrivals`   — seeded, deterministic arrival processes
+  (Poisson, trace-driven, bursty, ramp) generating per-request arrival
+  cycles for the timing core's open-loop injector.
+* :mod:`~repro.qos.monitor`    — :class:`StreamingPercentiles` and the
+  :class:`QoSMonitor` telemetry recorder: p50/p95/p99 frame time, kernel
+  turnaround and SLO-violation counting, riding the existing zero-overhead
+  telemetry hook points.
+* :mod:`~repro.qos.controller` — :class:`AdaptiveQoSPolicy`, an
+  epoch-driven partition controller (hill climbing over SM shares and L2
+  set shares) with a pluggable :class:`ControllerPolicy` interface.
+* :mod:`~repro.qos.scenario`   — declarative multi-client QoS scenarios
+  (steady, bursty, ramp, flood) and the open-loop workload builder.
+* :mod:`~repro.qos.runner`     — one scenario x policy execution producing
+  a canonical, bit-reproducible QoS report (JSON + JSONL events).
+* :mod:`~repro.qos.campaign`   — the baseline campaign scoring the
+  adaptive controller against every static policy.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    PeriodicProcess,
+    PoissonProcess,
+    RampProcess,
+    TraceProcess,
+    client_rng,
+)
+from .controller import AdaptiveQoSPolicy, ControllerPolicy, HillClimbController
+from .monitor import QoSMonitor, StreamingPercentiles
+from .runner import (canonical_report, qos_policy_names, run_scenario,
+                     write_report)
+from .scenario import (SCENARIOS, ClientSpec, Scenario, build_open_loop,
+                       get_scenario, scenario_names)
+from .campaign import run_campaign, write_campaign
+
+__all__ = [
+    "ArrivalProcess",
+    "PeriodicProcess",
+    "PoissonProcess",
+    "TraceProcess",
+    "BurstyProcess",
+    "RampProcess",
+    "client_rng",
+    "StreamingPercentiles",
+    "QoSMonitor",
+    "ControllerPolicy",
+    "HillClimbController",
+    "AdaptiveQoSPolicy",
+    "ClientSpec",
+    "Scenario",
+    "SCENARIOS",
+    "build_open_loop",
+    "get_scenario",
+    "scenario_names",
+    "qos_policy_names",
+    "run_scenario",
+    "canonical_report",
+    "write_report",
+    "run_campaign",
+    "write_campaign",
+]

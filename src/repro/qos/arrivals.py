@@ -1,0 +1,192 @@
+"""Seeded, deterministic arrival processes for the open-loop injector.
+
+Each process turns ``(request count, rng)`` into a non-decreasing list of
+integer arrival cycles.  Determinism contract: the cycle list is a pure
+function of the process parameters and the rng seed — the same seed must
+reproduce the same schedule bit-for-bit, because QoS reports are policed
+for reproducibility like every other engine output (goldens, fuzzer).
+
+All interarrival draws are clamped to >= 1 cycle and rounded to integers;
+the timing core's arrival gate works in whole cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = ["client_rng", "ArrivalProcess", "PoissonProcess", "TraceProcess",
+           "PeriodicProcess", "BurstyProcess", "RampProcess"]
+
+#: Large odd multiplier decorrelating per-client rng streams derived from
+#: one scenario seed (same role as a hash mix; any client index change
+#: yields an unrelated stream).
+_CLIENT_MIX = 1000003
+
+
+def client_rng(seed: int, client_index: int) -> random.Random:
+    """Independent deterministic rng for one client of a seeded scenario."""
+    return random.Random(seed * _CLIENT_MIX + client_index)
+
+
+class ArrivalProcess:
+    """Base class: generates request arrival cycles."""
+
+    kind = "base"
+
+    def times(self, n: int, rng: random.Random) -> List[int]:
+        """``n`` non-decreasing arrival cycles, consuming ``rng``."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"kind": self.kind}
+
+
+class PoissonProcess(ArrivalProcess):
+    """Open-loop Poisson arrivals with a fixed mean interarrival (cycles)."""
+
+    kind = "poisson"
+
+    def __init__(self, mean_interarrival: int) -> None:
+        if mean_interarrival < 1:
+            raise ValueError("mean_interarrival must be >= 1 cycle")
+        self.mean_interarrival = int(mean_interarrival)
+
+    def times(self, n: int, rng: random.Random) -> List[int]:
+        out: List[int] = []
+        t = 0
+        for _ in range(n):
+            t += max(1, round(rng.expovariate(1.0 / self.mean_interarrival)))
+            out.append(t)
+        return out
+
+    def describe(self) -> dict:
+        return {"kind": self.kind,
+                "mean_interarrival": self.mean_interarrival}
+
+
+class TraceProcess(ArrivalProcess):
+    """Replay an explicit arrival-cycle trace (rng unused)."""
+
+    kind = "trace"
+
+    def __init__(self, cycles: Sequence[int]) -> None:
+        cycles = [int(c) for c in cycles]
+        if not cycles:
+            raise ValueError("trace needs at least one arrival")
+        if any(c < 0 for c in cycles) or any(
+                b < a for a, b in zip(cycles, cycles[1:])):
+            raise ValueError("trace cycles must be non-negative and "
+                             "non-decreasing")
+        self.cycles = cycles
+
+    def times(self, n: int, rng: random.Random) -> List[int]:
+        if n > len(self.cycles):
+            raise ValueError("trace has %d arrivals, %d requested"
+                             % (len(self.cycles), n))
+        return list(self.cycles[:n])
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "arrivals": len(self.cycles)}
+
+
+class PeriodicProcess(ArrivalProcess):
+    """Fixed-rate arrivals every ``period`` cycles (rng unused).
+
+    The shape of a sensor-driven client — a camera or IMU pipeline fires
+    on a hard clock, not a Poisson process.  ``offset`` shifts the first
+    arrival so co-scheduled periodic clients don't all land on cycle 0.
+    """
+
+    kind = "periodic"
+
+    def __init__(self, period: int, offset: int = 0) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1 cycle")
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        self.period = int(period)
+        self.offset = int(offset)
+
+    def times(self, n: int, rng: random.Random) -> List[int]:
+        return [self.offset + i * self.period for i in range(n)]
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "period": self.period,
+                "offset": self.offset}
+
+
+class BurstyProcess(ArrivalProcess):
+    """Alternating calm/burst phases of Poisson arrivals.
+
+    ``phase_len`` requests arrive at ``calm_interarrival`` pacing, then
+    ``burst_len`` requests at ``burst_interarrival``, repeating — the
+    classic on/off traffic model that makes tail latency diverge from the
+    mean.
+    """
+
+    kind = "bursty"
+
+    def __init__(self, calm_interarrival: int, burst_interarrival: int,
+                 phase_len: int = 4, burst_len: int = 4) -> None:
+        if min(calm_interarrival, burst_interarrival) < 1:
+            raise ValueError("interarrivals must be >= 1 cycle")
+        if min(phase_len, burst_len) < 1:
+            raise ValueError("phase lengths must be >= 1")
+        self.calm_interarrival = int(calm_interarrival)
+        self.burst_interarrival = int(burst_interarrival)
+        self.phase_len = int(phase_len)
+        self.burst_len = int(burst_len)
+
+    def times(self, n: int, rng: random.Random) -> List[int]:
+        out: List[int] = []
+        t = 0
+        i = 0
+        period = self.phase_len + self.burst_len
+        while len(out) < n:
+            mean = (self.calm_interarrival if i % period < self.phase_len
+                    else self.burst_interarrival)
+            t += max(1, round(rng.expovariate(1.0 / mean)))
+            out.append(t)
+            i += 1
+        return out
+
+    def describe(self) -> dict:
+        return {"kind": self.kind,
+                "calm_interarrival": self.calm_interarrival,
+                "burst_interarrival": self.burst_interarrival,
+                "phase_len": self.phase_len,
+                "burst_len": self.burst_len}
+
+
+class RampProcess(ArrivalProcess):
+    """Diurnal-style load ramp: interarrival glides from start to end.
+
+    The mean interarrival interpolates linearly over the ``n`` requests,
+    so the offered load rises (or falls) across the run.
+    """
+
+    kind = "ramp"
+
+    def __init__(self, start_interarrival: int, end_interarrival: int) -> None:
+        if min(start_interarrival, end_interarrival) < 1:
+            raise ValueError("interarrivals must be >= 1 cycle")
+        self.start_interarrival = int(start_interarrival)
+        self.end_interarrival = int(end_interarrival)
+
+    def times(self, n: int, rng: random.Random) -> List[int]:
+        out: List[int] = []
+        t = 0
+        span = max(1, n - 1)
+        for i in range(n):
+            frac = i / span
+            mean = (self.start_interarrival
+                    + (self.end_interarrival - self.start_interarrival) * frac)
+            t += max(1, round(rng.expovariate(1.0 / mean)))
+            out.append(t)
+        return out
+
+    def describe(self) -> dict:
+        return {"kind": self.kind,
+                "start_interarrival": self.start_interarrival,
+                "end_interarrival": self.end_interarrival}

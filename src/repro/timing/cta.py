@@ -61,7 +61,7 @@ class _KernelState:
     """Issue/completion bookkeeping for one kernel in a stream."""
 
     __slots__ = ("kernel", "next_cta", "outstanding", "started", "complete",
-                 "start_cycle", "complete_cycle")
+                 "start_cycle", "complete_cycle", "arrival_cycle")
 
     def __init__(self, kernel: KernelTrace) -> None:
         self.kernel = kernel
@@ -71,6 +71,8 @@ class _KernelState:
         self.complete = False
         self.start_cycle = -1
         self.complete_cycle = -1
+        #: Earliest cycle this kernel may start issuing (open-loop arrival).
+        self.arrival_cycle = 0
 
     @property
     def fully_issued(self) -> bool:
@@ -90,7 +92,8 @@ class StreamQueue:
     """
 
     def __init__(self, stream_id: int, kernels: Sequence[KernelTrace],
-                 max_inflight: int = 8) -> None:
+                 max_inflight: int = 8,
+                 arrivals: Optional[Sequence[int]] = None) -> None:
         if not kernels:
             raise ValueError("stream %d has no kernels" % stream_id)
         if max_inflight < 1:
@@ -100,6 +103,21 @@ class StreamQueue:
         self._by_uid: Dict[int, _KernelState] = {
             st.kernel.uid: st for st in self.states
         }
+        self.has_arrivals = arrivals is not None
+        if arrivals is not None:
+            if len(arrivals) != len(self.states):
+                raise ValueError(
+                    "stream %d: %d arrivals for %d kernels"
+                    % (stream_id, len(arrivals), len(self.states)))
+            prev = 0
+            for st, at in zip(self.states, arrivals):
+                at = int(at)
+                if at < 0 or at < prev:
+                    raise ValueError(
+                        "stream %d: arrival cycles must be non-negative "
+                        "and non-decreasing" % stream_id)
+                st.arrival_cycle = at
+                prev = at
         self.max_inflight = max_inflight
         self._issue_idx = 0
         #: (kernel name, completion cycle) pairs, in completion order.
@@ -117,7 +135,8 @@ class StreamQueue:
     def inflight(self) -> int:
         return sum(1 for st in self.states if st.started and not st.complete)
 
-    def _issuable_state(self) -> Optional[_KernelState]:
+    def _issuable_state(self, cycle: Optional[int] = None
+                        ) -> Optional[_KernelState]:
         # Skip past fully-issued kernels.
         while (self._issue_idx < len(self.states)
                and self.states[self._issue_idx].fully_issued):
@@ -134,7 +153,23 @@ class StreamQueue:
                 return None
         if self.inflight >= self.max_inflight:
             return None
+        # Open-loop gate: an unstarted kernel may not issue before its
+        # arrival cycle.  Cycle-less callers see the over-approximation
+        # (arrival ignored), which the issue path never uses.
+        if self.has_arrivals and cycle is not None and st.arrival_cycle > cycle:
+            return None
         return st
+
+    def next_arrival_after(self, cycle: int) -> Optional[int]:
+        """Earliest future arrival cycle of an unstarted kernel, or None."""
+        best: Optional[int] = None
+        for st in self.states[self._issue_idx:]:
+            if st.started or st.fully_issued:
+                continue
+            if st.arrival_cycle > cycle and (best is None
+                                             or st.arrival_cycle < best):
+                best = st.arrival_cycle
+        return best
 
     def current_kernel(self) -> Optional[KernelTrace]:
         st = self._issuable_state()
@@ -151,7 +186,7 @@ class StreamQueue:
         return st is not None and not st.started
 
     def take_cta(self, cycle: int = 0):
-        st = self._issuable_state()
+        st = self._issuable_state(cycle)
         assert st is not None
         if not st.started:
             st.started = True
@@ -201,10 +236,11 @@ class CTAScheduler:
         self.streams: Dict[int, StreamQueue] = {}
         self._rr_offset = 0
 
-    def add_stream(self, stream_id: int, kernels: Sequence[KernelTrace]) -> StreamQueue:
+    def add_stream(self, stream_id: int, kernels: Sequence[KernelTrace],
+                   arrivals: Optional[Sequence[int]] = None) -> StreamQueue:
         if stream_id in self.streams:
             raise ValueError("stream %d already registered" % stream_id)
-        sq = StreamQueue(stream_id, kernels)
+        sq = StreamQueue(stream_id, kernels, arrivals=arrivals)
         self.streams[stream_id] = sq
         return sq
 
@@ -215,6 +251,23 @@ class CTAScheduler:
     @property
     def has_issuable_work(self) -> bool:
         return any(sq.has_issuable_cta for sq in self.streams.values())
+
+    @property
+    def has_arrivals(self) -> bool:
+        """True when any stream runs open-loop (arrival-gated kernels)."""
+        return any(sq.has_arrivals for sq in self.streams.values())
+
+    def next_arrival_after(self, cycle: int) -> Optional[int]:
+        """Earliest future arrival across all streams, or None."""
+        best: Optional[int] = None
+        for sid in sorted(self.streams):
+            sq = self.streams[sid]
+            if not sq.has_arrivals:
+                continue
+            t = sq.next_arrival_after(cycle)
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
 
     # -- issue -----------------------------------------------------------------
     def _quota_allows(self, sm: SM, stream: int, res: CTAResources) -> bool:
@@ -230,9 +283,10 @@ class CTAScheduler:
         )
 
     def _try_issue_one(self, sq: StreamQueue, cycle: int) -> bool:
-        kernel = sq.current_kernel()
-        if kernel is None or not sq.has_issuable_cta:
+        st = sq._issuable_state(cycle)
+        if st is None:
             return False
+        kernel = st.kernel
         res = kernel.cta_resources(self.config.warp_size)
         best_sm: Optional[SM] = None
         best_free = -1
@@ -247,7 +301,7 @@ class CTAScheduler:
                 best_sm = sm
         if best_sm is None:
             return False
-        if sq.next_kernel_starting and self.gpu is not None:
+        if not st.started and self.gpu is not None:
             self.policy.on_kernel_start(self.gpu, sq.stream_id, kernel, cycle)
             self.gpu.telemetry.on_kernel_start(sq.stream_id, kernel, cycle)
         kernel_ref, cta = sq.take_cta(cycle)

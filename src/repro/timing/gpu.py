@@ -66,9 +66,16 @@ class GPU:
         self._event_heap: List = []
 
     # -- workload setup ---------------------------------------------------------
-    def add_stream(self, stream_id: int, kernels: Sequence[KernelTrace]) -> StreamQueue:
-        """Register an in-order kernel queue (a workload) as one stream."""
-        return self.cta_scheduler.add_stream(stream_id, kernels)
+    def add_stream(self, stream_id: int, kernels: Sequence[KernelTrace],
+                   arrivals: Optional[Sequence[int]] = None) -> StreamQueue:
+        """Register an in-order kernel queue (a workload) as one stream.
+
+        ``arrivals`` (optional, one non-decreasing cycle per kernel) makes
+        the stream open-loop: each kernel may not start issuing before its
+        arrival cycle, so queueing delay becomes visible.
+        """
+        return self.cta_scheduler.add_stream(stream_id, kernels,
+                                             arrivals=arrivals)
 
     # -- callbacks ---------------------------------------------------------------
     def _cta_done(self, sm: SM, cta: ResidentCTA) -> None:
@@ -106,6 +113,11 @@ class GPU:
         next_sample = eff_interval if eff_interval else None
         epoch = self.policy.epoch_interval
         next_epoch = epoch if epoch else None
+        # Open-loop arrivals: None when every stream is closed-loop, in
+        # which case every arrival branch below is dead and the loop is
+        # bit-identical to the closed-loop engine.
+        next_arrival = (self.cta_scheduler.next_arrival_after(cycle)
+                        if self.cta_scheduler.has_arrivals else None)
         while True:
             self.cycle = cycle
             self._completed_this_step = False
@@ -144,6 +156,23 @@ class GPU:
                     added = True
                 if added:
                     due.sort(key=_sm_id)
+            if next_arrival is not None and cycle >= next_arrival:
+                # Newly-arrived kernels become issuable this cycle; launch
+                # them and collect any SMs whose launch events landed now so
+                # they tick this cycle like any other due SM.
+                if self.cta_scheduler.fill(cycle):
+                    added = False
+                    while heap and heap[0][0] <= cycle:
+                        t, _, sm = heapq.heappop(heap)
+                        if t != sm._queued_event:
+                            continue
+                        sm._queued_event = BLOCKED
+                        if sm not in due:
+                            due.append(sm)
+                            added = True
+                    if added:
+                        due.sort(key=_sm_id)
+                next_arrival = self.cta_scheduler.next_arrival_after(cycle)
             for sm in due:
                 if sm.has_work:
                     sm.tick(cycle)
@@ -170,9 +199,14 @@ class GPU:
                 break
             if nxt == BLOCKED:
                 # No SM can ever act again.  Either CTAs are waiting for
-                # space that will never free (policy deadlock) or we are done.
+                # space that will never free (policy deadlock), the machine
+                # is idle until the next open-loop arrival, or we are done.
                 if self.cta_scheduler.has_issuable_work:
                     if self.cta_scheduler.fill(cycle) == 0:
+                        if next_arrival is not None:
+                            # Idle open-loop gap: jump to the next arrival.
+                            cycle = max(cycle + 1, next_arrival)
+                            continue
                         raise DeadlockError(
                             "CTAs pending at cycle %d but no SM can accept them "
                             "(policy %r quota too small?)" % (cycle, self.policy.name)
@@ -184,6 +218,8 @@ class GPU:
                     t for t in (sm.next_completion_cycle() for sm in self.sms)
                     if t is not None
                 ]
+                if next_arrival is not None:
+                    pending.append(next_arrival)
                 if pending:
                     cycle = max(cycle + 1, min(pending))
                     continue
@@ -192,6 +228,8 @@ class GPU:
                         "streams incomplete at cycle %d but no work anywhere" % cycle
                     )
                 break
+            if next_arrival is not None and next_arrival < nxt:
+                nxt = next_arrival
             cycle = max(cycle + 1, nxt)
             if cycle > max_cycles:
                 raise RuntimeError("simulation exceeded %d cycles" % max_cycles)

@@ -254,6 +254,7 @@ class FuzzReport:
     cases_engaged: int = 0
     cases_restarted: int = 0
     invariant_runs: int = 0
+    qos_probes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -266,12 +267,45 @@ class FuzzReport:
             "cases_sharded": self.cases_engaged,
             "cases_epoch_restarted": self.cases_restarted,
             "invariant_checked_runs": self.invariant_runs,
+            "qos_probes": self.qos_probes,
         }
+
+
+#: Every Nth fuzz seed also replays a short open-loop QoS scenario twice
+#: and compares the canonical reports — the QoS stack (arrival
+#: generation, monitor, adaptive controller) is policed for determinism
+#: by the same sweep that polices the engines.  Sparse because one QoS
+#: probe costs two multi-client simulations.
+_QOS_PROBE_EVERY = 5
+_QOS_PROBE_REQUESTS = 3
+
+
+def _qos_probe(seed: int) -> Optional[dict]:
+    """Same-seed bit-identity check on one short QoS scenario run.
+
+    Returns a failure record, or None when the two runs agree.
+    """
+    from ..qos import canonical_report, run_scenario
+    from ..qos.scenario import scenario_names
+
+    names = scenario_names()
+    scenario = names[(seed // _QOS_PROBE_EVERY) % len(names)]
+    runs = [run_scenario(scenario, seed, policy="adaptive",
+                         requests=_QOS_PROBE_REQUESTS)
+            for _ in range(2)]
+    texts = [canonical_report(r) for r in runs]
+    if texts[0] == texts[1] and runs[0]["events"] == runs[1]["events"]:
+        return None
+    diff = first_difference(
+        {**json.loads(texts[0]), "events": runs[0]["events"]},
+        {**json.loads(texts[1]), "events": runs[1]["events"]})
+    return {"seed": seed, "kind": "qos-nondeterminism",
+            "scenario": scenario, "diff": diff}
 
 
 def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
              corpus_dir: Optional[str] = None, allow_scenes: bool = True,
-             include_process: bool = True,
+             include_process: bool = True, include_qos: bool = True,
              progress: Optional[Callable[[str], None]] = None) -> FuzzReport:
     """Differential-test every seed; optionally re-run with invariants on.
 
@@ -279,6 +313,10 @@ def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
     an :class:`~repro.validate.InvariantChecker` and the checked run must
     be bit-identical to the unchecked serial reference — proving on the
     whole fuzz corpus that the checker observes without disturbing.
+
+    With ``include_qos``, every ``_QOS_PROBE_EVERY``-th seed also runs a
+    short open-loop QoS scenario twice under the adaptive controller and
+    requires bit-identical reports (failure kind ``qos-nondeterminism``).
 
     Failures (mismatch details plus the shrunk minimal case description)
     are appended to ``report.failures`` and, when ``corpus_dir`` is given,
@@ -326,6 +364,10 @@ def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
                 failure = {"seed": seed, "kind": "invariant-violation",
                            "error": str(exc), "case": case.descr,
                            "checks": checker.report()}
+        if (failure is None and include_qos
+                and seed % _QOS_PROBE_EVERY == 0):
+            report.qos_probes += 1
+            failure = _qos_probe(seed)
         if failure:
             report.failures.append(failure)
             if corpus_dir:

@@ -24,11 +24,22 @@ from ..api import simulate
 from ..config import GPUConfig, get_preset
 from ..core.platform import POLICY_NAMES, collect_streams
 
-__all__ = ["GOLDEN_POLICIES", "default_golden_dir", "golden_path",
-           "reference_workload", "compute_golden", "regen", "check"]
+__all__ = ["GOLDEN_POLICIES", "QOS_GOLDEN_SCENARIOS", "default_golden_dir",
+           "golden_path", "qos_golden_path", "reference_workload",
+           "compute_golden", "compute_qos_golden", "regen", "check"]
 
 GOLDEN_POLICIES = POLICY_NAMES
 _BASENAME = "sponza_hologram_nano_%s.json"
+
+#: QoS report snapshots: short adaptive runs of the steady and bursty
+#: scenarios, pinning the whole open-loop stack (arrival generation,
+#: monitor accounting, controller decisions, report canonicalisation).
+QOS_GOLDEN_SCENARIOS = ("steady", "bursty")
+QOS_GOLDEN_SEED = 7
+#: Requests-per-client override keeping the golden runs tier-1 fast
+#: while still spanning several controller epochs.
+QOS_GOLDEN_REQUESTS = 6
+_QOS_BASENAME = "qos_%s_seed7_adaptive.json"
 
 
 def default_golden_dir() -> str:
@@ -41,6 +52,20 @@ def default_golden_dir() -> str:
 def golden_path(policy: str, golden_dir: Optional[str] = None) -> str:
     return os.path.join(golden_dir or default_golden_dir(),
                         _BASENAME % policy)
+
+
+def qos_golden_path(scenario: str, golden_dir: Optional[str] = None) -> str:
+    return os.path.join(golden_dir or default_golden_dir(),
+                        _QOS_BASENAME % scenario)
+
+
+def compute_qos_golden(scenario: str) -> dict:
+    """Canonical QoS report tree for one golden scenario (events kept —
+    the per-frame rows are deterministic and pin completion ordering)."""
+    from ..qos import run_scenario
+    report = run_scenario(scenario, QOS_GOLDEN_SEED, policy="adaptive",
+                          requests=QOS_GOLDEN_REQUESTS)
+    return json.loads(json.dumps(report, sort_keys=True))
 
 
 def reference_workload(config: Optional[GPUConfig] = None):
@@ -65,7 +90,8 @@ def _dump(tree: dict) -> str:
 
 def regen(golden_dir: Optional[str] = None,
           policies: Sequence[str] = GOLDEN_POLICIES,
-          config: Optional[GPUConfig] = None) -> List[str]:
+          config: Optional[GPUConfig] = None,
+          qos_scenarios: Sequence[str] = QOS_GOLDEN_SCENARIOS) -> List[str]:
     """Recompute and write the golden snapshots; returns written paths."""
     config, streams = reference_workload(config)
     golden_dir = golden_dir or default_golden_dir()
@@ -77,17 +103,26 @@ def regen(golden_dir: Optional[str] = None,
         with open(path, "w", encoding="utf-8") as f:
             f.write(_dump(tree))
         written.append(path)
+    for scenario in qos_scenarios:
+        tree = compute_qos_golden(scenario)
+        path = qos_golden_path(scenario, golden_dir)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(_dump(tree))
+        written.append(path)
     return written
 
 
 def check(golden_dir: Optional[str] = None,
           policies: Sequence[str] = GOLDEN_POLICIES,
-          config: Optional[GPUConfig] = None) -> Dict[str, str]:
+          config: Optional[GPUConfig] = None,
+          qos_scenarios: Sequence[str] = QOS_GOLDEN_SCENARIOS
+          ) -> Dict[str, str]:
     """Diff current engine output against the snapshots.
 
-    Returns ``{policy: problem}`` — empty means every snapshot matches
-    bit-for-bit.  ``problem`` is ``"missing snapshot"`` or the locus of the
-    first difference.
+    Returns ``{name: problem}`` — empty means every snapshot matches
+    bit-for-bit.  Keys are policy names for the engine goldens and
+    ``"qos:<scenario>"`` for the QoS report goldens; ``problem`` is
+    ``"missing snapshot"`` or the locus of the first difference.
     """
     from .differential import first_difference
 
@@ -104,4 +139,16 @@ def check(golden_dir: Optional[str] = None,
         diff = first_difference(want, got)
         if diff:
             problems[policy] = diff
+    for scenario in qos_scenarios:
+        key = "qos:%s" % scenario
+        path = qos_golden_path(scenario, golden_dir)
+        if not os.path.exists(path):
+            problems[key] = "missing snapshot (%s)" % path
+            continue
+        with open(path, "r", encoding="utf-8") as f:
+            want = json.load(f)
+        got = compute_qos_golden(scenario)
+        diff = first_difference(want, got)
+        if diff:
+            problems[key] = diff
     return problems

@@ -61,7 +61,7 @@ def test_run_request_fields():
     fields = list(inspect.signature(RunRequest).parameters)
     assert fields == [
         "config", "streams", "workload", "policy", "sample_interval",
-        "telemetry", "workers", "backend", "max_cycles",
+        "telemetry", "arrivals", "workers", "backend", "max_cycles",
     ]
 
 

@@ -1,0 +1,125 @@
+"""Tests for the seeded arrival processes of the open-loop injector.
+
+Determinism contract: arrival schedules are pure functions of process
+parameters and the rng seed — the property the bit-identical QoS report
+chain starts from.
+"""
+
+import random
+
+import pytest
+
+from repro.qos import (BurstyProcess, PeriodicProcess, PoissonProcess,
+                       RampProcess, TraceProcess, client_rng)
+
+
+def _nondecreasing(xs):
+    return all(b >= a for a, b in zip(xs, xs[1:]))
+
+
+class TestClientRng:
+    def test_same_seed_same_stream(self):
+        a = client_rng(7, 0).random()
+        b = client_rng(7, 0).random()
+        assert a == b
+
+    def test_clients_decorrelated(self):
+        streams = [tuple(client_rng(7, i).random() for _ in range(4))
+                   for i in range(3)]
+        assert len(set(streams)) == 3
+
+    def test_seeds_decorrelated(self):
+        assert client_rng(7, 0).random() != client_rng(8, 0).random()
+
+
+class TestPoisson:
+    def test_reproducible(self):
+        p = PoissonProcess(500)
+        assert p.times(50, client_rng(7, 0)) == p.times(50, client_rng(7, 0))
+
+    def test_different_seeds_differ(self):
+        p = PoissonProcess(500)
+        assert p.times(50, client_rng(7, 0)) != p.times(50, client_rng(8, 0))
+
+    def test_monotone_integer_cycles(self):
+        times = PoissonProcess(300).times(200, client_rng(3, 1))
+        assert _nondecreasing(times)
+        assert all(isinstance(t, int) and t >= 1 for t in times)
+
+    def test_mean_tracks_parameter(self):
+        times = PoissonProcess(1_000).times(2_000, random.Random(11))
+        mean = times[-1] / len(times)
+        assert 850 < mean < 1_150
+
+    def test_rejects_bad_interarrival(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0)
+
+
+class TestTrace:
+    def test_replays_prefix(self):
+        t = TraceProcess((5, 10, 20, 20, 30))
+        assert t.times(3, random.Random(0)) == [5, 10, 20]
+
+    def test_rng_unused(self):
+        t = TraceProcess((1, 2, 3))
+        assert t.times(3, random.Random(0)) == t.times(3, random.Random(99))
+
+    def test_rejects_overdraw(self):
+        with pytest.raises(ValueError):
+            TraceProcess((1, 2)).times(3, random.Random(0))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            TraceProcess((5, 3))
+
+    def test_rejects_negative_and_empty(self):
+        with pytest.raises(ValueError):
+            TraceProcess((-1, 2))
+        with pytest.raises(ValueError):
+            TraceProcess(())
+
+
+class TestPeriodic:
+    def test_fixed_clock(self):
+        assert PeriodicProcess(100).times(4, random.Random(0)) == \
+            [0, 100, 200, 300]
+
+    def test_offset(self):
+        assert PeriodicProcess(100, offset=7).times(3, random.Random(0)) == \
+            [7, 107, 207]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(0)
+        with pytest.raises(ValueError):
+            PeriodicProcess(10, offset=-1)
+
+
+class TestBurstyAndRamp:
+    def test_bursty_reproducible_and_monotone(self):
+        p = BurstyProcess(2_000, 100, phase_len=3, burst_len=5)
+        t1 = p.times(64, client_rng(7, 2))
+        assert t1 == p.times(64, client_rng(7, 2))
+        assert _nondecreasing(t1)
+
+    def test_bursty_bursts_are_denser(self):
+        p = BurstyProcess(10_000, 10, phase_len=4, burst_len=4)
+        times = p.times(80, random.Random(5))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Phase structure: gaps alternate between ~10000 and ~10 regimes.
+        assert max(gaps) > 50 * min(gaps)
+
+    def test_ramp_accelerates(self):
+        p = RampProcess(10_000, 100)
+        times = p.times(100, random.Random(9))
+        first = times[10] - times[0]
+        last = times[-1] - times[-11]
+        assert first > 3 * last
+
+    def test_describe_roundtrip_keys(self):
+        for proc in (PoissonProcess(10), TraceProcess((1,)),
+                     PeriodicProcess(5), BurstyProcess(10, 2),
+                     RampProcess(10, 2)):
+            d = proc.describe()
+            assert d["kind"] == proc.kind

@@ -1,0 +1,225 @@
+"""Unit tests for the adaptive partition controller.
+
+The hill climber is driven here through hand-built observation dicts —
+no simulation — so each mechanism (stress grants, cooldown, demand-shift
+detection, drift hysteresis, dimension flipping, quota floors) is pinned
+in isolation.
+"""
+
+import pytest
+
+from repro.config import get_preset
+from repro.isa import CTAResources
+from repro.qos import HillClimbController, QoSMonitor
+from repro.qos.controller import AdaptiveQoSPolicy
+
+
+def obs(window, compute=None, l2=None, cycle=0):
+    return {
+        "epoch_cycle": cycle,
+        "compute_shares": compute or {0: 4, 1: 4},
+        "l2_shares": l2 or {0: 16, 1: 16},
+        "window": window,
+    }
+
+
+def calm(budget=1_000, frames=2, frame_max=200, arrivals=0):
+    return {"frames": frames, "violations": 0, "frame_sum": frames * 100,
+            "frame_max": frame_max, "arrivals": arrivals,
+            "slo_budget": budget}
+
+
+def violating(budget=1_000, violations=2, frame_max=1_500, arrivals=0):
+    return {"frames": 3, "violations": violations,
+            "frame_sum": 3 * frame_max, "frame_max": frame_max,
+            "arrivals": arrivals, "slo_budget": budget}
+
+
+def best_effort(frames=3, arrivals=0):
+    return {"frames": frames, "violations": 0, "frame_sum": frames * 400,
+            "frame_max": 500, "arrivals": arrivals, "slo_budget": None}
+
+
+class TestGrants:
+    def test_violating_client_gets_compute_from_best_effort(self):
+        c = HillClimbController()
+        d = c.decide(obs({0: violating(), 1: best_effort()}))
+        assert d == {"kind": "compute", "from": 1, "to": 0}
+
+    def test_calm_windows_hold(self):
+        c = HillClimbController()
+        assert c.decide(obs({0: calm(), 1: best_effort()})) is None
+
+    def test_idle_window_holds(self):
+        c = HillClimbController()
+        w = {0: calm(frames=0), 1: best_effort(frames=0)}
+        assert c.decide(obs(w)) is None
+
+    def test_near_miss_inside_headroom_triggers(self):
+        c = HillClimbController(headroom=0.85)
+        w = {0: calm(budget=1_000, frame_max=900), 1: best_effort()}
+        d = c.decide(obs(w))
+        assert d is not None and d["to"] == 0
+
+    def test_no_grant_without_calm_donor(self):
+        c = HillClimbController()
+        w = {0: violating(), 1: violating(budget=500)}
+        assert c.decide(obs(w)) is None
+
+    def test_donor_respects_min_compute(self):
+        c = HillClimbController(min_compute=2)
+        w = {0: violating(), 1: best_effort()}
+        assert c.decide(obs(w, compute={0: 6, 1: 2})) is None
+
+    def test_cooldown_blocks_next_epoch(self):
+        c = HillClimbController(settle_epochs=2)
+        w = {0: violating(), 1: best_effort()}
+        assert c.decide(obs(w)) is not None
+        assert c.decide(obs(w, compute={0: 5, 1: 3})) is None
+        assert c.decide(obs(w, compute={0: 5, 1: 3})) is None
+        assert c.decide(obs(w, compute={0: 5, 1: 3})) is not None
+
+
+class TestDimensionFlip:
+    def test_flips_to_l2_when_compute_grant_backfires(self):
+        c = HillClimbController(settle_epochs=0)
+        w0 = {0: violating(violations=1, frame_max=1_100), 1: best_effort()}
+        assert c.decide(obs(w0))["kind"] == "compute"
+        # Stress clearly worse after the grant: same victim, higher score.
+        w1 = {0: violating(violations=3, frame_max=1_600), 1: best_effort()}
+        d = c.decide(obs(w1, compute={0: 5, 1: 3}))
+        assert d["kind"] == "l2"
+
+    def test_keeps_kind_while_improving(self):
+        c = HillClimbController(settle_epochs=0)
+        w0 = {0: violating(violations=3, frame_max=1_600), 1: best_effort()}
+        assert c.decide(obs(w0))["kind"] == "compute"
+        w1 = {0: violating(violations=1, frame_max=1_100), 1: best_effort()}
+        assert c.decide(obs(w1, compute={0: 5, 1: 3}))["kind"] == "compute"
+
+
+class TestDrift:
+    def test_sustained_calm_drifts_back_toward_even(self):
+        c = HillClimbController(calm_epochs=2)
+        w = {0: calm(), 1: best_effort()}
+        assert c.decide(obs(w, compute={0: 6, 1: 2})) is None
+        d = c.decide(obs(w, compute={0: 6, 1: 2}))
+        assert d == {"kind": "compute", "from": 0, "to": 1}
+
+    def test_hysteresis_leaves_one_step_band(self):
+        # 5/3 is within one give-back step of even: no drift, ever.
+        c = HillClimbController(calm_epochs=1)
+        w = {0: calm(), 1: best_effort()}
+        for _ in range(6):
+            assert c.decide(obs(w, compute={0: 5, 1: 3})) is None
+
+    def test_punished_drift_backs_off(self):
+        c = HillClimbController(calm_epochs=1, settle_epochs=0)
+        w_calm = {0: calm(), 1: best_effort()}
+        assert c.decide(obs(w_calm, compute={0: 6, 1: 2})) is not None
+        # Stress right after the give-back: calm requirement doubles.
+        w_bad = {0: violating(), 1: best_effort()}
+        c.decide(obs(w_bad, compute={0: 5, 1: 3}))
+        assert c._calm_required == 2
+        # One calm epoch is no longer enough to drift again.
+        assert c.decide(obs(w_calm, compute={0: 6, 1: 2})) is None
+
+
+class TestDemandShift:
+    def _warm(self, c, arrivals=2, epochs=6):
+        w = {0: calm(arrivals=arrivals), 1: best_effort(arrivals=4)}
+        for _ in range(epochs):
+            assert c.decide(obs(w)) is None
+
+    def test_rate_step_grants_before_any_violation(self):
+        c = HillClimbController()
+        self._warm(c)
+        w = {0: calm(arrivals=5), 1: best_effort(arrivals=4)}
+        d = c.decide(obs(w))
+        assert d == {"kind": "compute", "from": 1, "to": 0}
+
+    def test_one_shot_until_rearmed(self):
+        c = HillClimbController(settle_epochs=0)
+        self._warm(c)
+        w = {0: calm(arrivals=5), 1: best_effort(arrivals=4)}
+        assert c.decide(obs(w)) is not None
+        # The sustained higher rate does not re-fire the detector.
+        for _ in range(4):
+            assert c.decide(obs(w, compute={0: 5, 1: 3})) is None
+
+    def test_detector_unarmed_during_warmup(self):
+        c = HillClimbController(rate_warmup_epochs=4)
+        w = {0: calm(arrivals=2), 1: best_effort(arrivals=4)}
+        assert c.decide(obs(w)) is None
+        spike = {0: calm(arrivals=9), 1: best_effort(arrivals=4)}
+        assert c.decide(obs(spike)) is None  # only 1 epoch of history
+
+    def test_best_effort_clients_never_shift(self):
+        c = HillClimbController()
+        w = {0: calm(arrivals=2), 1: best_effort(arrivals=1)}
+        for _ in range(6):
+            assert c.decide(obs(w)) is None
+        w2 = {0: calm(arrivals=2), 1: best_effort(arrivals=40)}
+        assert c.decide(obs(w2)) is None
+
+
+class TestAdaptivePolicy:
+    def _policy(self, slots=None, floors=None):
+        monitor = QoSMonitor()
+        monitor.add_client("a")
+        monitor.add_client("b")
+        if slots is None:
+            slots = {0: 4, 1: 4}
+        return AdaptiveQoSPolicy(slots, monitor,
+                                 {0: "a", 1: "b"}, floors=floors)
+
+    def test_even_split_with_remainder(self):
+        monitor = QoSMonitor()
+        p = AdaptiveQoSPolicy.even(8, [0, 1, 2], monitor=monitor,
+                                   stream_clients={})
+        assert p.compute_slots == {0: 3, 1: 3, 2: 2}
+        assert p.total_slots == 8
+
+    def test_even_rejects_too_few_slots(self):
+        with pytest.raises(ValueError):
+            AdaptiveQoSPolicy.even(2, [0, 1, 2], monitor=QoSMonitor(),
+                                   stream_clients={})
+
+    def test_quota_scales_with_slots(self):
+        config = get_preset("RTX3070-mini")
+        p = self._policy({0: 6, 1: 2})
+        qa = p.quota(None, 0, config)
+        qb = p.quota(None, 1, config)
+        assert qa.threads == config.max_threads_per_sm * 6 // 8
+        assert qb.warps == config.max_warps_per_sm * 2 // 8
+        assert p.quota(None, 99, config) is None
+
+    def test_quota_floor_binds(self):
+        config = get_preset("RTX3070-mini")
+        big = CTAResources(threads=config.max_threads_per_sm,
+                           registers=1, shared_mem=0, warps=1)
+        p = self._policy({0: 6, 1: 2}, floors={1: big})
+        q = p.quota(None, 1, config)
+        # The floored resource is lifted to one CTA's worth; the others
+        # keep their share-based value.
+        assert q.threads == config.max_threads_per_sm
+        assert q.warps == config.max_warps_per_sm * 2 // 8
+
+    def test_apply_compute_moves_one_slot(self):
+        p = self._policy({0: 4, 1: 4})
+        p._apply({"kind": "compute", "from": 0, "to": 1})
+        assert p.compute_slots == {0: 3, 1: 5}
+        assert p.total_slots == 8
+
+    def test_apply_rejects_last_slot_and_unknown_kind(self):
+        p = self._policy({0: 1, 1: 7})
+        with pytest.raises(ValueError):
+            p._apply({"kind": "compute", "from": 0, "to": 1})
+        with pytest.raises(ValueError):
+            p._apply({"kind": "sm", "from": 0, "to": 1})
+
+    def test_rejects_empty_and_zero_slots(self):
+        with pytest.raises(ValueError):
+            self._policy({})
+        with pytest.raises(ValueError):
+            self._policy({0: 0, 1: 8})

@@ -1,0 +1,163 @@
+"""Tests for the streaming SLO monitor.
+
+The percentile recorder must be *exact* (nearest-rank against a sorted
+reference) and chunk-order insensitive — the properties that keep QoS
+reports bit-identical however completions interleave.
+"""
+
+import random
+
+import pytest
+
+from repro.qos import QoSMonitor, StreamingPercentiles
+
+
+def nearest_rank(values, p):
+    s = sorted(values)
+    rank = max(1, -(-len(s) * p // 100))
+    return s[int(rank) - 1]
+
+
+class TestStreamingPercentiles:
+    def test_exact_vs_sorted_reference(self):
+        rng = random.Random(13)
+        for trial in range(20):
+            values = [rng.randrange(1, 10_000)
+                      for _ in range(rng.randrange(1, 300))]
+            sp = StreamingPercentiles()
+            for v in values:
+                sp.add(v)
+            for p in (1, 25, 50, 90, 95, 99, 100):
+                assert sp.percentile(p) == nearest_rank(values, p), \
+                    "trial %d p%d" % (trial, p)
+
+    def test_order_insensitive(self):
+        values = list(range(1, 101))
+        rng = random.Random(3)
+        reference = None
+        for _ in range(5):
+            rng.shuffle(values)
+            sp = StreamingPercentiles()
+            for v in values:
+                sp.add(v)
+            tree = sp.to_dict()
+            if reference is None:
+                reference = tree
+            assert tree == reference
+
+    def test_interleaved_query_and_add(self):
+        # Querying between adds (chunk boundaries) must not disturb later
+        # results: the lazy sort cache has to invalidate on every add.
+        sp = StreamingPercentiles()
+        seen = []
+        rng = random.Random(7)
+        for i in range(200):
+            v = rng.randrange(1, 1000)
+            sp.add(v)
+            seen.append(v)
+            if i % 17 == 0:
+                assert sp.percentile(95) == nearest_rank(seen, 95)
+        assert sp.percentile(50) == nearest_rank(seen, 50)
+
+    def test_empty_and_bounds(self):
+        sp = StreamingPercentiles()
+        assert sp.percentile(50) == 0
+        assert sp.count == 0 and sp.mean == 0.0
+        sp.add(5)
+        with pytest.raises(ValueError):
+            sp.percentile(0)
+        with pytest.raises(ValueError):
+            sp.percentile(101)
+
+    def test_to_dict_summary(self):
+        sp = StreamingPercentiles()
+        for v in (10, 20, 30, 40):
+            sp.add(v)
+        d = sp.to_dict()
+        assert d["count"] == 4 and d["min"] == 10 and d["max"] == 40
+        assert d["mean"] == 25.0
+        assert d["p50"] == 20
+
+
+def _monitor_one_client(budget=None):
+    m = QoSMonitor()
+    m.add_client("c", slo_budget=budget)
+    return m
+
+
+class TestQoSMonitor:
+    def test_frame_latency_from_last_kernel(self):
+        m = _monitor_one_client(budget=100)
+        m.track(1, "c", 0, arrival_cycle=10, last=False)
+        m.track(2, "c", 0, arrival_cycle=10, last=True)
+        m.on_kernel_complete(0, 1, "k0", 10, 50)
+        m.on_kernel_complete(0, 2, "k1", 50, 90)
+        s = m.client_summary("c")
+        assert s["frame_time_cycles"]["count"] == 1
+        assert s["frame_time_cycles"]["p50"] == 80
+        # Both kernels feed the turnaround distribution.
+        assert s["kernel_turnaround_cycles"]["count"] == 2
+
+    def test_violation_counting_and_met(self):
+        m = _monitor_one_client(budget=100)
+        for req, (arrive, done) in enumerate(((0, 50), (100, 260), (300, 380))):
+            m.track(10 + req, "c", req, arrival_cycle=arrive, last=True)
+            m.on_kernel_complete(0, 10 + req, "k", arrive, done)
+        s = m.client_summary("c")
+        assert s["slo"]["violations"] == 1
+        # Nearest-rank p95 of [50, 80, 160] is 160 > 100: SLO missed.
+        assert not s["slo"]["met"]
+
+    def test_warmup_requests_excluded(self):
+        m = _monitor_one_client(budget=100)
+        m.track(1, "c", 0, arrival_cycle=0, last=True, warmup=True)
+        m.track(2, "c", 1, arrival_cycle=10, last=True)
+        m.on_kernel_complete(0, 1, "k", 0, 900)   # would violate
+        m.on_kernel_complete(0, 2, "k", 10, 60)
+        s = m.client_summary("c")
+        assert s["frame_time_cycles"]["count"] == 1
+        assert s["slo"]["violations"] == 0 and s["slo"]["met"]
+        # The warmup frame still produces an (annotated) event row.
+        warm = [e for e in m.events if e.get("warmup")]
+        assert len(warm) == 1 and warm[0]["frame_cycles"] == 900
+
+    def test_untracked_kernels_ignored(self):
+        m = _monitor_one_client()
+        m.on_kernel_complete(0, 999, "stray", 0, 10)
+        assert m.client_summary("c")["frame_time_cycles"]["count"] == 0
+
+    def test_duplicate_uid_rejected(self):
+        m = _monitor_one_client()
+        m.track(1, "c", 0, arrival_cycle=0, last=True)
+        with pytest.raises(ValueError):
+            m.track(1, "c", 1, arrival_cycle=5, last=True)
+        with pytest.raises(KeyError):
+            m.track(2, "nobody", 0, arrival_cycle=0, last=True)
+        with pytest.raises(ValueError):
+            m.add_client("c")
+
+    def test_take_window_resets_and_counts_arrivals(self):
+        m = _monitor_one_client(budget=100)
+        for req, arrive in enumerate((10, 30, 200)):
+            m.track(req + 1, "c", req, arrival_cycle=arrive, last=True)
+        m.on_kernel_complete(0, 1, "k", 10, 160)   # violated, frame 150
+        w = m.take_window(cycle=100)
+        assert w["c"]["frames"] == 1
+        assert w["c"]["violations"] == 1
+        assert w["c"]["frame_max"] == 150
+        assert w["c"]["arrivals"] == 2          # arrivals at 10 and 30
+        # Window state is consumed; the arrival pointer advances.
+        w2 = m.take_window(cycle=250)
+        assert w2["c"]["frames"] == 0 and w2["c"]["violations"] == 0
+        assert w2["c"]["arrivals"] == 1         # the arrival at 200
+
+    def test_slo_met_is_p95_based(self):
+        # 19 fast frames + 1 slow one: p95 stays at the fast value, so a
+        # single outlier does not flip the verdict.
+        m = _monitor_one_client(budget=100)
+        for req in range(20):
+            m.track(req + 1, "c", req, arrival_cycle=0, last=True)
+            m.on_kernel_complete(0, req + 1, "k", 0, 50 if req else 500)
+        s = m.client_summary("c")
+        assert s["slo"]["violations"] == 1
+        assert s["slo"]["met"]

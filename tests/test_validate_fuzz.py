@@ -85,6 +85,15 @@ class TestOracleSmoke:
                           include_process=False)
         assert report.ok, report.failures
         assert len(report.seeds) == 4
+        # Seed 0 lands on the QoS rerun probe: the open-loop scenarios are
+        # part of the fuzz pool, judged on bit-identical reports.
+        assert report.qos_probes == 1
+        assert report.summary()["qos_probes"] == 1
+
+    def test_qos_probe_can_be_disabled(self):
+        report = run_fuzz(range(1), allow_scenes=False,
+                          include_process=False, include_qos=False)
+        assert report.ok and report.qos_probes == 0
 
     def test_invariant_mode_counts_runs(self):
         report = run_fuzz(range(2), check_invariants=True,

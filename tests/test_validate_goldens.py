@@ -15,9 +15,12 @@ import pytest
 from repro.validate import check_goldens, regen_goldens
 from repro.validate.goldens import (
     GOLDEN_POLICIES,
+    QOS_GOLDEN_SCENARIOS,
     compute_golden,
+    compute_qos_golden,
     default_golden_dir,
     golden_path,
+    qos_golden_path,
     reference_workload,
 )
 
@@ -37,18 +40,24 @@ def test_check_current_engine_matches_snapshots():
 
 def test_regen_is_byte_identical_for_unchanged_engine(tmp_path):
     written = regen_goldens(golden_dir=str(tmp_path))
-    assert len(written) == len(GOLDEN_POLICIES)
+    assert len(written) == len(GOLDEN_POLICIES) + len(QOS_GOLDEN_SCENARIOS)
     for policy in GOLDEN_POLICIES:
         fresh = golden_path(policy, str(tmp_path))
         checked_in = golden_path(policy)
         assert filecmp.cmp(fresh, checked_in, shallow=False), (
             "regen-goldens no longer reproduces the checked-in bytes for "
             "policy %r" % policy)
+    for scenario in QOS_GOLDEN_SCENARIOS:
+        fresh = qos_golden_path(scenario, str(tmp_path))
+        checked_in = qos_golden_path(scenario)
+        assert filecmp.cmp(fresh, checked_in, shallow=False), (
+            "regen-goldens no longer reproduces the checked-in bytes for "
+            "QoS scenario %r" % scenario)
 
 
 def test_check_reports_missing_snapshot(tmp_path):
     problems = check_goldens(golden_dir=str(tmp_path),
-                             policies=("mps",))
+                             policies=("mps",), qos_scenarios=())
     assert "missing snapshot" in problems["mps"]
 
 
@@ -59,8 +68,26 @@ def test_check_localises_a_difference(tmp_path):
     path = golden_path("mps", str(tmp_path))
     with open(path, "w", encoding="utf-8") as f:
         json.dump(tree, f, indent=1, sort_keys=True)
-    problems = check_goldens(golden_dir=str(tmp_path), policies=("mps",))
+    problems = check_goldens(golden_dir=str(tmp_path), policies=("mps",),
+                             qos_scenarios=())
     assert "$.cycles" in problems["mps"]
+
+
+def test_check_localises_a_qos_difference(tmp_path):
+    tree = compute_qos_golden("steady")
+    tree["total_cycles"] += 1
+    path = qos_golden_path("steady", str(tmp_path))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(tree, f, indent=1, sort_keys=True)
+    problems = check_goldens(golden_dir=str(tmp_path), policies=(),
+                             qos_scenarios=("steady",))
+    assert "$.total_cycles" in problems["qos:steady"]
+
+
+def test_qos_golden_reports_missing_snapshot(tmp_path):
+    problems = check_goldens(golden_dir=str(tmp_path), policies=(),
+                             qos_scenarios=("bursty",))
+    assert "missing snapshot" in problems["qos:bursty"]
 
 
 @pytest.mark.parametrize("policy", GOLDEN_POLICIES)
@@ -69,3 +96,13 @@ def test_snapshot_format_is_canonical(policy):
     with open(golden_path(policy), "r", encoding="utf-8") as f:
         raw = f.read()
     assert raw == json.dumps(json.loads(raw), indent=1, sort_keys=True)
+
+
+@pytest.mark.parametrize("scenario", QOS_GOLDEN_SCENARIOS)
+def test_qos_snapshot_format_is_canonical(scenario):
+    with open(qos_golden_path(scenario), "r", encoding="utf-8") as f:
+        raw = f.read()
+    assert raw == json.dumps(json.loads(raw), indent=1, sort_keys=True)
+    tree = json.loads(raw)
+    # The QoS goldens keep the per-frame events: ordering is pinned too.
+    assert tree["kind"] == "qos-report" and tree["events"]
