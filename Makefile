@@ -3,8 +3,8 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-parallel test-parallel \
-	fuzz fuzz-smoke check-goldens qos-smoke qos-campaign
+.PHONY: test lint bench bench-smoke bench-compare bench-parallel \
+	test-parallel fuzz fuzz-smoke check-goldens qos-smoke qos-campaign
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -17,6 +17,15 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m bench -s \
 		benchmarks/test_timing_simrate.py \
 		benchmarks/test_telemetry_overhead.py
+
+# Perf-regression tripwire: measure the reference workload and exit nonzero
+# if instr/s drops >30% below the best stored BENCH_timing run with the
+# same config fingerprint and label (30% absorbs runner noise; real
+# hot-path regressions are 2x+).
+bench-compare:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro profile --no-cprofile \
+		--repeats 3 --compare benchmarks/BENCH_timing.json \
+		--max-regression 30
 
 # Sharded-engine gates: bit-identity across every policy (fast, part of
 # tier-1 too) and the serial-vs-workers=4 wall-clock comparison.

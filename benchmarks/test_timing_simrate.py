@@ -3,7 +3,7 @@
 Measures simulated instructions per wall-clock second on the reference
 workload (sponza + hologram at nano, mps, JetsonOrin-mini), appends the
 record to ``BENCH_timing.json`` so successive PRs track the trajectory,
-and asserts the hot-path overhaul's >= 1.5x speedup over the stored
+and asserts the cumulative hot-path speedup over the stored
 pre-optimisation baseline has not regressed.
 
 Run with::
@@ -26,8 +26,11 @@ from bench_util import print_header
 
 BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "BENCH_timing.json")
-#: The overhaul's acceptance floor, kept as the ongoing regression gate.
-MIN_SPEEDUP = 1.5
+#: Ongoing regression gate, bumped per optimisation PR: the issue-tuple
+#: overhaul measured 2.1x over the stored baseline, the structure-of-arrays
+#: core 3.3x; the floor keeps headroom for slow/noisy CI runners while
+#: making it impossible to silently give either win back.
+MIN_SPEEDUP = 2.5
 
 
 @pytest.mark.bench
@@ -40,10 +43,10 @@ def test_timing_simrate():
     streams = collect_streams(config, scene="SPL", res="nano",
                               compute="HOLO")
     record = measure_simrate(
-        config, streams, policy="mps", repeats=3,
+        config, streams, policy="mps", repeats=5,
         label="SPL+HOLO @ nano, policy=mps, JetsonOrin-mini")
 
-    print_header("timing core sim-rate (best of 3)")
+    print_header("timing core sim-rate (best of 5)")
     print("baseline: %10.0f instr/s  (%.2fs wall)"
           % (baseline["instructions_per_second"], baseline["wall_seconds"]))
     print("current:  %10.0f instr/s  (%.2fs wall)"

@@ -543,6 +543,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the cProfile pass; just measure sim-rate")
     p.add_argument("--out", help="append the sim-rate record to this JSON "
                                  "file (BENCH_timing.json layout)")
+    p.add_argument("--compare", metavar="BENCH.json",
+                   help="gate the measured sim-rate against the fastest "
+                        "stored run with the same config fingerprint and "
+                        "label (falls back to the document baseline); "
+                        "exits nonzero on regression")
+    p.add_argument("--max-regression", type=float, default=20.0,
+                   metavar="PCT",
+                   help="allowed instr/s drop vs the --compare reference, "
+                        "in percent (default %(default)s)")
 
     p = sub.add_parser("reproduce", help="run every experiment and write "
                                          "RESULTS.md")
@@ -666,6 +675,12 @@ def _cmd_profile(args) -> int:
             json.dump(doc, f, indent=1, sort_keys=True)
             f.write("\n")
         print("record -> %s" % args.out)
+    if args.compare:
+        from .profiling import compare_simrate
+        ok, msg = compare_simrate(record, args.compare, args.max_regression)
+        print(("sim-rate gate OK: " if ok else "sim-rate REGRESSION: ") + msg)
+        if not ok:
+            return 1
     return 0
 
 

@@ -15,9 +15,13 @@ from typing import Optional, Sequence, Tuple
 
 from .opcodes import DataClass, Op, OpInfo, Space, UNIT_INDEX, Unit, op_info
 
-# Field offsets of the flat issue tuple built by :meth:`WarpInstruction.issue_entry`.
-# The timing hot path (scheduler pick / SM issue) walks a per-warp list of
-# these tuples instead of chasing ``inst.info`` attributes on every visit.
+# Field offsets of the flat issue tuples the timing hot path walks
+# (scheduler pick / SM issue) instead of chasing ``inst.info`` attributes on
+# every visit.  The canonical streams are built by
+# :meth:`~repro.isa.trace.WarpTrace.issue_stream`, where IE_REGS / IE_DST
+# hold *renamed* dense register indices (0..num_renamed_regs-1, first-use
+# order) that index the flat per-warp scoreboard slice directly;
+# :meth:`WarpInstruction.issue_entry` builds the same tuple with raw ids.
 IE_UNIT = 0        # Unit enum (for per-unit stat counters)
 IE_UNIT_IDX = 1    # dense unit index (execution-pipe list index)
 IE_LATENCY = 2     # issue-to-writeback latency

@@ -14,17 +14,18 @@ import itertools
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from .instructions import WarpInstruction
-from .opcodes import DataClass, Op, Space
+from .opcodes import DataClass, Op, Space, UNIT_INDEX, Unit
 
 
 class WarpTrace:
     """The dynamic instruction stream of one warp."""
 
-    __slots__ = ("instructions", "_issue_stream")
+    __slots__ = ("instructions", "_issue_stream", "_num_regs")
 
     def __init__(self, instructions: Optional[List[WarpInstruction]] = None) -> None:
         self.instructions: List[WarpInstruction] = list(instructions or [])
         self._issue_stream: Optional[List[tuple]] = None
+        self._num_regs = 0
 
     def append(self, inst: WarpInstruction) -> None:
         self.instructions.append(inst)
@@ -35,12 +36,51 @@ class WarpTrace:
 
         Built once per trace — the timing model's issue loop indexes these
         instead of dereferencing ``inst.info`` per scheduler visit.
+
+        Register identifiers are *renamed* here: the trace's raw register
+        ids (arbitrary small ints private to the warp) are mapped to dense
+        indices ``0..num_renamed_regs()-1`` in first-use order, so a warp's
+        scoreboard is a flat array slice indexed directly by ``IE_REGS`` /
+        ``IE_DST`` — no per-register dict lookup on the issue path.
+        Renaming is a bijection per trace, so dependency timing (and hence
+        simulated behaviour) is bit-identical to raw ids.
         """
         stream = self._issue_stream
         if stream is None:
-            stream = [inst.issue_entry() for inst in self.instructions]
+            remap: Dict[int, int] = {}
+            stream = []
+            app = stream.append
+            for inst in self.instructions:
+                info = inst.info
+                dst = inst.dst
+                regs = inst.srcs + (dst,) if dst >= 0 else inst.srcs
+                renamed = []
+                for r in regs:
+                    i = remap.get(r)
+                    if i is None:
+                        i = remap[r] = len(remap)
+                    renamed.append(i)
+                app((
+                    info.unit,
+                    UNIT_INDEX[info.unit],
+                    info.latency,
+                    info.initiation,
+                    tuple(renamed),
+                    remap[dst] if dst >= 0 else -1,
+                    info.unit is Unit.MEM and info.space is not Space.NONE,
+                    inst.op is Op.BAR,
+                    inst,
+                ))
             self._issue_stream = stream
+            self._num_regs = len(remap)
         return stream
+
+    def num_renamed_regs(self) -> int:
+        """Distinct registers the trace touches (the warp's flat scoreboard
+        slice length); forces the issue-stream build on first call."""
+        if self._issue_stream is None:
+            self.issue_stream()
+        return self._num_regs
 
     def __len__(self) -> int:
         return len(self.instructions)

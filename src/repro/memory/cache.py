@@ -153,9 +153,10 @@ class SetAssocCache:
         self.num_sets = config.num_sets
         self.assoc = config.assoc
         self.line_size = config.line_size
-        self._sets: List[List[_Line]] = [
-            [_Line() for _ in range(self.assoc)] for _ in range(self.num_sets)
-        ]
+        # Sets materialize lazily on first touch: building every _Line up
+        # front costs more than an entire short simulation for large L2s,
+        # and an untouched set is indistinguishable from an all-invalid one.
+        self._sets: List[Optional[List[_Line]]] = [None] * self.num_sets
         # line address -> fill-ready cycle, for MSHR merging.
         self._pending: Dict[int, int] = {}
         self._use_clock = 0
@@ -273,6 +274,8 @@ class SetAssocCache:
         """Non-mutating hit test (used by utility monitors)."""
         set_idx, tag = self._index(line_addr, stream)
         cache_set = self._sets[set_idx]
+        if cache_set is None:
+            return False
         return any(cache_set[w].valid and cache_set[w].tag == tag
                    for w in self._ways(stream))
 
@@ -312,6 +315,10 @@ class SetAssocCache:
         else:
             ways = range(self.usable_ways)
         cache_set = self._sets[set_idx]
+        if cache_set is None:
+            cache_set = self._sets[set_idx] = [
+                _Line() for _ in range(self.assoc)
+            ]
         for w in ways:
             line = cache_set[w]
             if line.valid and line.tag == tag:
@@ -339,11 +346,16 @@ class SetAssocCache:
         full_mask = (1 << (self.line_size // 32)) - 1
         mask = sector_mask or full_mask
         set_idx, tag = self._index(line_addr, stream)
+        cache_set = self._sets[set_idx]
+        if cache_set is None:
+            cache_set = self._sets[set_idx] = [
+                _Line() for _ in range(self.assoc)
+            ]
         ways = self._ways(stream)
         victim = None
         oldest = None
         for w in ways:
-            line = self._sets[set_idx][w]
+            line = cache_set[w]
             if line.valid and line.tag == tag:
                 line.sector_mask |= mask  # sector refill of a resident line
                 return
@@ -372,6 +384,8 @@ class SetAssocCache:
         """Set the dirty bit on a resident line (store to a fresh fill)."""
         set_idx, tag = self._index(line_addr, stream)
         cache_set = self._sets[set_idx]
+        if cache_set is None:
+            return
         for w in self._ways(stream):
             if cache_set[w].valid and cache_set[w].tag == tag:
                 cache_set[w].dirty = True
@@ -408,6 +422,8 @@ class SetAssocCache:
         """Valid-line counts per data class (Fig 11 snapshots)."""
         comp: Dict[DataClass, int] = {}
         for cache_set in self._sets:
+            if cache_set is None:
+                continue
             for line in cache_set:
                 if line.valid and line.data_class is not None:
                     comp[line.data_class] = comp.get(line.data_class, 0) + 1
@@ -416,18 +432,23 @@ class SetAssocCache:
     def composition_by_stream(self) -> Dict[int, int]:
         comp: Dict[int, int] = {}
         for cache_set in self._sets:
+            if cache_set is None:
+                continue
             for line in cache_set:
                 if line.valid:
                     comp[line.stream] = comp.get(line.stream, 0) + 1
         return comp
 
     def occupancy(self) -> float:
-        valid = sum(1 for s in self._sets for l in s if l.valid)
+        valid = sum(1 for s in self._sets if s is not None
+                    for l in s if l.valid)
         return valid / (self.num_sets * self.assoc)
 
     def flush(self) -> None:
         """Invalidate all lines and outstanding fills."""
         for cache_set in self._sets:
+            if cache_set is None:
+                continue
             for line in cache_set:
                 line.valid = False
                 line.dirty = False

@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..config import GPUConfig
 from ..isa import KernelTrace
 from ..isa.instructions import (
-    IE_INITIATION, IE_IS_BAR, IE_LATENCY, IE_UNIT, IE_UNIT_IDX, IE_USES_LDST,
+    IE_DST, IE_INITIATION, IE_INST, IE_IS_BAR, IE_LATENCY, IE_REGS,
+    IE_UNIT_IDX, IE_USES_LDST,
 )
-from ..isa.instructions import IE_INST, IE_REGS
 from ..timing.cta import CTAScheduler
 from ..timing.exec_units import SchedulerUnits
 from ..timing.gpu import DeadlockError, _sm_id
@@ -53,91 +53,147 @@ class ShardScheduler(GTOScheduler):
     ``(max(partial_key, dep_ready), seq)`` — the serial key, because the
     patched completions are exactly the values serial's scoreboard held and
     stall/pipe components were folded into ``partial_key`` at pop time.
+
+    Like the serial scheduler, everything is slot-indexed against the SM's
+    flat :class:`~repro.timing.slots.SlotState`; sentinels live directly in
+    the flat scoreboard array (they fit int64 by construction).
     """
 
     def __init__(self, index: int, units: SchedulerUnits,
-                 policy: str = "gto") -> None:
-        super().__init__(index, units, policy)
-        #: id(warp) -> [(partial_key, seq), ...] awaiting patch re-push.
+                 policy: str = "gto", state=None) -> None:
+        super().__init__(index, units, policy, state=state)
+        #: The seq-lockstep parking protocol needs real sequence numbers on
+        #: every queue operation, so the shard always uses the classic
+        #: (est, seq, slot) heap, never the serial GTO bucket queue.
+        self._bucketed = False
+        #: slot -> [(partial_key, seq), ...] awaiting patch re-push.
         self._park_ledger: Dict[int, List] = {}
 
-    def _pick_from_heap(self, cycle: int):
+    def _issue_time(self, slot: int, cycle: int) -> int:
+        """Full scoreboard walk (the serial scheduler's cached
+        ``next_ready`` is not maintained on the shard path, and a sentinel
+        operand must surface as an enormous ready time here so
+        ``next_event`` keeps the warp parked until its patch lands)."""
+        st = self.state
+        if st.done[slot] or st.barrier[slot]:
+            return BLOCKED
+        entry = st.cur[slot]
+        ready = st.stall_until[slot]
+        sb = st.sb
+        base = st.sb_base[slot]
+        for reg in entry[IE_REGS]:
+            t = sb[base + reg]
+            if t > ready:
+                ready = t
+        nf = self._pnf[entry[IE_UNIT_IDX]]
+        if nf > ready:
+            ready = nf
+        return ready if ready > cycle else cycle
+
+    def pick(self, cycle: int) -> int:
+        self._picked_from_heap = False
+        st = self.state
+        if self.policy != "gto":
+            return self._pick_lrr(cycle)
+        g = self._greedy
+        if g >= 0 and not st.done[g] and not st.barrier[g]:
+            # Greedy fast path: a sentinel operand makes ``ready`` enormous,
+            # so it falls through to the heap path exactly as serial's
+            # (unknowable) real value at worst would.  It must NOT park here
+            # — the greedy probe consumes no seq.
+            entry = st.cur[g]
+            ready = st.stall_until[g]
+            sb = st.sb
+            base = st.sb_base[g]
+            for reg in entry[IE_REGS]:
+                t = sb[base + reg]
+                if t > ready:
+                    ready = t
+            if ready <= cycle and self._pnf[entry[IE_UNIT_IDX]] <= cycle:
+                return g
         heap = self._heap
-        pipes = self._pipes
+        pnf = self._pnf
+        done = st.done
+        barrier = st.barrier
+        cur = st.cur
+        stall = st.stall_until
+        sb = st.sb
+        sbb = st.sb_base
         ledger = self._park_ledger
         while heap and heap[0][0] <= cycle:
-            _, _, w = heapq.heappop(heap)
-            if w.done or w.barrier_wait:
+            _, _, s = heapq.heappop(heap)
+            if done[s] or barrier[s]:
                 continue
-            entry = w.cur
-            ready = w.stall_until
+            entry = cur[s]
+            ready = stall[s]
             parked = False
-            sb = w.scoreboard
+            base = sbb[s]
             for reg in entry[IE_REGS]:
-                t = sb.get(reg, 0)
+                t = sb[base + reg]
                 if t >= SENTINEL_BASE:
                     parked = True
                 elif t > ready:
                     ready = t
-            nf = pipes[entry[IE_UNIT_IDX]].next_free
+            nf = pnf[entry[IE_UNIT_IDX]]
             if nf > ready:
                 ready = nf
             if parked:
-                ledger.setdefault(id(w), []).append((ready, next(self._seq)))
+                ledger.setdefault(s, []).append((ready, next(self._seq)))
                 continue
             if ready <= cycle:
                 self._picked_from_heap = True
-                return w, entry[IE_INST]
-            heapq.heappush(heap, (ready, next(self._seq), w))
-        return None
+                return s
+            heapq.heappush(heap, (ready, next(self._seq), s))
+        return -1
 
-    def _pick_lrr(self, cycle: int):
+    def _pick_lrr(self, cycle: int) -> int:
+        st = self.state
         heap = self._heap
-        pipes = self._pipes
+        pnf = self._pnf
+        done = st.done
+        barrier = st.barrier
+        sb = st.sb
         ledger = self._park_ledger
         ready_entries: List = []
         while heap and heap[0][0] <= cycle:
             item = heapq.heappop(heap)
-            w = item[2]
-            if w.done or w.barrier_wait:
+            s = item[2]
+            if done[s] or barrier[s]:
                 continue
-            entry = w.cur
-            t = w.stall_until
+            entry = st.cur[s]
+            t = st.stall_until[s]
             parked = False
-            sb = w.scoreboard
+            base = st.sb_base[s]
             for reg in entry[IE_REGS]:
-                v = sb.get(reg, 0)
+                v = sb[base + reg]
                 if v >= SENTINEL_BASE:
                     parked = True
                 elif v > t:
                     t = v
-            nf = pipes[entry[IE_UNIT_IDX]].next_free
+            nf = pnf[entry[IE_UNIT_IDX]]
             if nf > t:
                 t = nf
             if parked:
-                ledger.setdefault(id(w), []).append((t, next(self._seq)))
+                ledger.setdefault(s, []).append((t, next(self._seq)))
                 continue
             if t <= cycle:
                 ready_entries.append(item)
             else:
-                heapq.heappush(heap, (t, next(self._seq), w))
+                heapq.heappush(heap, (t, next(self._seq), s))
         if not ready_entries:
-            return None
+            return -1
         last = self._last_warp_id
+        warp_ids = st.warp_ids
 
         def rr_key(item):
-            wid = item[2].warp_id
-            return (wid - last - 1) % 4096
+            return (warp_ids[item[2]] - last - 1) % 4096
 
         chosen = min(ready_entries, key=rr_key)
         for item in ready_entries:
             if item is not chosen:
                 heapq.heappush(heap, item)
         self._picked_from_heap = True
-        w = chosen[2]
-        inst = w.peek()
-        assert inst is not None
-        return w, inst
+        return chosen[2]
 
 
 class ShardLDSTPath(LDSTPath):
@@ -312,10 +368,11 @@ class ShardSM(SM):
         self.ldst = ShardLDSTPath(sm_id, config, fabric, stats)
         self.schedulers = [
             ShardScheduler(i, SchedulerUnits(),
-                           policy=config.scheduler_policy)
+                           policy=config.scheduler_policy,
+                           state=self.slot_state)
             for i in range(config.schedulers_per_sm)
         ]
-        #: id(warp) -> count of unresolved deferred instructions; CTAs with
+        #: slot -> count of unresolved deferred instructions; CTAs with
         #: a pending warp retire only after their last patch lands.
         self._warp_pending: Dict[int, int] = {}
         #: (cta, completion_seq) pairs whose retire awaits patches.  The
@@ -327,62 +384,89 @@ class ShardSM(SM):
     # Serial ``_issue`` with a deferred branch: a sentinel completion is
     # committed without touching last_commit_cycle (folded at patch time)
     # and the CTA retire is parked until every warp's patches resolve.
-    def _issue(self, sched, warp, inst, cycle: int) -> None:
-        entry = warp.cur
-        pipe = sched._pipes[entry[IE_UNIT_IDX]]
-        issue_cycle = pipe.issue(cycle, entry[IE_INITIATION])
+    def _issue(self, sched, slot: int, cycle: int) -> None:
+        st = self.slot_state
+        entry = st.cur[slot]
+        ui = entry[IE_UNIT_IDX]
+        pnf = sched._pnf
+        nf = pnf[ui]
+        issue_cycle = cycle if cycle > nf else nf
+        pnf[ui] = issue_cycle + entry[IE_INITIATION]
+        sched.units.issue_counts[ui] += 1
+        warp = st.warps[slot]
         if entry[IE_USES_LDST]:
-            complete = self.ldst.issue(inst, issue_cycle, warp.stream)
+            complete = self.ldst.issue(entry[IE_INST], issue_cycle,
+                                       warp.stream)
         else:
             complete = issue_cycle + entry[IE_LATENCY]
         if entry[IE_IS_BAR]:
             self._barrier(warp, issue_cycle)
         deferred = complete >= SENTINEL_BASE
+        rdst = entry[IE_DST]
+        base = st.sb_base[slot]
         if deferred:
             rec = self.ldst._fabric.issue_records[complete]
             rec.warp = warp
-            rec.dst = inst.dst
+            rec.dst = rdst
             rec.sm = self
-            wid = id(warp)
-            self._warp_pending[wid] = self._warp_pending.get(wid, 0) + 1
-            # commit_issue minus the last_commit_cycle update.
-            if inst.dst >= 0:
-                warp.scoreboard[inst.dst] = complete
-            warp.last_issue_cycle = issue_cycle
-            pc = warp.pc + 1
-            warp.pc = pc
-            if pc >= len(warp.insts):
-                warp.done = True
-                warp.cur = None
-            else:
-                warp.cur = warp.stream_entries[pc]
+            self._warp_pending[slot] = self._warp_pending.get(slot, 0) + 1
+            # commit_issue minus the last_commit update: the sentinel value
+            # lands in the flat scoreboard and converts at patch time.
+            if rdst >= 0:
+                st.sb[base + rdst] = complete
+            st.last_issue[slot] = issue_cycle
         else:
-            warp.commit_issue(inst, issue_cycle, complete)
-        if warp.done or warp.barrier_wait:
-            estimate = issue_cycle + 1
+            if rdst >= 0:
+                st.sb[base + rdst] = complete
+            st.last_issue[slot] = issue_cycle
+            if complete > st.last_commit[slot]:
+                st.last_commit[slot] = complete
+        pc = st.pc[slot] + 1
+        st.pc[slot] = pc
+        if pc >= st.n_insts[slot]:
+            st.done[slot] = 1
+            st.cur[slot] = None
+            done = True
         else:
-            dep = warp.dep_ready_cycle()
-            nxt = issue_cycle + 1
-            estimate = dep if dep > nxt else nxt
+            st.cur[slot] = st.entries[slot][pc]
+            done = False
+        nxt = issue_cycle + 1
+        if done or st.barrier[slot]:
+            estimate = nxt
+        else:
+            estimate = st.stall_until[slot]
+            sb = st.sb
+            for reg in st.cur[slot][IE_REGS]:
+                t = sb[base + reg]
+                if t > estimate:
+                    estimate = t
+            if nxt > estimate:
+                estimate = nxt
         if estimate >= SENTINEL_BASE:
             # note_issued minus the heap push: serial would push the warp at
             # its real dependency estimate, unknown until the patch.  Consume
             # the seq now (keeping the counter in serial lockstep) and park
             # it in the ledger for apply_issue_patch to re-push.
             sched.issued += 1
-            sched._greedy = warp
-            sched._last_warp_id = warp.warp_id
+            sched._greedy = slot
+            sched._last_warp_id = st.warp_ids[slot]
             if sched._picked_from_heap:
-                sched._park_ledger.setdefault(id(warp), []).append(
+                sched._park_ledger.setdefault(slot, []).append(
                     (issue_cycle + 1, next(sched._seq)))
             sched._picked_from_heap = False
         else:
-            sched.note_issued(warp, estimate)
-        sstat = warp.sstat
+            sched.issued += 1
+            sched._greedy = slot if not done else -1
+            sched._last_warp_id = st.warp_ids[slot]
+            if not done and sched._picked_from_heap:
+                heapq.heappush(sched._heap,
+                               (estimate, next(sched._seq), slot))
+            sched._picked_from_heap = False
+        sstat = st.sstats[slot]
         if sstat is None:
             sstat = self.stats.stream(warp.stream)
         sstat.instructions += 1
-        sstat.issue_by_unit[entry[IE_UNIT]] += 1
+        sstat._issue_by_unit[ui] += 1
         if sstat.first_issue_cycle is None or issue_cycle < sstat.first_issue_cycle:
             sstat.first_issue_cycle = issue_cycle
         if deferred:
@@ -390,16 +474,21 @@ class ShardSM(SM):
         elif complete > sstat.last_commit_cycle:
             sstat.last_commit_cycle = complete
         self.issued_by_stream[warp.stream] += 1
-        if warp.done:
+        if done:
             cta = warp.cta
             cta.live_warps -= 1
             if cta.live_warps == 0:
                 pending = self._warp_pending
-                if pending and any(id(w) in pending for w in cta.warps):
+                if pending and any(w.slot in pending for w in cta.warps):
                     self._completion_seq += 1
                     self._deferred_retires.append((cta, self._completion_seq))
                 else:
-                    last = max(w.last_commit_cycle for w in cta.warps)
+                    lc = st.last_commit
+                    last = 0
+                    for w in cta.warps:
+                        t = lc[w.slot]
+                        if t > last:
+                            last = t
                     self._retire_cta(cta, last)
 
     # -- patch plumbing -----------------------------------------------------
@@ -407,21 +496,24 @@ class ShardSM(SM):
         """Land a fully resolved deferred instruction completion."""
         value = rec.local_done
         warp = rec.warp
-        if rec.dst >= 0 and warp.scoreboard.get(rec.dst) == rec.sentinel:
-            warp.scoreboard[rec.dst] = value
-        if value > warp.last_commit_cycle:
-            warp.last_commit_cycle = value
+        slot = warp.slot
+        st = self.slot_state
+        if rec.dst >= 0:
+            i = st.sb_base[slot] + rec.dst
+            if st.sb[i] == rec.sentinel:
+                st.sb[i] = value
+        if value > st.last_commit[slot]:
+            st.last_commit[slot] = value
         sstat = rec.sstat
         if value > sstat.last_commit_cycle:
             sstat.last_commit_cycle = value
-        wid = id(warp)
-        left = self._warp_pending[wid] - 1
+        left = self._warp_pending[slot] - 1
         if left:
-            self._warp_pending[wid] = left
+            self._warp_pending[slot] = left
         else:
-            del self._warp_pending[wid]
+            del self._warp_pending[slot]
         sched = self.schedulers[warp.home_sched]
-        ledger = sched._park_ledger.get(wid)
+        ledger = sched._park_ledger.get(slot)
         if ledger is not None:
             # Re-push the parked heap entries with their serial keys once
             # every register the next instruction reads is real again.
@@ -430,23 +522,24 @@ class ShardSM(SM):
                 heap = sched._heap
                 for base, seq in ledger:
                     key = base if base > dep else dep
-                    heapq.heappush(heap, (key, seq, warp))
+                    heapq.heappush(heap, (key, seq, slot))
                     if key < sched.next_event_cache:
                         sched.next_event_cache = key
-                del sched._park_ledger[wid]
+                del sched._park_ledger[slot]
 
     def flush_deferred_retires(self) -> bool:
         """Queue parked CTA retires whose warps are now fully patched."""
         if not self._deferred_retires:
             return False
         pending = self._warp_pending
+        lc = self.slot_state.last_commit
         still: List = []
         queued = False
         for cta, seq in self._deferred_retires:
-            if pending and any(id(w) in pending for w in cta.warps):
+            if pending and any(w.slot in pending for w in cta.warps):
                 still.append((cta, seq))
                 continue
-            last = max(w.last_commit_cycle for w in cta.warps)
+            last = max(lc[w.slot] for w in cta.warps)
             heapq.heappush(self._completions, (last, seq, cta))
             queued = True
         self._deferred_retires = still
@@ -602,8 +695,7 @@ class ShardGPU:
             for sm in due:
                 if sm.has_work:
                     fabric.sm_id = sm.sm_id
-                    sm.tick(cycle)
-                    t = sm.next_event(cycle)
+                    t = sm.tick(cycle)
                     sm.next_event_cache = t
                     if t < BLOCKED:
                         self._push_event(sm, t)

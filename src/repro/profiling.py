@@ -91,6 +91,43 @@ def load_bench_doc(path: str) -> dict:
     return doc
 
 
+def compare_simrate(record: dict, bench_path: str,
+                    max_regression_pct: float) -> Tuple[bool, str]:
+    """Gate a fresh sim-rate ``record`` against stored reference runs.
+
+    The reference rate is the fastest ``instructions_per_second`` among the
+    runs in ``bench_path`` with the same ``config_fingerprint`` and
+    ``label`` as ``record`` (apples-to-apples: same preset, same workload).
+    When no matching run exists the document ``baseline`` is used; when
+    that is missing too the comparison is vacuously OK, so the gate can be
+    enabled before any history has accumulated.
+
+    Returns ``(ok, message)`` where ``ok`` is False when the fresh rate is
+    more than ``max_regression_pct`` percent below the reference.
+    """
+    doc = load_bench_doc(bench_path)
+    fp = record.get("config_fingerprint")
+    label = record.get("label")
+    candidates = [
+        r for r in doc["runs"]
+        if r.get("config_fingerprint") == fp and r.get("label") == label
+        and r.get("instructions_per_second")
+    ]
+    if not candidates and isinstance(doc["baseline"], dict) \
+            and doc["baseline"].get("instructions_per_second"):
+        candidates = [doc["baseline"]]
+    if not candidates:
+        return True, ("no matching reference runs in %s; comparison skipped"
+                      % bench_path)
+    ref = max(r["instructions_per_second"] for r in candidates)
+    rate = record["instructions_per_second"]
+    drop_pct = (ref - rate) / ref * 100.0
+    msg = ("sim-rate %.0f instr/s vs reference %.0f instr/s "
+           "(%+.1f%%, regression threshold %.1f%%)"
+           % (rate, ref, -drop_pct, max_regression_pct))
+    return drop_pct <= max_regression_pct, msg
+
+
 def measure_simrate(
     config: GPUConfig,
     streams: Dict[int, List[KernelTrace]],

@@ -6,6 +6,7 @@ from .gpu import GPU, DeadlockError, simulate
 from .ldst import LDSTPath
 from .occupancy import OccupancyReport, occupancy_of
 from .scheduler import GTOScheduler
+from .slots import SlotState
 from .sm import SM, ResidentCTA
 from .stats import GPUStats, OccupancySample, StreamStats
 from .warp import BLOCKED, WarpContext
@@ -24,6 +25,7 @@ __all__ = [
     "ResidentCTA",
     "SM",
     "SchedulerUnits",
+    "SlotState",
     "StreamQueue",
     "StreamStats",
     "UnitPipe",

@@ -5,36 +5,64 @@ every unit class (Table II: "4 FPs, 4 SFUs, 4 INTs, 4 TENSORs" per SM).  A
 pipe is pipelined with an initiation interval: issuing occupies it for
 ``initiation`` cycles, and the result is available ``latency`` cycles after
 issue.
+
+Pipe state is structure-of-arrays: one flat ``next_free`` array (a list,
+for the same no-reboxing reason as :mod:`~repro.timing.slots`) per
+:class:`SchedulerUnits`, indexed by the dense ``UNIT_INDEX`` order, so the
+scheduler's re-validation sweep reads ``next_free[unit_idx]`` with a plain
+index instead of chasing a pipe object's attribute.  :class:`UnitPipe` is a
+view over that array (or over its own single-entry array when constructed
+standalone).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..isa import Unit
-from ..isa.opcodes import UNITS_ORDERED
+from ..isa.opcodes import UNIT_INDEX, UNITS_ORDERED
 
 
 class UnitPipe:
-    """One pipelined execution unit."""
+    """One pipelined execution unit (a view over flat pipe-state arrays)."""
 
-    __slots__ = ("unit", "next_free", "issues")
+    __slots__ = ("unit", "_nf", "_iss", "_i")
 
-    def __init__(self, unit: Unit) -> None:
+    def __init__(self, unit: Unit, next_free: Optional[List[int]] = None,
+                 issue_counts: Optional[List[int]] = None,
+                 index: int = 0) -> None:
         self.unit = unit
-        self.next_free = 0
-        self.issues = 0
+        self._nf = next_free if next_free is not None else [0]
+        self._iss = issue_counts if issue_counts is not None else [0]
+        self._i = index
+
+    @property
+    def next_free(self) -> int:
+        return self._nf[self._i]
+
+    @next_free.setter
+    def next_free(self, value: int) -> None:
+        self._nf[self._i] = value
+
+    @property
+    def issues(self) -> int:
+        return self._iss[self._i]
+
+    @issues.setter
+    def issues(self, value: int) -> None:
+        self._iss[self._i] = value
 
     def earliest_issue(self, cycle: int) -> int:
-        nf = self.next_free
+        nf = self._nf[self._i]
         return cycle if cycle > nf else nf
 
     def issue(self, cycle: int, initiation: int) -> int:
         """Issue at (or after) ``cycle``; returns the actual issue cycle."""
-        nf = self.next_free
+        i = self._i
+        nf = self._nf[i]
         start = cycle if cycle > nf else nf
-        self.next_free = start + initiation
-        self.issues += 1
+        self._nf[i] = start + initiation
+        self._iss[i] += 1
         return start
 
 
@@ -42,10 +70,16 @@ class SchedulerUnits:
     """The unit pipes owned by one warp scheduler partition."""
 
     def __init__(self) -> None:
-        self.pipes: Dict[Unit, UnitPipe] = {u: UnitPipe(u) for u in Unit}
-        #: Same pipes indexed by the dense ``UNIT_INDEX`` order — the hot
-        #: path indexes this list with the precomputed unit index instead of
-        #: hashing the enum.
+        #: Flat pipe state, indexed by dense ``UNIT_INDEX`` — the scheduler
+        #: hot path reads/writes these arrays directly.
+        self.next_free: List[int] = [0] * len(UNITS_ORDERED)
+        self.issue_counts: List[int] = [0] * len(UNITS_ORDERED)
+        self.pipes: Dict[Unit, UnitPipe] = {
+            u: UnitPipe(u, self.next_free, self.issue_counts, UNIT_INDEX[u])
+            for u in UNITS_ORDERED
+        }
+        #: Same pipes as a dense list in ``UNIT_INDEX`` order, for callers
+        #: that hold a precomputed unit index.
         self.pipe_list: List[UnitPipe] = [self.pipes[u] for u in UNITS_ORDERED]
 
     def pipe(self, unit: Unit) -> UnitPipe:
@@ -55,4 +89,4 @@ class SchedulerUnits:
         return self.pipes[unit].earliest_issue(cycle)
 
     def busy_until(self, unit: Unit) -> int:
-        return self.pipes[unit].next_free
+        return self.next_free[UNIT_INDEX[unit]]

@@ -175,8 +175,7 @@ class GPU:
                 next_arrival = self.cta_scheduler.next_arrival_after(cycle)
             for sm in due:
                 if sm.has_work:
-                    sm.tick(cycle)
-                    t = sm.next_event(cycle)
+                    t = sm.tick(cycle)
                     sm.next_event_cache = t
                     if t < BLOCKED:
                         self._push_event(sm, t)

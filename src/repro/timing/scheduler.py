@@ -14,22 +14,40 @@ classic lazy-deletion priority queue.  This keeps issue selection
 O(log warps) instead of O(warps), which is what makes whole-frame
 simulations tractable in Python.
 
-The re-validation is the single hottest computation in the simulator, so it
-is inlined here against the warp's precomputed issue tuple (``warp.cur``)
-rather than layered through ``dep_ready_cycle`` / ``units.earliest_issue``
-calls: one scoreboard walk plus one pipe-list index per visit.
+Everything here is structure-of-arrays, and the re-validation — the single
+hottest computation in the simulator — collapses to two flat-array reads
+per visit: ``next_ready[slot]`` (the register/stall readiness the SM caches
+at each commit, exact because the scoreboard is single-writer) against the
+pipe's ``next_free[unit_idx]``.  No scoreboard walk, no attribute chases,
+no nested calls.
+
+The ready queue itself has two representations:
+
+* **Bucket queue** (GTO, the default): a dict of ``estimate -> [cursor,
+  slot, slot, ...]`` plus a small min-heap of the bucket keys.  Every GTO
+  push uses a *fresh* monotone sequence number in the classic heap
+  formulation, so heap pop order ``(estimate, seq)`` is exactly "ascending
+  estimate, FIFO within estimate" — which buckets reproduce bit-identically
+  while replacing O(log n) sift operations (~3 heap pops per issued
+  instruction under contention) with list appends and cursor bumps, and
+  dropping the per-entry tuple allocation and seq draw entirely.
+* **Lazy min-heap** of ``(estimate, seq, slot)`` tuples: kept for LRR
+  (which re-queues *losing* ready warps with their original, out-of-order
+  seqs — breaking the FIFO-within-bucket equivalence) and for the parallel
+  shard engine, whose seq-lockstep parking ledger needs real sequence
+  numbers.  ``_bucketed`` selects the representation at construction.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..isa import WarpInstruction
-from ..isa.instructions import IE_INST, IE_REGS, IE_UNIT_IDX, IE_USES_LDST
+from ..isa.instructions import IE_UNIT_IDX, IE_USES_LDST
 from .exec_units import SchedulerUnits
-from .warp import BLOCKED, WarpContext
+from .slots import SlotState
+from .warp import BLOCKED
 
 
 class GTOScheduler:
@@ -38,19 +56,38 @@ class GTOScheduler:
     ``policy`` selects the issue order: ``"gto"`` (greedy-then-oldest, the
     default) or ``"lrr"`` (loose round robin — rotate priority past the
     last issued warp, the other classic GPGPU-Sim option).
+
+    ``state`` is the flat warp-slot state shared by every scheduler of one
+    SM; warps are referred to by slot index throughout.  A fresh private
+    state is created when none is given (standalone/unit-test use).
     """
 
     def __init__(self, index: int, units: SchedulerUnits,
-                 policy: str = "gto") -> None:
+                 policy: str = "gto",
+                 state: Optional[SlotState] = None) -> None:
         if policy not in ("gto", "lrr"):
             raise ValueError("scheduler policy must be 'gto' or 'lrr'")
         self.index = index
         self.units = units
         self._pipes = units.pipe_list
+        #: Flat pipe next-free cycles (dense UNIT_INDEX order).
+        self._pnf = units.next_free
         self.policy = policy
-        self._heap: List[Tuple[int, int, WarpContext]] = []
+        self.state = state if state is not None else SlotState()
+        #: Lazy min-heap of (estimated issue cycle, seq, warp slot) — the
+        #: LRR/shard representation (see module docstring).
+        self._heap: List[Tuple[int, int, int]] = []
         self._seq = itertools.count()
-        self._greedy: Optional[WarpContext] = None
+        #: GTO bucket-queue representation: estimate -> [cursor, slot, ...]
+        #: (element 0 is the read cursor) plus a min-heap of live keys.
+        #: The shard subclass forces heap mode even for GTO.
+        self._bucketed = policy == "gto"
+        self._buckets: Dict[int, List[int]] = {}
+        self._bkeys: List[int] = []
+        #: Flat per-unit issue counters (dense UNIT_INDEX order).
+        self._icnt = units.issue_counts
+        #: Slot of the warp that issued last (-1 = none): the greedy pick.
+        self._greedy = -1
         self._last_warp_id = -1
         self._picked_from_heap = False
         self.issued = 0
@@ -58,120 +95,133 @@ class GTOScheduler:
         #: loop so stalled schedulers are skipped without rescanning.
         self.next_event_cache = 0
 
+    # -- ready queue ---------------------------------------------------------
+    def _qpush(self, est: int, slot: int) -> None:
+        """Queue ``slot`` at estimated issue cycle ``est`` (either repr)."""
+        if self._bucketed:
+            b = self._buckets.get(est)
+            if b is None:
+                self._buckets[est] = [1, slot]
+                heapq.heappush(self._bkeys, est)
+            else:
+                b.append(slot)
+        else:
+            heapq.heappush(self._heap, (est, next(self._seq), slot))
+
     # -- membership ----------------------------------------------------------
-    def add_warp(self, warp: WarpContext) -> None:
-        heapq.heappush(self._heap, (0, next(self._seq), warp))
+    def add_warp(self, warp) -> None:
+        """Queue a warp (a slot index, or a WarpContext for convenience)."""
+        slot = warp if isinstance(warp, int) else warp.slot
+        self._qpush(0, slot)
         self.next_event_cache = 0
 
-    def wake(self, warp: WarpContext, time: int) -> None:
+    def wake(self, warp, time: int) -> None:
         """Re-queue a warp parked on a barrier."""
-        heapq.heappush(self._heap, (time, next(self._seq), warp))
+        slot = warp if isinstance(warp, int) else warp.slot
+        self._qpush(time, slot)
         if time < self.next_event_cache:
             self.next_event_cache = time
 
-    def _issue_time(self, warp: WarpContext, cycle: int) -> int:
-        """Earliest cycle ``warp``'s next instruction can issue (>= cycle).
-
-        Callers guarantee the warp is neither done nor barrier-parked; the
-        scoreboard walk and structural check are inlined against the warp's
-        current issue tuple.
-        """
-        if warp.done or warp.barrier_wait:
+    def _issue_time(self, slot: int, cycle: int) -> int:
+        """Earliest cycle ``slot``'s next instruction can issue (>= cycle)."""
+        st = self.state
+        if st.done[slot] or st.barrier[slot]:
             return BLOCKED
-        entry = warp.cur
-        ready = warp.stall_until
-        sb = warp.scoreboard
-        for reg in entry[IE_REGS]:
-            t = sb.get(reg, 0)
-            if t > ready:
-                ready = t
-        nf = self._pipes[entry[IE_UNIT_IDX]].next_free
+        ready = st.next_ready[slot]
+        nf = self._pnf[st.cur[slot][IE_UNIT_IDX]]
         if nf > ready:
             ready = nf
         return ready if ready > cycle else cycle
 
     # -- selection -------------------------------------------------------------
-    def pick(self, cycle: int) -> Optional[Tuple[WarpContext, WarpInstruction]]:
-        """Select the warp to issue this cycle; None if stalled."""
+    def pick(self, cycle: int) -> int:
+        """Slot of the warp to issue this cycle; -1 if stalled.
+
+        The selected slot's issue tuple is ``state.cur[slot]``.
+        """
         self._picked_from_heap = False
-        if self.policy == "gto":
-            g = self._greedy
-            if g is not None and not g.done and not g.barrier_wait:
-                # Inline _issue_time for the greedy fast path.
-                entry = g.cur
-                ready = g.stall_until
-                sb = g.scoreboard
-                for reg in entry[IE_REGS]:
-                    t = sb.get(reg, 0)
-                    if t > ready:
-                        ready = t
-                if ready <= cycle and \
-                        self._pipes[entry[IE_UNIT_IDX]].next_free <= cycle:
-                    return g, entry[IE_INST]
-            return self._pick_from_heap(cycle)
-        return self._pick_lrr(cycle)
+        st = self.state
+        if self.policy != "gto":
+            return self._pick_lrr(cycle)
+        g = self._greedy
+        if g >= 0 and not st.done[g] and not st.barrier[g]:
+            # Greedy fast path: cached readiness vs pipe availability.
+            if st.next_ready[g] <= cycle and \
+                    self._pnf[st.cur[g][IE_UNIT_IDX]] <= cycle:
+                return g
+        # Lazy bucket-queue path: sweep due buckets in ascending-estimate /
+        # FIFO order, re-validate against the flat arrays, re-queue at the
+        # corrected cycle if the estimate under-shot.  Corrected cycles are
+        # always > cycle >= est, so a bucket never grows while swept.
+        keys = self._bkeys
+        buckets = self._buckets
+        pnf = self._pnf
+        done = st.done
+        barrier = st.barrier
+        cur = st.cur
+        nr = st.next_ready
+        while keys and keys[0] <= cycle:
+            b = buckets[keys[0]]
+            i = b[0]
+            n = len(b)
+            while i < n:
+                s = b[i]
+                i += 1
+                if done[s] or barrier[s]:
+                    continue  # done: dropped; parked: re-queued by wake()
+                ready = nr[s]
+                nf = pnf[cur[s][IE_UNIT_IDX]]
+                if nf > ready:
+                    ready = nf
+                if ready <= cycle:
+                    b[0] = i
+                    self._picked_from_heap = True
+                    return s
+                nb = buckets.get(ready)
+                if nb is None:
+                    buckets[ready] = [1, s]
+                    heapq.heappush(keys, ready)
+                else:
+                    nb.append(s)
+            del buckets[heapq.heappop(keys)]
+        return -1
 
-    def _pick_from_heap(self, cycle: int
-                        ) -> Optional[Tuple[WarpContext, WarpInstruction]]:
-        heap = self._heap
-        pipes = self._pipes
-        while heap and heap[0][0] <= cycle:
-            _, _, w = heapq.heappop(heap)
-            if w.done or w.barrier_wait:
-                continue  # done warps are dropped; parked warps re-queued by wake()
-            entry = w.cur
-            ready = w.stall_until
-            sb = w.scoreboard
-            for reg in entry[IE_REGS]:
-                t = sb.get(reg, 0)
-                if t > ready:
-                    ready = t
-            nf = pipes[entry[IE_UNIT_IDX]].next_free
-            if nf > ready:
-                ready = nf
-            if ready <= cycle:
-                self._picked_from_heap = True
-                return w, entry[IE_INST]
-            heapq.heappush(heap, (ready, next(self._seq), w))
-        return None
-
-    def _pick_lrr(self, cycle: int
-                  ) -> Optional[Tuple[WarpContext, WarpInstruction]]:
+    def _pick_lrr(self, cycle: int) -> int:
         """Loose round robin: among warps ready now, pick the one whose id
         follows the last issued warp's (wrapping)."""
+        st = self.state
         heap = self._heap
-        ready: List[Tuple[int, int, WarpContext]] = []
+        done = st.done
+        barrier = st.barrier
+        ready: List[Tuple[int, int, int]] = []
         while heap and heap[0][0] <= cycle:
-            entry = heapq.heappop(heap)
-            w = entry[2]
-            if w.done or w.barrier_wait:
+            item = heapq.heappop(heap)
+            s = item[2]
+            if done[s] or barrier[s]:
                 continue
-            t = self._issue_time(w, cycle)
+            t = self._issue_time(s, cycle)
             if t <= cycle:
-                ready.append(entry)
+                ready.append(item)
             elif t != BLOCKED:
-                heapq.heappush(heap, (t, next(self._seq), w))
+                heapq.heappush(heap, (t, next(self._seq), s))
         if not ready:
-            return None
+            return -1
         last = self._last_warp_id
+        warp_ids = st.warp_ids
 
-        def rr_key(entry):
-            wid = entry[2].warp_id
-            return (wid - last - 1) % 4096
+        def rr_key(item):
+            return (warp_ids[item[2]] - last - 1) % 4096
 
         chosen = min(ready, key=rr_key)
-        for entry in ready:
-            if entry is not chosen:
-                heapq.heappush(heap, entry)
+        for item in ready:
+            if item is not chosen:
+                heapq.heappush(heap, item)
         self._picked_from_heap = True
-        w = chosen[2]
-        inst = w.peek()
-        assert inst is not None
-        return w, inst
+        return chosen[2]
 
     # -- telemetry ---------------------------------------------------------
-    def stall_reason(self, warp: WarpContext, cycle: int) -> str:
-        """Why ``warp`` cannot issue at ``cycle`` (read-only, sampling only).
+    def stall_reason(self, slot: int, cycle: int) -> str:
+        """Why ``slot`` cannot issue at ``cycle`` (read-only, sampling only).
 
         Called by ``SM.sample_stalls`` at telemetry sample ticks, never from
         the issue path.  Mirrors the ``_issue_time`` walk but names the first
@@ -181,32 +231,29 @@ class GTOScheduler:
             READY, STALL_BARRIER, STALL_LDST_QUEUE, STALL_NO_INSTRUCTION,
             STALL_PIPE_BUSY, STALL_SCOREBOARD,
         )
-        if warp.done:
+        st = self.state
+        if st.done[slot]:
             return STALL_NO_INSTRUCTION
-        if warp.barrier_wait:
+        if st.barrier[slot]:
             return STALL_BARRIER
-        entry = warp.cur
-        ready = warp.stall_until
-        sb = warp.scoreboard
-        for reg in entry[IE_REGS]:
-            t = sb.get(reg, 0)
-            if t > ready:
-                ready = t
-        if ready > cycle:
+        entry = st.cur[slot]
+        if st.next_ready[slot] > cycle:
             return STALL_SCOREBOARD
-        if self._pipes[entry[IE_UNIT_IDX]].next_free > cycle:
+        if self._pnf[entry[IE_UNIT_IDX]] > cycle:
             if entry[IE_USES_LDST]:
                 return STALL_LDST_QUEUE
             return STALL_PIPE_BUSY
         return READY
 
-    def note_issued(self, warp: WarpContext, next_estimate: int) -> None:
+    def note_issued(self, warp, next_estimate: int) -> None:
         """Record the issue; re-queue the warp for its next instruction."""
+        slot = warp if isinstance(warp, int) else warp.slot
+        st = self.state
         self.issued += 1
-        self._greedy = warp if not warp.done else None
-        self._last_warp_id = warp.warp_id
-        if not warp.done and self._picked_from_heap:
-            heapq.heappush(self._heap, (next_estimate, next(self._seq), warp))
+        self._greedy = slot if not st.done[slot] else -1
+        self._last_warp_id = st.warp_ids[slot]
+        if not st.done[slot] and self._picked_from_heap:
+            self._qpush(next_estimate, slot)
         self._picked_from_heap = False
 
     # -- event horizon -----------------------------------------------------------
@@ -216,22 +263,39 @@ class GTOScheduler:
         Estimates may be stale-low; the GPU loop simply visits that cycle
         and re-validates, so under-estimates cost a visit, never accuracy.
         """
+        st = self.state
         best = BLOCKED
         g = self._greedy
-        if self.policy == "gto" and g is not None and not g.done \
-                and not g.barrier_wait:
+        if self.policy == "gto" and g >= 0 and not st.done[g] \
+                and not st.barrier[g]:
             best = self._issue_time(g, cycle)
+        done = st.done
+        barrier = st.barrier
+        if self._bucketed:
+            keys = self._bkeys
+            buckets = self._buckets
+            while keys:
+                est = keys[0]
+                b = buckets[est]
+                i = b[0]
+                n = len(b)
+                while i < n and (done[b[i]] or barrier[b[i]]):
+                    i += 1
+                if i >= n:
+                    del buckets[heapq.heappop(keys)]
+                    continue
+                b[0] = i
+                if est < best:
+                    best = est
+                break
+            return best
         heap = self._heap
         while heap:
-            est, _, w = heap[0]
-            if w.done or w.barrier_wait:
+            est, _, s = heap[0]
+            if done[s] or barrier[s]:
                 heapq.heappop(heap)
                 continue
             if est < best:
                 best = est
             break
         return best
-
-    @property
-    def active_warps(self) -> int:
-        return len({id(w) for _, _, w in self._heap if not w.done})

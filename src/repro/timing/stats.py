@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..isa import DataClass, Unit
+from ..isa.opcodes import UNIT_INDEX, UNITS_ORDERED
 
 _CLASS_BY_NAME = {c.value: c for c in DataClass}
 _UNIT_BY_NAME = {u.value: u for u in Unit}
@@ -19,10 +20,22 @@ _UNIT_BY_NAME = {u.value: u for u in Unit}
 class StreamStats:
     """Counters for one stream (one workload)."""
 
+    __slots__ = (
+        "stream", "instructions", "_issue_by_unit", "mem_transactions",
+        "l1_accesses", "l1_hits", "l1_tex_accesses", "l1_tex_hits",
+        "shared_accesses", "ctas_launched", "ctas_completed",
+        "kernels_completed", "warps_launched", "first_issue_cycle",
+        "last_commit_cycle",
+    )
+
     def __init__(self, stream: int) -> None:
         self.stream = stream
         self.instructions = 0
-        self.issue_by_unit: Dict[Unit, int] = {u: 0 for u in Unit}
+        #: Per-unit issue counts as a dense list in ``UNIT_INDEX`` order;
+        #: the SM issue path bumps ``_issue_by_unit[entry[IE_UNIT_IDX]]``
+        #: with a plain list index (no enum hashing).  The public
+        #: ``issue_by_unit`` property presents the familiar dict view.
+        self._issue_by_unit: List[int] = [0] * len(UNITS_ORDERED)
         self.mem_transactions = 0
         self.l1_accesses = 0
         self.l1_hits = 0
@@ -35,6 +48,24 @@ class StreamStats:
         self.warps_launched = 0
         self.first_issue_cycle: Optional[int] = None
         self.last_commit_cycle = 0
+
+    @property
+    def issue_by_unit(self) -> Dict[Unit, int]:
+        """Dict view of the dense per-unit issue counters.
+
+        Built on demand (iteration order matches ``Unit`` declaration order,
+        so serialized dumps are unchanged); assignment accepts a dict for
+        deserialization.
+        """
+        counts = self._issue_by_unit
+        return {u: counts[i] for i, u in enumerate(UNITS_ORDERED)}
+
+    @issue_by_unit.setter
+    def issue_by_unit(self, value: Dict[Unit, int]) -> None:
+        counts = [0] * len(UNITS_ORDERED)
+        for u, n in value.items():
+            counts[UNIT_INDEX[u]] = n
+        self._issue_by_unit = counts
 
     @property
     def busy_cycles(self) -> int:
@@ -53,7 +84,7 @@ class StreamStats:
 
     def note_issue(self, unit: Unit, cycle: int) -> None:
         self.instructions += 1
-        self.issue_by_unit[unit] += 1
+        self._issue_by_unit[UNIT_INDEX[unit]] += 1
         if self.first_issue_cycle is None or cycle < self.first_issue_cycle:
             self.first_issue_cycle = cycle
 
@@ -94,10 +125,8 @@ class StreamStats:
     @classmethod
     def from_dict(cls, data: dict) -> "StreamStats":
         st = cls(int(data["stream"]))
-        st.issue_by_unit = {u: 0 for u in Unit}
-        st.issue_by_unit.update(
-            {_UNIT_BY_NAME[name]: n
-             for name, n in data["issue_by_unit"].items()})
+        st.issue_by_unit = {_UNIT_BY_NAME[name]: n
+                            for name, n in data["issue_by_unit"].items()}
         for key in ("instructions", "mem_transactions", "l1_accesses",
                     "l1_hits", "l1_tex_accesses", "l1_tex_hits",
                     "shared_accesses", "ctas_launched", "ctas_completed",

@@ -60,16 +60,18 @@ def test_golden_stats(reference_workload, policy):
 def test_simrate_smoke(reference_workload):
     """Tier-1 canary: the reference run must stay fast.
 
-    The bound is deliberately loose (the golden runs take ~0.5s each on
-    the overhauled core) — it exists to catch order-of-magnitude
+    The bound is deliberately loose (the golden runs take ~0.3s each on
+    the structure-of-arrays core) — it exists to catch order-of-magnitude
     regressions like an accidental return to per-cycle full scans, not to
     benchmark.  Real rates live in benchmarks/test_timing_simrate.py.
+    Re-tightened after the SoA refactor so future PRs cannot silently give
+    the win back and still pass tier-1.
     """
     config, streams = reference_workload
     t0 = time.perf_counter()
     stats = simulate(config=config, streams=streams, policy="mps").stats
     wall = time.perf_counter() - t0
     assert stats.total_instructions > 0
-    assert wall < 60.0, (
+    assert wall < 30.0, (
         "reference run took %.1fs; timing-core fast path has regressed"
         % wall)

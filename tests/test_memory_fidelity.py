@@ -171,16 +171,16 @@ class TestSchedulerPolicies:
             # Hazard-free streams: every warp is always ready.
             wt = WarpTrace([WarpInstruction(Op.FFMA, dst=8 + wid * 8 + i)
                             for i in range(4)])
-            w = WarpContext(wt, 0, _CTA(), warp_id=wid)
+            w = WarpContext(wt, 0, _CTA(), warp_id=wid, state=s.state)
             warps.append(w)
             s.add_warp(w)
         order = []
         for cycle in range(6):
-            picked = s.pick(cycle)
-            assert picked is not None
-            w, inst = picked
-            w.commit_issue(inst, cycle, cycle + 4)
-            s.note_issued(w, cycle + 1.0)
+            slot = s.pick(cycle)
+            assert slot >= 0
+            w = s.state.warps[slot]
+            w.commit_issue(w.peek(), cycle, cycle + 4)
+            s.note_issued(slot, cycle + 1)
             order.append(w.warp_id)
         # Round robin: no warp issues twice before the others issue once.
         assert order[:3] in ([0, 1, 2], [1, 2, 0], [2, 0, 1])
