@@ -4,7 +4,8 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke bench-compare bench-parallel \
-	test-parallel fuzz fuzz-smoke check-goldens qos-smoke qos-campaign
+	test-parallel fuzz fuzz-smoke check-goldens qos-smoke qos-campaign \
+	serve-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -62,6 +63,12 @@ qos-smoke:
 qos-campaign:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro qos campaign \
 		--out benchmarks/QOS_campaign.json --require-win
+
+# Simulation-as-a-service smoke: ingest the checked-in benchmark history
+# into a scratch repository, start the dashboard on an ephemeral port,
+# assert /runs and /compare serve real payloads, then tear down.
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/serve_smoke.py
 
 # The full figure/table reproduction suite.
 bench:

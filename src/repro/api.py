@@ -162,6 +162,37 @@ class RunResult:
             self.policy.name if self.policy else None,
             self.total_cycles, mode)
 
+    def to_record(self, label: str = "",
+                  wall_seconds: Optional[float] = None) -> Dict[str, object]:
+        """Flatten into the run-repository record shape.
+
+        The document :meth:`repro.service.RunRepository.add_record` stores
+        and ``repro db ingest`` re-reads (``kind: "run"``, schema
+        ``repro.service.records.RUN_RECORD_SCHEMA``).
+        """
+        from .service.records import RUN_RECORD_SCHEMA
+        config = (self.request.resolved_config()
+                  if self.request is not None else None)
+        stats = self.stats.to_dict()
+        instructions = sum(s.get("instructions", 0)
+                           for s in stats.get("streams", {}).values())
+        return {
+            "kind": "run",
+            "schema": RUN_RECORD_SCHEMA,
+            "label": label,
+            "config_fingerprint": config.fingerprint() if config else None,
+            "config_name": config.name if config else None,
+            "policy": self.policy.name if self.policy else None,
+            "cycles": self.stats.cycles,
+            "instructions": instructions,
+            "wall_seconds": wall_seconds,
+            "stats": stats,
+            "extras": {
+                "parallel_engaged": self.parallel.engaged,
+                "num_shards": self.parallel.num_shards,
+            },
+        }
+
 
 def simulate(request: Optional[RunRequest] = None, **kwargs) -> RunResult:
     """Execute one simulation — the single entry point for every caller.

@@ -126,7 +126,9 @@ class CampaignRunner:
                  timeout: Optional[float] = None,
                  retries: int = 1,
                  progress: bool = False,
-                 telemetry_dir: Optional[str] = None) -> None:
+                 telemetry_dir: Optional[str] = None,
+                 repository=None,
+                 heartbeat_sink=None) -> None:
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.workers = max(1, int(workers))
@@ -137,6 +139,13 @@ class CampaignRunner:
         self.telemetry_dir = telemetry_dir
         self.heartbeat_path = (os.path.join(telemetry_dir, HEARTBEAT_FILE)
                                if telemetry_dir else None)
+        #: Optional :class:`~repro.service.repository.RunRepository`; every
+        #: finished-ok job (cache hits included — ingest is content-keyed,
+        #: so re-runs dedupe) is stored as it completes.
+        self.repository = repository
+        #: Optional callable receiving every heartbeat record as emitted
+        #: (the job queue forwards these to ``/events`` subscribers).
+        self.heartbeat_sink = heartbeat_sink
         self._hb: Optional[RunLog] = None
 
     def _heartbeat(self, kind: str, **fields) -> None:
@@ -153,9 +162,12 @@ class CampaignRunner:
             fingerprints, labels,
             self.cache.manifests_dir if self.cache is not None else None)
         reporter = ProgressReporter(len(jobs), enabled=self.progress)
-        if self.heartbeat_path is not None:
-            os.makedirs(self.telemetry_dir, exist_ok=True)
-            self._hb = RunLog(self.heartbeat_path, live=True)
+        if self.heartbeat_path is not None or self.heartbeat_sink is not None:
+            if self.telemetry_dir is not None:
+                os.makedirs(self.telemetry_dir, exist_ok=True)
+            self._hb = RunLog(self.heartbeat_path,
+                              live=self.heartbeat_path is not None,
+                              sink=self.heartbeat_sink)
             self._heartbeat("campaign_start",
                             campaign_id=manifest.campaign_id,
                             jobs=len(jobs), workers=self.workers,
@@ -172,7 +184,7 @@ class CampaignRunner:
             if cached is not None:
                 cached.label = labels[i]
                 results[i] = cached
-                self._finish(manifest, reporter, fp, cached)
+                self._finish(manifest, reporter, job, fp, cached)
             elif fp in claimed:
                 pass  # duplicate spec: simulate once, share the result
             else:
@@ -194,7 +206,7 @@ class CampaignRunner:
                 if result.ok and self.cache is not None:
                     self.cache.put(job, result)
                 if result.ok or attempt > self.retries:
-                    self._finish(manifest, reporter, fp, result)
+                    self._finish(manifest, reporter, job, fp, result)
 
             outcomes = self._execute_wave(wave, on_complete)
             retry: List[Tuple[int, Job, str]] = []
@@ -231,12 +243,16 @@ class CampaignRunner:
         return campaign
 
     def _finish(self, manifest: CampaignManifest,
-                reporter: ProgressReporter, fingerprint: str,
+                reporter: ProgressReporter, job: Job, fingerprint: str,
                 result: JobResult) -> None:
         manifest.update(fingerprint, result.status,
                         wall_seconds=result.wall_seconds,
                         error=result.error)
         manifest.save()
+        if self.repository is not None:
+            # No-op for failed/statless results; content-keyed, so cache
+            # hits map onto the already-stored row.
+            self.repository.ingest_job_result(job, result)
         self._heartbeat("job_done", fingerprint=fingerprint,
                         label=result.label, status=result.status,
                         wall_seconds=result.wall_seconds,
@@ -285,9 +301,11 @@ def run_campaign(jobs: Sequence[Job], workers: int = 1,
                  timeout: Optional[float] = None,
                  retries: int = 1,
                  progress: bool = False,
-                 telemetry_dir: Optional[str] = None) -> CampaignResult:
+                 telemetry_dir: Optional[str] = None,
+                 repository=None) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(workers=workers, cache_dir=cache_dir,
                           timeout=timeout, retries=retries,
                           progress=progress,
-                          telemetry_dir=telemetry_dir).run(jobs)
+                          telemetry_dir=telemetry_dir,
+                          repository=repository).run(jobs)

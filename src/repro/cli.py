@@ -15,6 +15,9 @@ Subcommands::
     python -m repro qos run --scenario bursty --clients 3 --seed 7
     python -m repro qos campaign --out QOS_campaign.json
     python -m repro figure fig9
+    python -m repro db ingest benchmarks/ tests/golden/   # backfill sqlite
+    python -m repro db ls
+    python -m repro serve --port 8035    # live dashboard + job queue
 
 Traces saved by ``render`` / ``trace-compute`` are replayed by
 ``simulate`` — collect once, sweep policies many times, exactly the
@@ -510,14 +513,75 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress per-job progress lines")
     p.add_argument("--telemetry", metavar="DIR",
                    help="write live per-job heartbeats to DIR/heartbeats.jsonl")
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="also store finished jobs in this run-repository "
+                        "database (see: repro db)")
 
     p = sub.add_parser(
         "telemetry",
         help="summarise a telemetry directory (metrics.jsonl + trace.json) "
-             "as a text timeline")
-    p.add_argument("dir", help="directory written by --telemetry")
+             "or a repository-stored run as a text timeline")
+    p.add_argument("dir", nargs="?", default=None,
+                   help="directory written by --telemetry")
+    p.add_argument("--run", type=int, metavar="ID", default=None,
+                   help="render stored run ID from the run repository "
+                        "instead of a directory")
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="repository database for --run (default $REPRO_DB "
+                        "or ~/.cache/repro/runs.sqlite)")
     p.add_argument("--width", type=int, default=60,
                    help="bar/chart width in characters")
+
+    p = sub.add_parser(
+        "db",
+        help="the persistent run repository: backfill, list, inspect, prune")
+    dsub = p.add_subparsers(dest="action", required=True)
+    dp = dsub.add_parser(
+        "ingest",
+        help="backfill BENCH_*.json, QoS reports, campaign summaries/"
+             "manifests, golden snapshots and telemetry directories")
+    dp.add_argument("paths", nargs="+", metavar="PATH",
+                    help="files or directories to scan")
+    dp.add_argument("--db", metavar="PATH", default=None,
+                    help="database file (default $REPRO_DB or "
+                         "~/.cache/repro/runs.sqlite)")
+    dp.add_argument("--quiet", action="store_true",
+                    help="suppress per-file progress lines")
+    dp = dsub.add_parser("ls", help="list stored runs, newest first")
+    dp.add_argument("--db", metavar="PATH", default=None)
+    dp.add_argument("--kind", default=None,
+                    choices=("run", "simrate", "qos", "campaign"))
+    dp.add_argument("--fp", default=None, help="config fingerprint filter")
+    dp.add_argument("--label", default=None)
+    dp.add_argument("--source", default=None)
+    dp.add_argument("--limit", type=int, default=40)
+    dp = dsub.add_parser("show", help="print one stored run as JSON")
+    dp.add_argument("id", type=int)
+    dp.add_argument("--db", metavar="PATH", default=None)
+    dp = dsub.add_parser("gc", help="prune stored runs (then VACUUM)")
+    dp.add_argument("--db", metavar="PATH", default=None)
+    dp.add_argument("--keep", type=int, default=None,
+                    help="keep only the newest N rows")
+    dp.add_argument("--before-days", type=float, default=None,
+                    help="drop rows older than D days")
+    dp.add_argument("--source", default=None,
+                    help="drop only rows ingested from this source")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the run repository + job queue as a live dashboard")
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="database file (default $REPRO_DB or "
+                        "~/.cache/repro/runs.sqlite)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8035,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="job-queue worker threads")
+    p.add_argument("--no-queue", action="store_true",
+                   help="read-only dashboard: no job queue, no POST /submit")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
 
     p = sub.add_parser(
         "profile",
@@ -543,11 +607,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the cProfile pass; just measure sim-rate")
     p.add_argument("--out", help="append the sim-rate record to this JSON "
                                  "file (BENCH_timing.json layout)")
-    p.add_argument("--compare", metavar="BENCH.json",
+    p.add_argument("--compare", metavar="BENCH.json|RUNS.db",
                    help="gate the measured sim-rate against the fastest "
                         "stored run with the same config fingerprint and "
-                        "label (falls back to the document baseline); "
-                        "exits nonzero on regression")
+                        "label; takes a BENCH_*.json document (falls back "
+                        "to its baseline) or a run-repository sqlite "
+                        "database; exits nonzero on regression")
     p.add_argument("--max-regression", type=float, default=20.0,
                    metavar="PCT",
                    help="allowed instr/s drop vs the --compare reference, "
@@ -598,9 +663,14 @@ def _cmd_campaign(args) -> int:
         ]
     cache_dir = None if args.no_cache else (args.cache_dir
                                             or default_cache_dir())
+    repository = None
+    if args.db:
+        from .service import RunRepository
+        repository = RunRepository(args.db)
     runner = CampaignRunner(workers=args.jobs, cache_dir=cache_dir,
                             timeout=args.timeout, progress=not args.quiet,
-                            telemetry_dir=args.telemetry)
+                            telemetry_dir=args.telemetry,
+                            repository=repository)
     campaign = runner.run(jobs)
     print("campaign %s: %d jobs, %d executed, %d cached, %d failed (%.1fs)"
           % (campaign.campaign_id, len(campaign.jobs), campaign.executed,
@@ -622,20 +692,129 @@ def _cmd_campaign(args) -> int:
         print("manifest -> %s" % campaign.manifest_path)
     if args.telemetry:
         print("heartbeats -> %s" % runner.heartbeat_path)
+    if repository is not None:
+        print("results -> %s" % repository.path)
     return 0 if campaign.ok else 1
 
 
 def _cmd_telemetry(args) -> int:
     import os
 
-    from .harness.report import render_telemetry_summary
+    from .harness.report import render_telemetry_summary, \
+        render_telemetry_views
     from .telemetry import METRICS_FILE
 
+    if args.run is not None:
+        from .service import RunRepository
+        repo = RunRepository(args.db)
+        detail = repo.get(args.run)
+        if detail is None:
+            print("error: no run %d in %s" % (args.run, repo.path),
+                  file=sys.stderr)
+            return 2
+        if not detail.get("views"):
+            print("error: run %d (%s, kind %s) has no stored telemetry "
+                  "views; ingest the telemetry directory first"
+                  % (args.run, detail.get("label", "?"), detail["kind"]),
+                  file=sys.stderr)
+            return 2
+        print(render_telemetry_views(detail["views"], width=args.width),
+              end="")
+        return 0
+    if not args.dir:
+        print("error: give a telemetry DIR or --run ID", file=sys.stderr)
+        return 2
     if not os.path.exists(os.path.join(args.dir, METRICS_FILE)):
         print("error: %s has no %s (run simulate --telemetry first)"
               % (args.dir, METRICS_FILE), file=sys.stderr)
         return 2
     print(render_telemetry_summary(args.dir, width=args.width), end="")
+    return 0
+
+
+def _cmd_db(args) -> int:
+    import json
+    import time
+
+    from .service import RunRepository
+
+    repo = RunRepository(args.db)
+    if args.action == "ingest":
+        from .service.ingest import backfill
+        progress = None if args.quiet else print
+        totals = backfill(repo, args.paths, progress=progress)
+        counts = repo.counts()
+        print("scanned %d file(s), ingested %d record(s); "
+              "%d run(s) now stored in %s"
+              % (totals["files"], totals["records"], counts["runs"],
+                 repo.path))
+        return 0
+    if args.action == "ls":
+        runs = repo.list_runs(kind=args.kind, fingerprint=args.fp,
+                              label=args.label, source=args.source,
+                              limit=args.limit)
+        if not runs:
+            print("repository %s is empty "
+                  "(try: repro db ingest benchmarks/)" % repo.path)
+            return 0
+        print("%-5s %-8s %-36s %-10s %12s %10s %s"
+              % ("id", "kind", "label", "policy", "cycles", "instr/s",
+                 "source"))
+        for r in runs:
+            print("%-5d %-8s %-36s %-10s %12s %10s %s"
+                  % (r["id"], r["kind"], (r["label"] or "")[:36],
+                     (r["policy"] or "-")[:10],
+                     "%d" % r["cycles"] if r["cycles"] else "-",
+                     ("%.0f" % r["instructions_per_second"]
+                      if r["instructions_per_second"] else "-"),
+                     r["source"]))
+        return 0
+    if args.action == "show":
+        detail = repo.get(args.id)
+        if detail is None:
+            print("error: no run %d in %s" % (args.id, repo.path),
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(detail, indent=1, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        if args.keep is None and args.before_days is None \
+                and args.source is None:
+            print("error: give --keep, --before-days and/or --source",
+                  file=sys.stderr)
+            return 2
+        before = (time.time() - args.before_days * 86400.0
+                  if args.before_days is not None else None)
+        removed = repo.gc(keep=args.keep, before_unix=before,
+                          source=args.source)
+        print("removed %d row(s) from %s" % (removed, repo.path))
+        return 0
+    return 2  # pragma: no cover - argparse restricts choices
+
+
+def _cmd_serve(args) -> int:
+    from .service import RunRepository
+    from .service.server import DashboardServer
+
+    repo = RunRepository(args.db)
+    queue = None
+    if not args.no_queue:
+        from .service.queue import JobQueue
+        queue = JobQueue(repo, workers=args.workers)
+    server = DashboardServer(repo, queue=queue, host=args.host,
+                             port=args.port, verbose=args.verbose)
+    counts = repo.counts()
+    print("repro dashboard: %s  (%d stored run(s), db %s)"
+          % (server.url, counts["runs"], repo.path))
+    print("endpoints: /runs /runs/<id> /compare /queue /events /summary"
+          + ("" if args.no_queue else "; POST /submit"))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        if queue is not None:
+            queue.shutdown(wait=False)
     return 0
 
 
@@ -736,6 +915,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "campaign": _cmd_campaign,
     "telemetry": _cmd_telemetry,
+    "db": _cmd_db,
+    "serve": _cmd_serve,
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
     "inspect": _cmd_inspect,

@@ -201,13 +201,24 @@ def _bar(fraction: float, width: int) -> str:
     return "#" * n + "." * (width - n)
 
 
-def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
-    """Render a telemetry directory as a text timeline/flamegraph summary.
+def load_telemetry_views(telemetry_dir: str) -> Dict[str, object]:
+    """Extract the renderable views of one telemetry directory.
 
     Reads ``metrics.jsonl`` (header, samples, final) and, when present,
-    ``trace.json`` (kernel spans) and returns a terminal-friendly report:
-    run header, per-stream kernel table with duration bars, per-stream
-    stall-reason attribution, and an IPC strip chart over sample intervals.
+    ``trace.json`` (balanced async kernel b/e span pairs) into a plain
+    JSON-safe dict — the shape the run repository persists and both
+    :func:`render_telemetry_views` and the dashboard consume:
+
+    ``header`` / ``final``
+        the run-log records, verbatim;
+    ``kernel_spans``
+        ``[{"name", "tid", "start", "end"}, ...]``;
+    ``stall_totals``
+        ``{stream: {reason: warp_samples}}`` from the final record;
+    ``ipc_series``
+        ``{stream: [ipc per sample interval]}``;
+    ``repartitions``
+        cycle numbers of repartition events.
     """
     import os
 
@@ -220,8 +231,58 @@ def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
     final = next((r for r in records if r["kind"] == "final"), {})
     reparts = [r for r in records if r["kind"] == "repartition"]
 
+    spans: List[dict] = []
+    trace_path = os.path.join(telemetry_dir, TRACE_FILE)
+    if os.path.exists(trace_path):
+        import json as _json
+        with open(trace_path, "r", encoding="utf-8") as f:
+            events = _json.load(f).get("traceEvents", [])
+        begins: Dict[object, dict] = {}
+        for ev in events:
+            if ev.get("cat") != "kernel":
+                continue
+            if ev["ph"] == "b":
+                begins[ev["id"]] = ev
+            elif ev["ph"] == "e":
+                b = begins.pop(ev["id"], None)
+                if b is not None:
+                    spans.append({"name": b["name"], "tid": b["tid"],
+                                  "start": b["ts"], "end": ev["ts"]})
+
+    stream_ids = sorted({sid for s in samples for sid in s["streams"]},
+                        key=int)
+    ipc_series = {
+        sid: [s["streams"].get(sid, {}).get("ipc", 0.0) for s in samples]
+        for sid in stream_ids
+    }
+    return {
+        "source": telemetry_dir,
+        "header": header,
+        "final": final,
+        "kernel_spans": spans,
+        "stall_totals": final.get("stall_totals", {}),
+        "ipc_series": ipc_series,
+        "repartitions": [r["cycle"] for r in reparts],
+    }
+
+
+def render_telemetry_views(views: Dict[str, object],
+                           width: int = 60) -> str:
+    """Render extracted telemetry views (see :func:`load_telemetry_views`)
+    as a terminal report: run header, per-stream kernel timeline bars,
+    stall-reason attribution, and an IPC strip chart.
+
+    Operates on plain data, so it renders equally from a loose telemetry
+    directory and from views stored in the run repository
+    (``repro telemetry --run ID``).
+    """
+    header = views.get("header") or {}
+    final = views.get("final") or {}
+    ipc_series: Dict[str, List[float]] = views.get("ipc_series") or {}
+    n_samples = len(next(iter(ipc_series.values()), []))
+
     lines: List[str] = []
-    lines.append("telemetry: %s" % telemetry_dir)
+    lines.append("telemetry: %s" % views.get("source", "?"))
     if header:
         lines.append(
             "config %s (%s)  policy %s  streams %s  sample interval %s"
@@ -233,43 +294,26 @@ def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
         lines.append("run: %d cycles, %d instructions, %d samples"
                      % (final.get("cycles", 0),
                         final.get("total_instructions", 0),
-                        final.get("samples", len(samples))))
+                        final.get("samples", n_samples)))
     total_cycles = final.get("cycles", 0)
 
-    # Kernel spans from the trace (balanced async b/e pairs by id).
-    trace_path = os.path.join(telemetry_dir, TRACE_FILE)
-    if os.path.exists(trace_path) and total_cycles:
-        import json as _json
-        with open(trace_path, "r", encoding="utf-8") as f:
-            events = _json.load(f).get("traceEvents", [])
-        begins: Dict[object, dict] = {}
-        spans: List[dict] = []
-        for ev in events:
-            if ev.get("cat") != "kernel":
-                continue
-            if ev["ph"] == "b":
-                begins[ev["id"]] = ev
-            elif ev["ph"] == "e":
-                b = begins.pop(ev["id"], None)
-                if b is not None:
-                    spans.append({"name": b["name"], "tid": b["tid"],
-                                  "start": b["ts"], "end": ev["ts"]})
-        if spans:
-            lines.append("")
-            lines.append("kernel timeline (one bar per kernel, full width ="
-                         " %d cycles):" % total_cycles)
-            for sp in sorted(spans, key=lambda s: (s["tid"], s["start"])):
-                lead = int(sp["start"] / total_cycles * width)
-                body = max(1, int((sp["end"] - sp["start"])
-                                  / total_cycles * width))
-                body = min(body, width - lead)
-                lines.append("  s%-2d %-20s |%s%s%s| %d..%d"
-                             % (sp["tid"], sp["name"][:20], " " * lead,
-                                "=" * body, " " * (width - lead - body),
-                                sp["start"], sp["end"]))
+    spans = views.get("kernel_spans") or []
+    if spans and total_cycles:
+        lines.append("")
+        lines.append("kernel timeline (one bar per kernel, full width ="
+                     " %d cycles):" % total_cycles)
+        for sp in sorted(spans, key=lambda s: (s["tid"], s["start"])):
+            lead = int(sp["start"] / total_cycles * width)
+            body = max(1, int((sp["end"] - sp["start"])
+                              / total_cycles * width))
+            body = min(body, width - lead)
+            lines.append("  s%-2d %-20s |%s%s%s| %d..%d"
+                         % (sp["tid"], sp["name"][:20], " " * lead,
+                            "=" * body, " " * (width - lead - body),
+                            sp["start"], sp["end"]))
 
     # Stall attribution (cumulative warp-samples over all sample ticks).
-    stall_totals = final.get("stall_totals", {})
+    stall_totals = views.get("stall_totals") or {}
     if stall_totals:
         lines.append("")
         lines.append("stall attribution (sampled warp states):")
@@ -284,14 +328,11 @@ def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
                                 100.0 * n / total))
 
     # IPC strip chart per stream.
-    if samples:
-        stream_ids = sorted({sid for s in samples for sid in s["streams"]},
-                            key=int)
+    if ipc_series:
         lines.append("")
         lines.append("IPC per sample interval (max-normalised):")
-        for sid in stream_ids:
-            series = [s["streams"].get(sid, {}).get("ipc", 0.0)
-                      for s in samples]
+        for sid in sorted(ipc_series, key=int):
+            series = ipc_series[sid]
             peak = max(series) or 1.0
             # Resample to the requested width by bucket-averaging.
             chart = []
@@ -305,13 +346,21 @@ def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
                                       int(v / peak * (len(ramp) - 1)))])
             lines.append("  stream %s |%s| peak %.2f" % (sid, "".join(chart),
                                                          peak))
+    reparts = views.get("repartitions") or []
     if reparts:
         lines.append("")
         lines.append("repartition events: %d (%s)"
                      % (len(reparts),
-                        ", ".join("@%d" % r["cycle"] for r in reparts[:8])
+                        ", ".join("@%d" % c for c in reparts[:8])
                         + ("..." if len(reparts) > 8 else "")))
     return "\n".join(lines) + "\n"
+
+
+def render_telemetry_summary(telemetry_dir: str, width: int = 60) -> str:
+    """Render a telemetry directory as a text timeline/flamegraph summary
+    (loads, then renders — see the two halves above)."""
+    return render_telemetry_views(load_telemetry_views(telemetry_dir),
+                                  width=width)
 
 
 # ---------------------------------------------------------------------------

@@ -22,12 +22,14 @@ from typing import Dict, List, Optional, Tuple
 from .config import GPUConfig
 from .isa import KernelTrace
 
-
-#: Version of the sim-rate record layout.  Schema 2 added ``schema`` itself
-#: and ``config_fingerprint`` so BENCH_timing.json rows from different
-#: presets are distinguishable; schema-1 rows (no ``schema`` key) are still
-#: accepted by :func:`normalize_simrate_record`.
-SIMRATE_SCHEMA = 2
+# The schema-tolerant readers live in repro.service.records (the run
+# repository's single migration point); re-exported here because this was
+# their historical home and callers/tests import them from repro.profiling.
+from .service.records import (  # noqa: F401 - re-exports
+    SIMRATE_SCHEMA,
+    load_bench_doc,
+    normalize_simrate_record,
+)
 
 
 def _run(config: GPUConfig, streams: Dict[int, List[KernelTrace]],
@@ -57,57 +59,23 @@ def simrate_record(stats, wall_seconds: float, label: str = "",
     }
 
 
-def normalize_simrate_record(record: dict) -> dict:
-    """Upgrade an old (schema-1) record in place to the current layout.
+def _reference_candidates(record: dict, bench_path: str) -> List[dict]:
+    """Reference runs matching ``record``'s fingerprint + label.
 
-    Pre-schema rows carry neither ``schema`` nor ``config_fingerprint``;
-    both are filled with explicit markers so readers can group rows by
-    fingerprint without special-casing missing keys.
+    ``bench_path`` may be a BENCH_*.json document or a run-repository
+    database (``.db`` / ``.sqlite``), in which case the stored sim-rate
+    rows are the references — one history for the gate and the dashboard.
     """
-    if "schema" not in record:
-        record["schema"] = 1
-    if "config_fingerprint" not in record:
-        record["config_fingerprint"] = None
-    return record
-
-
-def load_bench_doc(path: str) -> dict:
-    """Read a BENCH_*.json document, tolerating old-schema rows and a
-    missing/corrupt file (returns an empty document in that case)."""
-    import json
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, ValueError):
-        return {"baseline": None, "runs": []}
-    if not isinstance(doc, dict):
-        return {"baseline": None, "runs": []}
-    doc.setdefault("baseline", None)
-    doc.setdefault("runs", [])
-    if isinstance(doc["baseline"], dict):
-        normalize_simrate_record(doc["baseline"])
-    doc["runs"] = [normalize_simrate_record(r) for r in doc["runs"]
-                   if isinstance(r, dict)]
-    return doc
-
-
-def compare_simrate(record: dict, bench_path: str,
-                    max_regression_pct: float) -> Tuple[bool, str]:
-    """Gate a fresh sim-rate ``record`` against stored reference runs.
-
-    The reference rate is the fastest ``instructions_per_second`` among the
-    runs in ``bench_path`` with the same ``config_fingerprint`` and
-    ``label`` as ``record`` (apples-to-apples: same preset, same workload).
-    When no matching run exists the document ``baseline`` is used; when
-    that is missing too the comparison is vacuously OK, so the gate can be
-    enabled before any history has accumulated.
-
-    Returns ``(ok, message)`` where ``ok`` is False when the fresh rate is
-    more than ``max_regression_pct`` percent below the reference.
-    """
-    doc = load_bench_doc(bench_path)
     fp = record.get("config_fingerprint")
     label = record.get("label")
+    if bench_path.endswith((".db", ".sqlite", ".sqlite3")):
+        from .service.repository import RunRepository
+        rows = RunRepository(bench_path).list_runs(limit=100000)
+        return [r for r in rows
+                if r.get("config_fingerprint") == fp
+                and r.get("label") == label
+                and r.get("instructions_per_second")]
+    doc = load_bench_doc(bench_path)
     candidates = [
         r for r in doc["runs"]
         if r.get("config_fingerprint") == fp and r.get("label") == label
@@ -116,6 +84,25 @@ def compare_simrate(record: dict, bench_path: str,
     if not candidates and isinstance(doc["baseline"], dict) \
             and doc["baseline"].get("instructions_per_second"):
         candidates = [doc["baseline"]]
+    return candidates
+
+
+def compare_simrate(record: dict, bench_path: str,
+                    max_regression_pct: float) -> Tuple[bool, str]:
+    """Gate a fresh sim-rate ``record`` against stored reference runs.
+
+    The reference rate is the fastest ``instructions_per_second`` among the
+    stored runs with the same ``config_fingerprint`` and ``label`` as
+    ``record`` (apples-to-apples: same preset, same workload).
+    ``bench_path`` is either a BENCH_*.json document (where, with no
+    matching run, the document ``baseline`` is used) or a run-repository
+    sqlite database.  When no reference exists the comparison is vacuously
+    OK, so the gate can be enabled before any history has accumulated.
+
+    Returns ``(ok, message)`` where ``ok`` is False when the fresh rate is
+    more than ``max_regression_pct`` percent below the reference.
+    """
+    candidates = _reference_candidates(record, bench_path)
     if not candidates:
         return True, ("no matching reference runs in %s; comparison skipped"
                       % bench_path)
