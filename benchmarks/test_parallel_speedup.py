@@ -1,11 +1,14 @@
-"""Sharded-engine throughput: serial vs workers=4 on the reference pair.
+"""Sharded-engine throughput: serial vs workers=4, both shard layouts.
 
 The acceptance bar for ``repro.parallel``: the sharded run must (a) be
 bit-identical to the serial engine — always, on any machine — and (b) on
-a multi-core box beat serial wall-clock by >= 1.3x with 4 workers on the
-reference workload (SPL + HOLO at nano under mps).  Measurements land in
-``BENCH_parallel.json`` (schema-2 sim-rate records) so later PRs can
-track the trajectory.
+a >=4-core box beat serial wall-clock by >= 2x with 4 workers on the
+reference workload (SPL + HOLO at nano under mps, stream-sharded).  The
+SM-group layout is measured alongside it: its coordinator round-trips
+every CTA launch, so it carries no hard floor, but it must engage and
+stay bit-identical.  Measurements land in ``BENCH_parallel.json`` as
+schema-2 sim-rate rows under ``runs`` (the service-ingestible bench
+document shape) so later PRs can track the trajectory.
 """
 
 import json
@@ -17,9 +20,10 @@ from bench_util import print_header, write_bench_json
 from repro.api import RunRequest, simulate
 from repro.config import get_preset
 from repro.core.platform import collect_streams
+from repro.parallel import ExecutionPlan
 from repro.profiling import SIMRATE_SCHEMA, simrate_record
 
-SPEEDUP_FLOOR = 1.3
+SPEEDUP_FLOOR = 2.0
 WORKERS = 4
 
 
@@ -27,56 +31,79 @@ def _canonical(stats) -> dict:
     return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
 
 
+def _timed(request, execution=None):
+    t0 = time.perf_counter()
+    result = (simulate(request) if execution is None
+              else simulate(request, execution=execution))
+    return result, time.perf_counter() - t0
+
+
 def test_parallel_speedup():
     config = get_preset("JetsonOrin-mini")
     streams = collect_streams(config, scene="SPL", res="nano",
                               compute="HOLO")
     request = RunRequest(config=config, streams=streams, policy="mps")
-
-    t0 = time.perf_counter()
-    serial = simulate(request)
-    serial_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    sharded = simulate(request, workers=WORKERS, backend="process")
-    sharded_s = time.perf_counter() - t0
-
     cpus = os.cpu_count() or 1
-    speedup = serial_s / sharded_s if sharded_s else float("inf")
-    report = sharded.parallel
 
-    print_header("Sharded engine: SPL+HOLO @ nano under mps")
-    print("%-26s %8s" % ("mode", "seconds"))
-    print("%-26s %8.2f" % ("serial", serial_s))
-    print("%-26s %8.2f  (%.2fx, %d cpus, %d shards, backend=%s)"
-          % ("sharded (%d workers)" % WORKERS, sharded_s, speedup, cpus,
-             report.num_shards, report.backend))
-    print("rounds=%d replayed_ops=%d restarted=%s"
-          % (report.rounds, report.replayed_ops, report.restarted))
+    serial, serial_s = _timed(request)
+    baseline = _canonical(serial.stats)
+
+    legs = {}
+    for shard_by in ("stream", "sm"):
+        plan = ExecutionPlan(engine="process", workers=WORKERS,
+                             shard_by=shard_by)
+        result, seconds = _timed(request, execution=plan)
+        report = result.execution
+        assert report.engaged, (shard_by, report.fallback_reason)
+        assert report.mode == shard_by
+        assert _canonical(result.stats) == baseline, shard_by
+        legs[shard_by] = (result, seconds, report)
+
+    print_header("Sharded engine: SPL+HOLO @ nano under mps, %d workers"
+                 % WORKERS)
+    print("%-26s %8s %8s" % ("mode", "seconds", "speedup"))
+    print("%-26s %8.2f %8s" % ("serial", serial_s, "-"))
+    for shard_by, (result, seconds, report) in legs.items():
+        speedup = serial_s / seconds if seconds else float("inf")
+        print("%-26s %8.2f %7.2fx  (%d cpus, %d shards, backend=%s, "
+              "rounds=%d, replayed_ops=%d)"
+              % ("shard_by=%s" % shard_by, seconds, speedup, cpus,
+                 report.num_shards, report.backend, report.rounds,
+                 report.replayed_ops))
+
+    rows = [simrate_record(serial.stats, serial_s, label="serial",
+                           config=config)]
+    modes = {}
+    for shard_by, (result, seconds, report) in legs.items():
+        rows.append(simrate_record(
+            result.stats, seconds,
+            label="workers=%d shard_by=%s" % (WORKERS, shard_by),
+            config=config))
+        modes[shard_by] = {
+            "seconds": seconds,
+            "speedup": serial_s / seconds if seconds else float("inf"),
+            "num_shards": report.num_shards,
+            "backend": report.backend,
+            "rounds": report.rounds,
+            "replayed_ops": report.replayed_ops,
+            "restarted": report.restarted,
+        }
 
     write_bench_json("parallel", {
         "schema": SIMRATE_SCHEMA,
         "workers": WORKERS,
         "cpu_count": cpus,
-        "backend": report.backend,
-        "num_shards": report.num_shards,
-        "rounds": report.rounds,
-        "replayed_ops": report.replayed_ops,
-        "restarted": report.restarted,
         "serial_seconds": serial_s,
-        "sharded_seconds": sharded_s,
-        "speedup": speedup,
-        "serial": simrate_record(serial.stats, serial_s,
-                                 label="serial", config=config),
-        "sharded": simrate_record(sharded.stats, sharded_s,
-                                  label="workers=%d" % WORKERS,
-                                  config=config),
+        "modes": modes,
+        "baseline": rows[0],
+        "runs": rows[1:],
     })
 
-    # (a) Bit-identity holds unconditionally.
-    assert report.engaged, report.fallback_reason
-    assert _canonical(sharded.stats) == _canonical(serial.stats)
-    # (b) Fan-out pays for itself when the cores exist to back it.
+    # Fan-out pays for itself when the cores exist to back it: the CI
+    # speedup leg runs on a >=4-core runner, so the gate is armed there;
+    # constrained boxes still assert engagement + bit-identity above.
     if cpus >= 4:
-        assert speedup >= SPEEDUP_FLOOR, \
-            "%d workers on %d cpus only gave %.2fx" % (WORKERS, cpus, speedup)
+        stream_speedup = serial_s / legs["stream"][1]
+        assert stream_speedup >= SPEEDUP_FLOOR, \
+            "%d workers on %d cpus only gave %.2fx" \
+            % (WORKERS, cpus, stream_speedup)

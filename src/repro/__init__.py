@@ -5,12 +5,11 @@ Public entry points:
 
 * :func:`repro.simulate` — run one simulation, described by a
   :class:`RunRequest` (or its fields as keywords), returning a
-  :class:`RunResult`.  This is the single execution surface; set
-  ``workers=N`` to use the deterministic sharded engine of
-  :mod:`repro.parallel`.
+  :class:`RunResult`.  This is the single execution surface; pass
+  ``execution=ExecutionPlan(workers=N)`` to use the deterministic sharded
+  engine of :mod:`repro.parallel`.
 * :class:`repro.core.CRISP` — the tracing facade (trace scenes, trace
-  compute workloads).  Its ``run*`` methods are deprecated shims over
-  :func:`simulate`.
+  compute workloads).  Execution lives in :func:`simulate`.
 * :mod:`repro.graphics` — the Vulkan-like front-end and rendering pipeline.
 * :mod:`repro.compute` — the CUDA-like kernel tracer and XR workloads.
 * :mod:`repro.timing` — the Accel-Sim-style GPU timing model.
@@ -20,12 +19,13 @@ Public entry points:
 * :mod:`repro.scenes` — the six rendering workloads of the paper.
 """
 
-from .api import RunRequest, RunResult, WorkloadSpec, simulate
+from .api import ExecutionPlan, RunRequest, RunResult, WorkloadSpec, simulate
 from .core import CRISP
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 __all__ = [
     "CRISP",
+    "ExecutionPlan",
     "RunRequest",
     "RunResult",
     "WorkloadSpec",

@@ -4,40 +4,43 @@ Every way of running a simulation — CLI subcommands, campaign jobs,
 profiling, benchmarks, library use — funnels through one function::
 
     from repro.api import RunRequest, simulate
+    from repro.parallel import ExecutionPlan
 
     result = simulate(RunRequest(
         config="JetsonOrin-mini",
         workload=WorkloadSpec(scene="SPL", res="nano", compute="HOLO"),
         policy="mps",
-        workers=4,
+        execution=ExecutionPlan(engine="process", workers=4),
     ))
-    print(result.total_cycles, result.parallel.engaged)
+    print(result.total_cycles, result.execution.engaged)
 
 A :class:`RunRequest` describes *what* to simulate (a prebuilt stream dict
 or a declarative :class:`WorkloadSpec`), under which policy, and *how* to
-execute it (``workers``/``backend`` select the sharded engine of
-:mod:`repro.parallel`; it falls back to the serial engine — bit-identical
-— whenever sharding cannot be proven sound).  The returned
-:class:`RunResult` carries the full :class:`~repro.timing.GPUStats`, the
-post-run policy object, and a :class:`~repro.parallel.ShardReport` saying
-how the run was actually executed.
+execute it: the ``execution`` field takes a first-class
+:class:`~repro.parallel.ExecutionPlan` (engine, workers, shard mode,
+horizon) and is the only execution knob — the engine falls back to the
+serial loop, bit-identical, whenever sharding cannot be proven sound, and
+the returned :class:`RunResult` carries the :class:`~repro.parallel.ShardReport`
+(``result.execution``) saying what actually ran and the structured
+:class:`~repro.parallel.ShardRefusal` when it didn't shard.
 
-The older entry points (``CRISP.run``/``run_single``/``run_pair`` and
-``core.platform.execute_streams``) remain as deprecated shims that
-delegate here.
+The PR-4 ``workers=``/``backend=`` integers are deprecated shims that
+fold into an ExecutionPlan with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from .config import GPUConfig, get_preset
 from .isa import KernelTrace
-from .parallel import ShardReport, run_sharded
+from .parallel import ExecutionPlan, ShardReport, run_sharded
 from .timing import GPUStats, PartitionPolicy
 
-__all__ = ["WorkloadSpec", "RunRequest", "RunResult", "simulate"]
+__all__ = ["WorkloadSpec", "RunRequest", "RunResult", "ExecutionPlan",
+           "simulate"]
 
 
 @dataclass(frozen=True)
@@ -77,8 +80,14 @@ class RunRequest:
     declarative spec, traced at execution time) must be given.  ``policy``
     is a name from ``POLICY_NAMES`` or a policy instance; a *named* policy
     is only applied when more than one stream runs (single-stream runs own
-    the whole GPU), matching the long-standing ``execute_streams``
-    behaviour, while an *instance* is always applied.
+    the whole GPU), matching the long-standing platform behaviour, while
+    an *instance* is always applied.
+
+    ``execution`` is the only execution knob: an
+    :class:`~repro.parallel.ExecutionPlan`, a dict of its fields, or a
+    bare worker count (coerced).  The legacy ``workers=``/``backend=``
+    keywords still work but emit a :class:`DeprecationWarning` and fold
+    into the plan.
     """
 
     config: Union[str, GPUConfig] = "JetsonOrin-mini"
@@ -90,12 +99,35 @@ class RunRequest:
     #: Open-loop arrival cycles, ``{stream_id: [cycle per kernel]}``.
     #: Streams absent from the dict stay closed-loop (ready at cycle 0).
     arrivals: Optional[Dict[int, Sequence[int]]] = None
-    #: Shard workers for the parallel engine; 1 = serial.
-    workers: int = 1
-    #: "process" (forked workers), "inline" (in-process shards, mainly for
-    #: tests), or None = auto.
+    #: How to execute: ExecutionPlan | dict | int | None (= serial-auto).
+    execution: Union[ExecutionPlan, Dict[str, object], int, None] = None
+    #: Deprecated: use ``execution=ExecutionPlan(workers=N)``.
+    workers: Optional[int] = None
+    #: Deprecated: use ``execution=ExecutionPlan(engine=...)``.
     backend: Optional[str] = None
     max_cycles: int = 200_000_000
+
+    def __post_init__(self) -> None:
+        if self.workers is not None or self.backend is not None:
+            warnings.warn(
+                "RunRequest(workers=, backend=) is deprecated; use "
+                "execution=ExecutionPlan(engine=..., workers=...)",
+                DeprecationWarning, stacklevel=3)
+            if self.execution is not None:
+                raise ValueError(
+                    "give either execution= or the deprecated "
+                    "workers=/backend=, not both")
+            engine = "auto"
+            if self.backend == "process":
+                engine = "process"
+            elif self.backend == "inline":
+                engine = "sharded"
+            self.execution = ExecutionPlan(
+                engine=engine,
+                workers=self.workers if self.workers else 1)
+            self.workers = None
+            self.backend = None
+        self.execution = ExecutionPlan.coerce(self.execution)
 
     def resolved_config(self) -> GPUConfig:
         if isinstance(self.config, GPUConfig):
@@ -132,10 +164,16 @@ class RunResult:
     #: The policy object actually used (post-run state carries e.g. TAP's
     #: final ratio); None for unpartitioned runs.
     policy: Optional[PartitionPolicy]
-    #: How the run executed: sharded or serial, and why.
-    parallel: ShardReport = field(default_factory=ShardReport)
+    #: How the run executed: the ShardReport (mode, backend, rounds,
+    #: structured refusal when it fell back to the serial engine).
+    execution: ShardReport = field(default_factory=ShardReport)
     #: The request that produced this result.
     request: Optional[RunRequest] = None
+
+    @property
+    def parallel(self) -> ShardReport:
+        """Deprecated alias for :attr:`execution` (the PR-4 name)."""
+        return self.execution
 
     # -- PairResult-compatible accessors ------------------------------------
     @property
@@ -156,8 +194,9 @@ class RunResult:
         return self.stats.stream_cycles(COMPUTE_STREAM)
 
     def __repr__(self) -> str:
-        mode = ("sharded x%d" % self.parallel.num_shards
-                if self.parallel.engaged else "serial")
+        mode = ("sharded[%s] x%d" % (self.execution.mode,
+                                     self.execution.num_shards)
+                if self.execution.engaged else "serial")
         return "RunResult(policy=%s, total=%d, %s)" % (
             self.policy.name if self.policy else None,
             self.total_cycles, mode)
@@ -188,8 +227,9 @@ class RunResult:
             "wall_seconds": wall_seconds,
             "stats": stats,
             "extras": {
-                "parallel_engaged": self.parallel.engaged,
-                "num_shards": self.parallel.num_shards,
+                "parallel_engaged": self.execution.engaged,
+                "num_shards": self.execution.num_shards,
+                "execution": self.execution.to_dict(),
             },
         }
 
@@ -199,7 +239,7 @@ def simulate(request: Optional[RunRequest] = None, **kwargs) -> RunResult:
 
     Accepts either a prebuilt :class:`RunRequest` or its fields as keyword
     arguments (``simulate(workload=..., policy="mps")``).  Dispatch,
-    including the ``workers=1`` serial case, goes through
+    including the serial case, goes through
     :func:`repro.parallel.run_sharded`, so the execution path is the same
     object graph everywhere and the result always carries a ShardReport.
     """
@@ -214,10 +254,9 @@ def simulate(request: Optional[RunRequest] = None, **kwargs) -> RunResult:
         config, streams, policy=policy,
         sample_interval=request.sample_interval,
         telemetry=request.telemetry,
-        workers=request.workers,
-        backend=request.backend,
+        execution=request.execution,
         max_cycles=request.max_cycles,
         arrivals=request.arrivals,
     )
-    return RunResult(stats=stats, policy=policy, parallel=report,
+    return RunResult(stats=stats, policy=policy, execution=report,
                      request=request)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from ..config import GPUConfig, get_preset
+from ..parallel import ExecutionPlan
 
 #: Bumped whenever the fingerprinted spec layout changes, invalidating
 #: cached results written by incompatible builds.
@@ -54,12 +55,14 @@ class Job:
     params: Dict[str, object] = field(default_factory=dict)
     #: Display name only — never part of the fingerprint.
     label: Optional[str] = None
-    #: Shard workers for the parallel engine.  Execution detail only:
-    #: results are bit-identical for any value, so it is deliberately NOT
+    #: How to execute: an :class:`~repro.parallel.ExecutionPlan`, a dict of
+    #: its fields, or a bare worker count (coerced).  Execution detail only:
+    #: results are bit-identical for any plan, so it is deliberately NOT
     #: part of the fingerprint (cached serial results stay valid).
-    workers: int = 1
+    execution: Union[ExecutionPlan, Dict[str, object], int, None] = None
 
     def __post_init__(self) -> None:
+        self.execution = ExecutionPlan.coerce(self.execution)
         if self.scene and self.graphics_trace:
             raise ValueError("give either scene or graphics_trace, not both")
         if self.compute and self.compute_trace:
@@ -144,7 +147,7 @@ class Job:
             "compute_trace": self.compute_trace,
             "params": dict(self.params),
             "label": self.label,
-            "workers": self.workers,
+            "execution": self.execution.to_dict(),
         }
 
     @classmethod
@@ -152,12 +155,16 @@ class Job:
         known = {
             "scene", "res", "lod_enabled", "compute", "compute_args",
             "policy", "config", "sample_interval", "graphics_trace",
-            "compute_trace", "params", "label", "workers",
+            "compute_trace", "params", "label", "execution", "workers",
         }
         unknown = set(data) - known
         if unknown:
             raise ValueError("unknown job fields: %s" % sorted(unknown))
         kwargs = dict(data)
+        # Legacy job files carry a bare worker count; fold it into a plan.
+        workers = kwargs.pop("workers", None)
+        if workers is not None and kwargs.get("execution") is None:
+            kwargs["execution"] = ExecutionPlan(workers=int(workers))
         config = kwargs.get("config")
         if isinstance(config, dict):
             cache_fields = {"l1", "l2"}
@@ -169,8 +176,7 @@ class Job:
             kwargs.pop("compute_args", None)
         if kwargs.get("params") is None:
             kwargs.pop("params", None)
-        defaults = {"res": "2k", "policy": "mps", "config": "JetsonOrin-mini",
-                    "workers": 1}
+        defaults = {"res": "2k", "policy": "mps", "config": "JetsonOrin-mini"}
         for key, value in defaults.items():
             if kwargs.get(key) is None:
                 kwargs[key] = value

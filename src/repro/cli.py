@@ -110,20 +110,39 @@ def _cmd_simulate(args) -> int:
               file=sys.stderr)
         return 2
     from .api import simulate
+    from .parallel import ExecutionPlan
     telemetry = None
     if args.telemetry:
         from .telemetry import Telemetry
         telemetry = Telemetry(out_dir=args.telemetry,
                               sample_interval=args.sample_interval or 1000)
+    execution = ExecutionPlan(engine=args.engine, workers=args.workers,
+                              shard_by=args.shard_by)
+    if args.explain_plan:
+        from .core.platform import make_policy
+        from .parallel import plan_shards
+        policy = (make_policy(args.policy, config, sorted(streams))
+                  if len(streams) > 1 else None)
+        plan, refusal = plan_shards(policy, streams, config=config,
+                                    execution=execution, telemetry=telemetry)
+        if plan is None:
+            print("serial: %s" % refusal.render())
+        else:
+            d = plan.describe()
+            groups = d.get("groups", d.get("sm_groups"))
+            print("sharded by %s: %d shard(s) %s"
+                  % (plan.mode, plan.num_shards, groups))
+        return 0
     result = simulate(config=config, streams=streams, policy=args.policy,
                       sample_interval=args.sample_interval,
-                      telemetry=telemetry, workers=args.workers)
+                      telemetry=telemetry, execution=execution)
     stats = result.stats
     mode = ""
-    if args.workers > 1:
-        mode = (" (sharded x%d)" % result.parallel.num_shards
-                if result.parallel.engaged
-                else " (serial: %s)" % result.parallel.fallback_reason)
+    if execution.wants_parallel:
+        report = result.execution
+        mode = (" (sharded by %s x%d)" % (report.mode, report.num_shards)
+                if report.engaged
+                else " (serial: %s)" % report.fallback_reason)
     print("simulated %d cycles on %s%s%s"
           % (stats.cycles, config.name,
              " under %s" % args.policy if result.policy else "", mode))
@@ -372,6 +391,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="JetsonOrin-mini",
                    choices=sorted(PRESETS))
     p.add_argument("--sample-interval", type=int, default=None)
+    p.add_argument("--engine", default="auto",
+                   choices=("auto", "serial", "sharded", "process"),
+                   help="execution engine: serial loop, in-process shards, "
+                        "or forked shard workers (auto picks)")
+    p.add_argument("--shard-by", default="auto",
+                   choices=("auto", "stream", "sm"),
+                   help="shard layout: whole streams per worker or "
+                        "contiguous SM groups (auto picks the sound one)")
+    p.add_argument("--explain-plan", action="store_true",
+                   help="print the shard plan or the structured refusal "
+                        "and exit without simulating")
     p.add_argument("--workers", type=int, default=1,
                    help="shard the simulation across N workers where the "
                         "policy permits (results are bit-identical)")
@@ -833,13 +863,13 @@ def _cmd_profile(args) -> int:
     if not args.no_cprofile:
         report, prof_record = profile_simulation(
             config, streams, policy=args.policy, top=args.top,
-            sort=args.sort, label=label, workers=args.workers)
+            sort=args.sort, label=label, execution=args.workers)
         print(report, end="")
         print("profiled run: %d cycles in %.2fs (profiler overhead included)"
               % (prof_record["cycles"], prof_record["wall_seconds"]))
     record = measure_simrate(config, streams, policy=args.policy,
                              repeats=args.repeats, label=label,
-                             workers=args.workers)
+                             execution=args.workers)
     print("sim-rate: %.0f instr/s, %.0f cycles/s "
           "(%d instr, %d cycles, %.2fs wall, best of %d)"
           % (record["instructions_per_second"],

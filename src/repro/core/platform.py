@@ -7,17 +7,21 @@ executed under a chosen partition policy.
 
 Typical use::
 
+    from repro.api import simulate
+
     crisp = CRISP(JETSON_ORIN_MINI)
     frame = crisp.trace_scene("SPL", "2k")
     vio = crisp.trace_compute("VIO")
-    result = crisp.run_pair(frame.kernels, vio, policy="fg-even")
+    result = simulate(config=crisp.config,
+                      streams={GRAPHICS_STREAM: frame.kernels,
+                               COMPUTE_STREAM: vio},
+                      policy="fg-even")
     print(result.graphics_cycles, result.compute_cycles)
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..compute import build_compute_workload
 from ..config import GPUConfig, JETSON_ORIN_MINI
@@ -106,58 +110,7 @@ class CRISP:
         """Build a compute workload's kernel traces by its paper code."""
         return build_compute_workload(name)
 
-    # -- execution (deprecated: use repro.api.simulate) -----------------------
-    def run(self, streams: Dict[int, Sequence[KernelTrace]],
-            policy: Optional[PartitionPolicy] = None,
-            sample_interval: Optional[int] = None,
-            telemetry=None) -> GPUStats:
-        """Deprecated: use :func:`repro.api.simulate` instead.
-
-        Runs arbitrary streams on a fresh GPU instance, exactly as before.
-        """
-        warnings.warn(
-            "CRISP.run is deprecated; use repro.api.simulate(RunRequest(...))",
-            DeprecationWarning, stacklevel=2)
-        from ..api import simulate
-        return simulate(config=self.config, streams=streams, policy=policy,
-                        sample_interval=sample_interval,
-                        telemetry=telemetry).stats
-
-    def run_single(self, kernels: Sequence[KernelTrace],
-                   sample_interval: Optional[int] = None) -> GPUStats:
-        """Deprecated: use :func:`repro.api.simulate` instead.
-
-        Runs one workload alone (stream 0), fully owning the GPU.
-        """
-        warnings.warn(
-            "CRISP.run_single is deprecated; use repro.api.simulate",
-            DeprecationWarning, stacklevel=2)
-        from ..api import simulate
-        return simulate(config=self.config,
-                        streams={GRAPHICS_STREAM: kernels},
-                        sample_interval=sample_interval).stats
-
-    def run_pair(
-        self,
-        graphics: Sequence[KernelTrace],
-        compute: Sequence[KernelTrace],
-        policy: str = "mps",
-        sample_interval: Optional[int] = None,
-    ) -> PairResult:
-        """Deprecated: use :func:`repro.api.simulate` instead.
-
-        Runs rendering + compute concurrently under a named policy.
-        """
-        warnings.warn(
-            "CRISP.run_pair is deprecated; use repro.api.simulate",
-            DeprecationWarning, stacklevel=2)
-        from ..api import simulate
-        streams = {GRAPHICS_STREAM: list(graphics),
-                   COMPUTE_STREAM: list(compute)}
-        pol = make_policy(policy, self.config, sorted(streams))
-        result = simulate(config=self.config, streams=streams, policy=pol,
-                          sample_interval=sample_interval)
-        return PairResult(result.stats, pol)
+    # Execution lives in repro.api.simulate; CRISP is the tracing facade.
 
 
 # ---------------------------------------------------------------------------
@@ -206,26 +159,3 @@ def collect_streams(
         raise ValueError("job spec produced no streams; give a scene, a "
                          "compute workload, or saved trace files")
     return streams
-
-
-def execute_streams(
-    config: GPUConfig,
-    streams: Dict[int, Sequence[KernelTrace]],
-    policy: Optional[str] = None,
-    sample_interval: Optional[int] = None,
-    telemetry=None,
-    workers: int = 1,
-) -> Tuple[GPUStats, Optional[PartitionPolicy]]:
-    """Deprecated: use :func:`repro.api.simulate` instead.
-
-    Runs ``streams`` under a named policy, returning stats and the policy
-    object (whose post-run state carries e.g. Warped-Slicer decisions).
-    """
-    warnings.warn(
-        "execute_streams is deprecated; use repro.api.simulate(RunRequest(...))",
-        DeprecationWarning, stacklevel=2)
-    from ..api import simulate
-    result = simulate(config=config, streams=streams, policy=policy,
-                      sample_interval=sample_interval, telemetry=telemetry,
-                      workers=workers)
-    return result.stats, result.policy

@@ -2,23 +2,40 @@
 
 Public surface:
 
-- :func:`run_sharded` — execute a stream dict across K shard workers,
+- :class:`ExecutionPlan` — first-class description of *how* to execute a
+  run (engine, workers, shard mode, horizon); the ``RunRequest.execution``
+  field.
+- :func:`run_sharded` — execute a stream dict per an ExecutionPlan,
   bit-identical to the serial engine, with automatic serial fallback.
-- :class:`ShardReport` — how the run was actually executed.
-- :func:`plan_shards` / :class:`ShardPlan` — the shardability decision.
+- :class:`ShardReport` — how the run was actually executed
+  (``RunResult.execution``).
+- :func:`plan_shards` / :class:`ShardPlan` / :class:`ShardRefusal` — the
+  shardability decision and its machine-readable refusal.
 - :class:`EpochUnsafeError` — raised (and handled internally) when a
   shard cannot prove serial branch-identity.
 """
 
 from .engine import ShardReport, run_sharded
 from .fabric import EpochUnsafeError, SENTINEL_BASE
-from .plan import SHARDABLE_POLICIES, ShardPlan, plan_shards
+from .plan import (
+    ExecutionPlan,
+    SHARDABLE_POLICIES,
+    ShardPlan,
+    ShardRefusal,
+    balance_groups,
+    plan_shards,
+    split_sms,
+)
 
 __all__ = [
     "run_sharded",
+    "ExecutionPlan",
     "ShardReport",
     "ShardPlan",
+    "ShardRefusal",
     "plan_shards",
+    "balance_groups",
+    "split_sms",
     "SHARDABLE_POLICIES",
     "EpochUnsafeError",
     "SENTINEL_BASE",

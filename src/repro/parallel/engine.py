@@ -4,8 +4,8 @@ The coordinator owns the authoritative shared memory system (L2 + DRAM,
 configured by the real policy) and drives K shard workers in
 bulk-synchronous rounds:
 
-1. every live shard advances to ``min(threshold, its memory horizon)``,
-   logging deferred L2 traffic;
+1. every live shard advances to ``min(threshold, retire bound, its
+   memory horizon)``, logging deferred L2 traffic;
 2. the logs are k-way merged by ``(visited_cycle, sm_id, log position)``
    — exactly the order the serial loop issues L2 accesses in — and every
    op below the replay floor ``F = min(shard fronts)`` is replayed
@@ -21,10 +21,24 @@ through exactly ``E``, ops at ``E`` are replayed, and the hooks run in
 serial order (epoch, then sample) before the threshold moves to
 ``E + interval``.
 
+Two shard layouts share this protocol (see ``plan.py``):
+
+* **stream mode** — whole streams per shard, each shard with its own CTA
+  scheduler; sound only for SM-partitioned policies and telemetry-off.
+* **sm mode** — the SM array is partitioned into contiguous groups of
+  pure executors (:class:`~repro.parallel.smshard.SMGroupShard`).  All
+  global decisions — CTA launches, quotas, policy epochs, telemetry —
+  run on the coordinator against :class:`MirrorSM` resource mirrors and
+  a :class:`_GpuView` facade.  Shards stop *before* any cycle that would
+  retire a CTA; the coordinator re-runs that cycle as a two-phase
+  coordinated step (free + scheduler bookkeeping + fill + ticks), so the
+  serial loop's exact retire/fill/tick/hook order is preserved.
+
 Determinism: every merge key is total and every replay mutation happens
 in serial order, so ``workers=K`` is bit-identical to the serial engine.
 When a shard raises :class:`EpochUnsafeError` the whole run restarts on
-the serial engine with a pristine policy — identical by construction.
+the serial engine with a pristine policy (and a reset telemetry
+recorder) — identical by construction.
 """
 
 from __future__ import annotations
@@ -32,31 +46,42 @@ from __future__ import annotations
 import copy
 import heapq
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
 from ..isa import KernelTrace
 from ..memory import L2Cache
+from ..timing.cta import CTAScheduler
 from ..timing.gpu import GPU
-from ..timing.stats import GPUStats, OccupancySample
+from ..timing.stats import GPUStats, OccupancySample, StreamStats
 from ..timing.warp import BLOCKED
 from .fabric import EpochUnsafeError, SENTINEL_BASE
-from .plan import plan_shards, shard_policy
+from .plan import (
+    ExecutionPlan, REFUSAL_EPOCH_UNSAFE, ShardPlan, ShardRefusal,
+    plan_shards, shard_policy,
+)
 from .shard import ShardGPU
+from .smshard import CtaShim, MirrorSM, SMGroupShard
 
 
 @dataclass
 class ShardReport:
-    """How a run was actually executed (attached to RunResult)."""
+    """How a run was actually executed (``RunResult.execution``)."""
 
     requested_workers: int = 1
     num_shards: int = 1
     #: True when the sharded engine produced the result; False means the
-    #: serial engine ran (see fallback_reason).
+    #: serial engine ran (see refusal / fallback_reason).
     engaged: bool = False
     fallback_reason: Optional[str] = None
+    #: Structured refusal (machine-readable) behind fallback_reason.
+    refusal: Optional[ShardRefusal] = None
     backend: Optional[str] = None
+    #: Shard layout that ran: "stream", "sm", or None (serial).
+    mode: Optional[str] = None
+    #: The execution plan the caller asked for.
+    execution: ExecutionPlan = field(default_factory=ExecutionPlan)
     #: Coordinator barrier rounds and total ops replayed through the
     #: authoritative L2 (equals the serial run's L2 access count).
     rounds: int = 0
@@ -65,9 +90,33 @@ class ShardReport:
     #: redone serially.
     restarted: bool = False
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requested_workers": self.requested_workers,
+            "num_shards": self.num_shards,
+            "engaged": self.engaged,
+            "fallback_reason": self.fallback_reason,
+            "refusal": self.refusal.to_dict() if self.refusal else None,
+            "backend": self.backend,
+            "mode": self.mode,
+            "execution": self.execution.to_dict(),
+            "rounds": self.rounds,
+            "replayed_ops": self.replayed_ops,
+            "restarted": self.restarted,
+        }
+
+    def describe(self) -> str:
+        """One human line for CLI output / --explain-plan."""
+        if not self.engaged:
+            why = self.refusal.render() if self.refusal else \
+                (self.fallback_reason or "serial engine")
+            return "serial (%s)" % why
+        return "sharded by %s: %d shard(s), %s backend, %d round(s)" % (
+            self.mode, self.num_shards, self.backend, self.rounds)
+
 
 class _InlineShard:
-    """Shard handle running in-process (tests, 1-CPU fallback)."""
+    """Stream-mode shard handle running in-process (tests, 1-CPU fallback)."""
 
     def __init__(self, config: GPUConfig, streams, policy, max_cycles: int) -> None:
         self.gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles)
@@ -89,6 +138,173 @@ class _InlineShard:
 
     def stop(self) -> None:
         pass
+
+
+class _InlineSMShard:
+    """SM-mode shard handle running in-process."""
+
+    def __init__(self, config: GPUConfig, streams, sm_ids,
+                 max_cycles: int) -> None:
+        self.shard = SMGroupShard(config, streams, sm_ids,
+                                  max_cycles=max_cycles)
+
+    def _state(self):
+        s = self.shard
+        return s.front(), s.next_visit(), s.retire_bound(), s.cycle
+
+    def advance(self, limit: int):
+        status = self.shard.advance(limit)
+        return (status,) + self._state() + (self.shard.take_log(),)
+
+    def apply_patches(self, patches):
+        self.shard.apply_patches(patches)
+        return self._state()
+
+    def begin_cycle(self, cycle: int):
+        return self.shard.begin_cycle(cycle)
+
+    def finish_cycle(self, cycle: int, launches):
+        self.shard.finish_cycle(cycle, launches)
+        return self._state() + (self.shard.take_log(),)
+
+    def apply_launches(self, launches, cycle: int, resume: int):
+        self.shard.apply_launches(launches, cycle, resume)
+        return self._state()
+
+    def occupancy(self) -> Dict[int, int]:
+        return self.shard.occupancy_by_stream()
+
+    def snapshot(self, cycle: int):
+        return self.shard.stats, list(self.shard._sm_list)
+
+    def stop(self) -> None:
+        pass
+
+
+class _SMView:
+    """Telemetry-facing view of one remote SM, built from a snapshot dict.
+
+    Provides exactly what the metrics/stall samplers read: ``sm_id``,
+    ``warps_used``, ``issued_by_stream``, ``sample_stalls`` and the two
+    LDST pull hooks (``self.ldst is self``).
+    """
+
+    __slots__ = ("sm_id", "warps_used", "issued_by_stream", "_stalls",
+                 "_mshr", "_icnt", "ldst")
+
+    def __init__(self, snap: dict) -> None:
+        self.sm_id = snap["sm_id"]
+        self.warps_used = snap["warps_used"]
+        self.issued_by_stream = snap["issued_by_stream"]
+        self._stalls = snap["stalls"]
+        self._mshr = snap["mshr_inflight"]
+        self._icnt = snap["icnt_queue_depth"]
+        self.ldst = self
+
+    def sample_stalls(self, cycle: int,
+                      into: Dict[int, Dict[str, int]]) -> None:
+        for stream, reasons in self._stalls.items():
+            bucket = into.get(stream)
+            if bucket is None:
+                bucket = into[stream] = {}
+            for reason, n in reasons.items():
+                bucket[reason] = bucket.get(reason, 0) + n
+
+    def mshr_inflight(self) -> int:
+        return self._mshr
+
+    def icnt_queue_depth(self, cycle: int) -> int:
+        return self._icnt
+
+    def warps_resident_by_stream(self) -> Dict[int, int]:
+        return dict(self.warps_used)
+
+
+def _merge_stream_stats(shard_stats: Sequence[GPUStats],
+                        cstats: GPUStats) -> GPUStats:
+    """Fold per-shard execution counters + coordinator bookkeeping into
+    one GPUStats equal to the serial run's."""
+    merged = GPUStats()
+    merged.cycles = cstats.cycles
+    merged.occupancy_trace = cstats.occupancy_trace
+    merged.l2_snapshots = cstats.l2_snapshots
+    merged.l2_stream_snapshots = cstats.l2_stream_snapshots
+    for stats in shard_stats:
+        for sid, st in stats.streams.items():
+            tgt = merged.stream(sid)
+            tgt.instructions += st.instructions
+            tiu = tgt._issue_by_unit
+            for i, cnt in enumerate(st._issue_by_unit):
+                tiu[i] += cnt
+            tgt.mem_transactions += st.mem_transactions
+            tgt.l1_accesses += st.l1_accesses
+            tgt.l1_hits += st.l1_hits
+            tgt.l1_tex_accesses += st.l1_tex_accesses
+            tgt.l1_tex_hits += st.l1_tex_hits
+            tgt.shared_accesses += st.shared_accesses
+            tgt.ctas_launched += st.ctas_launched
+            tgt.ctas_completed += st.ctas_completed
+            tgt.warps_launched += st.warps_launched
+            if st.first_issue_cycle is not None and (
+                tgt.first_issue_cycle is None
+                or st.first_issue_cycle < tgt.first_issue_cycle
+            ):
+                tgt.first_issue_cycle = st.first_issue_cycle
+            if st.last_commit_cycle > tgt.last_commit_cycle:
+                tgt.last_commit_cycle = st.last_commit_cycle
+    # kernels_completed is bumped only by the coordinator's CTA scheduler
+    # (on the mirror SMs' shared stats object).
+    for sid, st in cstats.streams.items():
+        merged.stream(sid).kernels_completed += st.kernels_completed
+    return merged
+
+
+class _GpuView:
+    """What policy hooks and the telemetry recorder see as "the GPU".
+
+    Sm-mode sharding hosts one real policy and one real telemetry
+    recorder on the coordinator; both read simulator state through this
+    facade at coordinated (fully drained) cycles only.  ``sms`` is the
+    concatenation of the shard groups in global SM-id order — live
+    ShardSM objects inline, snapshot-backed :class:`_SMView` wrappers
+    across a process boundary — and ``stats`` is the merged per-stream
+    view.  ``sync(cycle)`` invalidates both caches.
+    """
+
+    def __init__(self, config: GPUConfig, policy, l2, telemetry,
+                 cstats: GPUStats) -> None:
+        self.config = config
+        self.policy = policy
+        self.l2 = l2
+        self.telemetry = telemetry
+        self.cta_scheduler: Optional[CTAScheduler] = None
+        self._handles: List = []
+        self._cstats = cstats
+        self._cycle = 0
+        self._snaps = None
+
+    def sync(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._snaps = None
+
+    def _snapshot(self):
+        if self._snaps is None:
+            stats = []
+            sms = []
+            for h in self._handles:
+                st, group = h.snapshot(self._cycle)
+                stats.append(st)
+                sms.extend(group)
+            self._snaps = (stats, sms)
+        return self._snaps
+
+    @property
+    def sms(self):
+        return self._snapshot()[1]
+
+    @property
+    def stats(self) -> GPUStats:
+        return _merge_stream_stats(self._snapshot()[0], self._cstats)
 
 
 def _serial_run(config, streams, policy, sample_interval, telemetry,
@@ -205,7 +421,7 @@ def _run_coordinated(config: GPUConfig, streams, policy, sample_interval,
                 fronts[i], nvs[i] = handles[i].apply_patches(p)
         if next_epoch is not None and event >= next_epoch:
             # Serial passes the GPU only for telemetry, which is off in
-            # sharded runs; every certified policy accepts None.
+            # stream-mode sharded runs; every certified policy accepts None.
             policy.on_epoch(None, event)
             next_epoch = event + (epoch or 1)
         if next_sample is not None and event >= next_sample:
@@ -231,60 +447,315 @@ def _run_coordinated(config: GPUConfig, streams, policy, sample_interval,
     return stats
 
 
+def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
+                        telemetry, handles, owner: Sequence[int],
+                        report: ShardReport) -> GPUStats:
+    """Drive SM-group shards; host CTA scheduling, policy and telemetry.
+
+    ``owner[sm_id]`` maps each SM to its shard handle index.  The round
+    protocol extends stream mode with *coordinated retirement cycles*:
+    shards stop before any cycle that would pop a CTA completion, and
+    when the earliest next visited cycle across shards is such a cycle,
+    the coordinator re-runs it in two phases so retirements, the CTA
+    launches they unblock (anywhere on the GPU), ticks and hooks happen
+    in exactly the serial loop's order.
+    """
+    from ..telemetry.recorder import NULL_TELEMETRY
+    from ..timing.cta import PartitionPolicy
+
+    if policy is None:
+        # Match GPU.__init__: unpartitioned runs use the default policy.
+        policy = PartitionPolicy()
+    l2 = L2Cache(config)
+    policy.configure_memory(l2, sorted(streams))
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    cstats = GPUStats()
+    launch_buf: List = []
+    cta_counters: Dict[Tuple[int, int], int] = {}
+    mirrors = [MirrorSM(i, config, cstats, launch_buf, cta_counters)
+               for i in range(config.num_sms)]
+    view = _GpuView(config, policy, l2, tel, cstats)
+    view._handles = handles
+    cta_scheduler = CTAScheduler(config, mirrors, policy, gpu=view)
+    view.cta_scheduler = cta_scheduler
+    for sid, kernels in sorted(streams.items()):
+        cta_scheduler.add_stream(sid, kernels)
+    kernel_info: Dict[Tuple[int, int], Tuple[str, object]] = {}
+    for sid, kernels in streams.items():
+        for k in kernels:
+            kernel_info[(sid, k.uid)] = (k.name,
+                                         k.cta_resources(config.warp_size))
+
+    interval = sample_interval
+    eff_interval = interval if interval else tel.sample_interval
+    next_sample = eff_interval if eff_interval else None
+    epoch = policy.epoch_interval
+    next_epoch = epoch if epoch else None
+    total_slots = config.num_sms * config.max_warps_per_sm
+
+    n = len(handles)
+    queues: List[deque] = [deque() for _ in range(n)]
+    fronts = [0] * n
+    nvs = [0] * n
+    bounds = [BLOCKED] * n
+    cycles = [0] * n
+    statuses = [""] * n
+
+    def dispatch(cmds):
+        per: List[List] = [[] for _ in range(n)]
+        for cmd in cmds:
+            per[owner[cmd[0]]].append(cmd)
+        return per
+
+    def drain_launches():
+        cmds = launch_buf[:]
+        del launch_buf[:]
+        return dispatch(cmds)
+
+    def fire_hooks(event: int) -> None:
+        nonlocal next_epoch, next_sample
+        if next_epoch is not None and event >= next_epoch:
+            view.sync(event)
+            policy.on_epoch(view, event)
+            next_epoch = event + (epoch or 1)
+        if next_sample is not None and event >= next_sample:
+            view.sync(event)
+            if interval:
+                warps: Dict[int, int] = {}
+                for h in handles:
+                    for stream, cnt in h.occupancy().items():
+                        warps[stream] = warps.get(stream, 0) + cnt
+                cstats.occupancy_trace.append(
+                    OccupancySample(event, warps, total_slots))
+                cstats.l2_snapshots.append((event, l2.composition()))
+                cstats.l2_stream_snapshots.append(
+                    (event, l2.composition_by_stream()))
+            tel.on_sample(view, event)
+            next_sample = event + (eff_interval or 1)
+
+    tel.on_run_start(view)
+    cta_scheduler.fill(0)
+    for i, cmds in enumerate(drain_launches()):
+        if cmds:
+            fronts[i], nvs[i], bounds[i], cycles[i] = \
+                handles[i].apply_launches(cmds, 0, 0)
+
+    final: Optional[int] = None
+    while final is None:
+        if next_epoch is not None and next_sample is not None:
+            threshold: Optional[int] = min(next_epoch, next_sample)
+        elif next_epoch is not None:
+            threshold = next_epoch
+        else:
+            threshold = next_sample
+        limit = threshold if threshold is not None else BLOCKED
+        rb = min(bounds)
+        if rb < limit:
+            limit = rb
+        report.rounds += 1
+        for i, h in enumerate(handles):
+            statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], ops = \
+                h.advance(limit)
+            queues[i].extend(ops)
+        floor = min(fronts)
+        patches: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        report.replayed_ops += _replay(queues, l2, floor, patches)
+        patched = False
+        for i, p in enumerate(patches):
+            if p:
+                patched = True
+                fronts[i], nvs[i], bounds[i], cycles[i] = \
+                    handles[i].apply_patches(p)
+        if patched:
+            continue
+        event = min((v for v in nvs if v < SENTINEL_BASE), default=BLOCKED)
+        if event >= SENTINEL_BASE:
+            if any(s == "blocked" for s in statuses):
+                raise EpochUnsafeError(
+                    "shards blocked with no patches to apply")
+            # Global idle.  Serial either launches queued CTAs at the
+            # last visited cycle (without ticking), deadlocks, or is done.
+            c = max(cycles)
+            if cta_scheduler.has_issuable_work:
+                view.sync(c)
+                if cta_scheduler.fill(c) == 0:
+                    raise EpochUnsafeError(
+                        "CTAs pending at cycle %d but no SM can accept them"
+                        % c)
+                for i, cmds in enumerate(drain_launches()):
+                    if cmds:
+                        fronts[i], nvs[i], bounds[i], cycles[i] = \
+                            handles[i].apply_launches(cmds, c, c + 1)
+                continue
+            if not cta_scheduler.all_complete:
+                raise EpochUnsafeError(
+                    "streams incomplete at cycle %d but no work anywhere" % c)
+            final = c  # serial's bottom-of-loop break (hooks can't be due)
+            break
+        if any(f < event for f in fronts):
+            continue
+        retiring = any(statuses[i] == "retire" and nvs[i] == event
+                       for i in range(n))
+        if retiring:
+            # Coordinated retirement cycle.  Every shard has processed
+            # exactly the cycles < event, so this IS the serial loop's
+            # next visited cycle; run it in two phases.
+            R = event
+            all_retires: List = []
+            works = [False] * n
+            for i, h in enumerate(handles):
+                rets, works[i] = h.begin_cycle(R)
+                all_retires.extend(rets)
+            # Shard groups are contiguous ascending SM ranges, so shard
+            # order == global ascending sm_id == serial pop order.
+            for sm_id, stream, uid, launch_cycle, warp_count in all_retires:
+                name, res = kernel_info[(stream, uid)]
+                mirrors[sm_id].free_cta(res, stream)
+                shim = CtaShim(uid, name, stream, launch_cycle, warp_count)
+                tel.on_cta_retire(mirrors[sm_id], shim, R)
+                cta_scheduler.on_cta_complete(mirrors[sm_id], shim, R)
+            launched = 0
+            if all_retires:
+                if cta_scheduler.has_issuable_work:
+                    view.sync(R)
+                    launched = cta_scheduler.fill(R)
+                if cta_scheduler.all_complete and launched == 0 \
+                        and not any(works):
+                    # Serial breaks before ticking the final cycle.
+                    patches = [[] for _ in range(n)]
+                    report.replayed_ops += _replay(queues, l2, BLOCKED,
+                                                   patches)
+                    for i, p in enumerate(patches):
+                        if p:
+                            handles[i].apply_patches(p)
+                    if any(queues):
+                        raise AssertionError(
+                            "ops left unreplayed after completion")
+                    final = R
+                    break
+            per = drain_launches()
+            for i, h in enumerate(handles):
+                fronts[i], nvs[i], bounds[i], cycles[i], ops = \
+                    h.finish_cycle(R, per[i])
+                queues[i].extend(ops)
+            patches = [[] for _ in range(n)]
+            report.replayed_ops += _replay(queues, l2, R + 1, patches)
+            for i, p in enumerate(patches):
+                if p:
+                    fronts[i], nvs[i], bounds[i], cycles[i] = \
+                        handles[i].apply_patches(p)
+            fire_hooks(R)
+            continue
+        if threshold is not None and event >= threshold:
+            # Threshold event, as in stream mode: no retirement can hide
+            # at or below `event` (every retire bound exceeds it), so the
+            # shards advance through exactly `event` and the hooks fire
+            # on fully drained state.
+            for i, h in enumerate(handles):
+                statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], ops = \
+                    h.advance(event + 1)
+                queues[i].extend(ops)
+            patches = [[] for _ in range(n)]
+            report.replayed_ops += _replay(queues, l2, event + 1, patches)
+            for i, p in enumerate(patches):
+                if p:
+                    fronts[i], nvs[i], bounds[i], cycles[i] = \
+                        handles[i].apply_patches(p)
+            fire_hooks(event)
+        # else: the recomputed retire bounds now exceed `event`, so the
+        # next round's limit lets the shards process it.
+
+    cstats.cycles = final
+    shard_stats = [h.snapshot(final)[0] for h in handles]
+    merged = _merge_stream_stats(shard_stats, cstats)
+    view.sync(final)
+    tel.on_run_end(view)
+    return merged
+
+
 def run_sharded(
     config: GPUConfig,
     streams: Dict[int, Sequence[KernelTrace]],
     policy=None,
     sample_interval: Optional[int] = None,
     telemetry=None,
-    workers: int = 1,
+    execution: Optional[ExecutionPlan] = None,
+    workers: Optional[int] = None,
     backend: Optional[str] = None,
     max_cycles: int = 200_000_000,
     arrivals: Optional[Dict[int, Sequence[int]]] = None,
 ) -> Tuple[GPUStats, object, ShardReport]:
-    """Execute ``streams``, sharded across ``workers`` where sound.
+    """Execute ``streams`` per the :class:`ExecutionPlan`.
 
     Returns ``(stats, policy, report)``.  Falls back to the serial engine
-    (same results, ``report.engaged = False``) whenever the plan or an
-    epoch-safety check says sharding cannot be proven bit-identical.
-    Open-loop ``arrivals`` always run serially: the shard coordinator's
-    threshold-event proof does not yet cover arrival-gated issue.
+    (same results, ``report.engaged = False``, ``report.refusal`` set)
+    whenever the plan or an epoch-safety check says sharding cannot be
+    proven bit-identical.  ``workers=``/``backend=`` are legacy
+    shorthands for an :class:`ExecutionPlan`.
     """
-    if arrivals:
-        report = ShardReport(requested_workers=workers)
-        report.fallback_reason = "open-loop arrivals require the serial engine"
+    if execution is None:
+        engine = "auto"
+        if backend == "process":
+            engine = "process"
+        elif backend == "inline":
+            engine = "sharded"
+        execution = ExecutionPlan(engine=engine,
+                                  workers=workers if workers else 1)
+    else:
+        execution = ExecutionPlan.coerce(execution)
+    report = ShardReport(requested_workers=execution.workers,
+                         execution=execution)
+
+    plan, refusal = plan_shards(policy, streams, config=config,
+                                execution=execution, telemetry=telemetry,
+                                arrivals=bool(arrivals))
+    if plan is None:
+        report.refusal = refusal
+        report.fallback_reason = refusal.render()
         stats = _serial_run(config, streams, policy, sample_interval,
                             telemetry, max_cycles, arrivals=arrivals)
-        return stats, policy, report
-    plan, reason = plan_shards(policy, streams.keys(), workers, telemetry)
-    report = ShardReport(requested_workers=workers)
-    if plan is None:
-        report.fallback_reason = reason
-        stats = _serial_run(config, streams, policy, sample_interval,
-                            telemetry, max_cycles)
         return stats, policy, report
 
     pristine = copy.deepcopy(policy)
     report.num_shards = plan.num_shards
-    if backend is None:
+    report.mode = plan.mode
+    resolved_backend = execution.backend
+    if resolved_backend is None:
         from .worker import fork_available
-        backend = "process" if fork_available() else "inline"
-    report.backend = backend
+        resolved_backend = "process" if fork_available() else "inline"
+    report.backend = resolved_backend
     handles = []
     try:
         try:
-            for group in plan.groups:
-                group_streams = {sid: streams[sid] for sid in group}
-                spolicy = shard_policy(plan, group)
-                if backend == "process":
-                    from .worker import ProcessShard
-                    handles.append(ProcessShard(config, group_streams,
-                                                spolicy, max_cycles))
-                else:
-                    handles.append(_InlineShard(config, group_streams,
-                                                spolicy, max_cycles))
-            stats = _run_coordinated(config, streams, policy, sample_interval,
-                                     handles, report, sorted(streams))
+            if plan.mode == "stream":
+                for group in plan.groups:
+                    group_streams = {sid: streams[sid] for sid in group}
+                    spolicy = shard_policy(plan, group)
+                    if resolved_backend == "process":
+                        from .worker import ProcessShard
+                        handles.append(ProcessShard(config, group_streams,
+                                                    spolicy, max_cycles))
+                    else:
+                        handles.append(_InlineShard(config, group_streams,
+                                                    spolicy, max_cycles))
+                stats = _run_coordinated(config, streams, policy,
+                                         sample_interval, handles, report,
+                                         sorted(streams))
+            else:
+                owner = [0] * config.num_sms
+                for idx, group in enumerate(plan.sm_groups):
+                    for sm_id in group:
+                        owner[sm_id] = idx
+                    if resolved_backend == "process":
+                        from .worker import ProcessSMShard
+                        handles.append(ProcessSMShard(config, streams,
+                                                      group, max_cycles))
+                    else:
+                        handles.append(_InlineSMShard(config, streams,
+                                                      group, max_cycles))
+                stats = _run_sm_coordinated(config, streams, policy,
+                                            sample_interval, telemetry,
+                                            handles, owner, report)
             report.engaged = True
             return stats, policy, report
         finally:
@@ -293,7 +764,10 @@ def run_sharded(
     except EpochUnsafeError as exc:
         report.engaged = False
         report.restarted = True
-        report.fallback_reason = "epoch-unsafe, redone serially: %s" % exc
+        report.refusal = ShardRefusal(REFUSAL_EPOCH_UNSAFE, str(exc))
+        report.fallback_reason = report.refusal.render()
+        if telemetry is not None:
+            telemetry.reset()
         stats = _serial_run(config, streams, pristine, sample_interval,
                             telemetry, max_cycles)
         return stats, pristine, report

@@ -1,15 +1,23 @@
 """Shard planning: decide whether and how a run can be sharded.
 
-Sharding is only sound when the partition policy dedicates disjoint SM
-sets to the streams — then every SM, L1, warp and CTA decision is local to
-one shard and the only shared state (L2/ICNT/DRAM, plus TAP's monitors
-which live on the L2) sits behind the deferred fabric.  That covers the
-MPS family: ``mps``, ``mig`` and ``tap``.  ``shared``, ``fg-even`` and
-``warped-slicer`` co-schedule streams on the same SMs, so they fall back
-to the serial engine (bit-identical by definition).
+Two sharding modes exist, selected per run by :func:`plan_shards`:
 
-The plan groups streams — a shard owns whole streams, never a fraction of
-one — round-robin over ``min(workers, len(streams))`` shard workers.
+* **stream mode** — the original PR-4 design: the partition policy
+  dedicates disjoint SM sets to the streams (``mps``/``mig``/``tap``), so
+  whole streams are grouped onto shard workers and every SM, L1, warp and
+  CTA decision is shard-local.  Only the shared memory system (L2, ICNT,
+  DRAM) sits behind the deferred fabric.
+* **sm mode** — the SM array itself is partitioned into contiguous shard
+  groups and a stream may be resident on every shard.  All *global*
+  decisions (CTA launch, quotas, policy epochs, telemetry hooks) run on
+  the coordinator against mirror SMs; shards execute warps and defer
+  shared-memory traffic exactly as in stream mode.  This covers
+  ``shared``/``fg-even``/``warped-slicer`` and every telemetry-on run.
+
+The caller describes *how* it wants to execute via :class:`ExecutionPlan`
+(the ``RunRequest.execution`` field); the planner answers with a
+:class:`ShardPlan` or a machine-readable :class:`ShardRefusal` that
+``repro simulate --explain-plan`` renders.
 """
 
 from __future__ import annotations
@@ -20,64 +28,291 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.partition import MiGPolicy, MPSPolicy
 from ..core.tap import TAPPolicy
 
-#: Policy types certified shard-safe: disjoint ``sm_assignment`` (validated
-#: by MPSPolicy), ``quota``/``on_kernel_start`` inherited no-ops, and all
-#: memory-side behaviour (MiG bank routing, TAP monitors + repartitioning)
-#: living on the authoritative L2 the coordinator replays against.
+#: Policy types certified for *stream mode*: disjoint ``sm_assignment``
+#: (validated by MPSPolicy), ``quota``/``on_kernel_start`` inherited
+#: no-ops, and all memory-side behaviour (MiG bank routing, TAP monitors +
+#: repartitioning) living on the authoritative L2 the coordinator replays
+#: against.  Everything else shards in sm mode.
 SHARDABLE_POLICIES = (MPSPolicy, MiGPolicy, TAPPolicy)
+
+ENGINES = ("auto", "serial", "sharded", "process")
+SHARD_MODES = ("auto", "stream", "sm")
+
+#: Machine-readable refusal codes (``ShardRefusal.code``).
+REFUSAL_SERIAL_REQUESTED = "serial-requested"
+REFUSAL_WORKERS = "workers-not-parallel"
+REFUSAL_ARRIVALS = "open-loop-arrivals"
+REFUSAL_SINGLE_SM = "single-sm"
+REFUSAL_SINGLE_STREAM = "single-stream"
+REFUSAL_POLICY_NOT_PARTITIONED = "policy-not-sm-partitioned"
+REFUSAL_NO_ASSIGNMENT = "no-sm-assignment"
+REFUSAL_STREAM_WITHOUT_SMS = "stream-without-sms"
+REFUSAL_TELEMETRY_STREAM_MODE = "telemetry-needs-sm-mode"
+REFUSAL_TELEMETRY_SERIAL = "telemetry-requires-serial"
+REFUSAL_EPOCH_UNSAFE = "epoch-unsafe"
+
+_REFUSAL_PROSE = {
+    REFUSAL_SERIAL_REQUESTED: "the execution plan requested the serial engine",
+    REFUSAL_WORKERS: "workers <= 1 leaves nothing to parallelise",
+    REFUSAL_ARRIVALS: "open-loop arrivals require the serial engine",
+    REFUSAL_SINGLE_SM: "a single-SM GPU cannot be partitioned into shards",
+    REFUSAL_SINGLE_STREAM: "stream-mode sharding needs at least two streams",
+    REFUSAL_POLICY_NOT_PARTITIONED:
+        "the policy does not dedicate SMs per stream (use shard_by='sm')",
+    REFUSAL_NO_ASSIGNMENT: "the policy has no SM assignment",
+    REFUSAL_STREAM_WITHOUT_SMS: "a stream has no dedicated SM set",
+    REFUSAL_TELEMETRY_STREAM_MODE:
+        "telemetry hooks are coordinator-side; stream mode cannot host them "
+        "(use shard_by='sm')",
+    REFUSAL_TELEMETRY_SERIAL:
+        "the attached telemetry walks serial-engine internals "
+        "(requires_serial=True)",
+    REFUSAL_EPOCH_UNSAFE:
+        "a shard could not prove bit-identity; the run was redone serially",
+}
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """First-class description of *how* to execute one simulation.
+
+    ``engine``: ``auto`` (serial for ``workers<=1``, else sharded with the
+    best available backend), ``serial`` (force the serial event loop),
+    ``sharded`` (in-process shard workers — deterministic, test-friendly)
+    or ``process`` (forked shard workers — the actual speedup).
+
+    ``shard_by``: ``stream`` groups whole streams per shard (requires an
+    SM-partitioned policy), ``sm`` partitions the SM array itself, and
+    ``auto`` picks stream mode when it is sound and sm mode otherwise.
+
+    ``horizon`` optionally caps how many cycles past the replay floor a
+    shard may run ahead per coordinator round (the epoch-horizon knob);
+    ``None`` lets the memory horizon alone bound the window.
+    """
+
+    engine: str = "auto"
+    workers: int = 1
+    shard_by: str = "auto"
+    horizon: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError("engine must be one of %s, not %r"
+                             % (ENGINES, self.engine))
+        if self.shard_by not in SHARD_MODES:
+            raise ValueError("shard_by must be one of %s, not %r"
+                             % (SHARD_MODES, self.shard_by))
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.horizon is not None and self.horizon < 1:
+            raise ValueError("horizon must be >= 1 when given")
+
+    @property
+    def wants_parallel(self) -> bool:
+        return self.engine != "serial" and self.workers > 1
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Shard-worker backend implied by ``engine`` (None = auto)."""
+        if self.engine == "process":
+            return "process"
+        if self.engine == "sharded":
+            return "inline"
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"engine": self.engine, "workers": self.workers,
+                "shard_by": self.shard_by, "horizon": self.horizon}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExecutionPlan":
+        return cls(engine=str(data.get("engine", "auto")),
+                   workers=int(data.get("workers", 1)),
+                   shard_by=str(data.get("shard_by", "auto")),
+                   horizon=data.get("horizon"))
+
+    @classmethod
+    def coerce(cls, value) -> "ExecutionPlan":
+        """Accept a plan, a dict, or a bare worker count."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        if isinstance(value, int):
+            return cls(workers=value)
+        raise TypeError("cannot build an ExecutionPlan from %r" % (value,))
+
+
+@dataclass(frozen=True)
+class ShardRefusal:
+    """Why a run cannot (or did not) shard — machine-readable."""
+
+    code: str
+    detail: str = ""
+
+    def render(self) -> str:
+        prose = _REFUSAL_PROSE.get(self.code, self.code)
+        return "%s: %s (%s)" % (self.code, prose, self.detail) if self.detail \
+            else "%s: %s" % (self.code, prose)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"code": self.code, "detail": self.detail}
 
 
 @dataclass
 class ShardPlan:
-    """Stream grouping for one sharded run."""
+    """Shard layout for one run."""
 
-    #: Stream ids per shard worker (each inner list non-empty).
+    #: "stream" or "sm".
+    mode: str = "stream"
+    #: Stream-mode: stream ids per shard worker (each inner list non-empty).
     groups: List[List[int]] = field(default_factory=list)
-    #: Full stream -> SM-id assignment, from the policy.
+    #: Stream-mode: full stream -> SM-id assignment, from the policy.
     assignment: Dict[int, List[int]] = field(default_factory=dict)
+    #: SM-mode: SM ids per shard worker (contiguous, disjoint, covering).
+    sm_groups: List[List[int]] = field(default_factory=list)
 
     @property
     def num_shards(self) -> int:
-        return len(self.groups)
+        return len(self.groups) if self.mode == "stream" else len(self.sm_groups)
+
+    def describe(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"mode": self.mode,
+                                  "num_shards": self.num_shards}
+        if self.mode == "stream":
+            out["groups"] = [list(g) for g in self.groups]
+        else:
+            out["sm_groups"] = [list(g) for g in self.sm_groups]
+        return out
 
 
-def plan_shards(policy, stream_ids: Sequence[int],
-                workers: int, telemetry=None
-                ) -> Tuple[Optional[ShardPlan], Optional[str]]:
-    """Return ``(plan, None)`` if the run can shard, else ``(None, reason)``.
+def _stream_weights(streams) -> Dict[int, int]:
+    """Total trace length per stream (1 when only ids were given)."""
+    weights: Dict[int, int] = {}
+    if isinstance(streams, dict):
+        for sid, kernels in streams.items():
+            try:
+                weights[sid] = sum(k.num_instructions for k in kernels) or 1
+            except (TypeError, AttributeError):
+                weights[sid] = 1
+    else:
+        for sid in streams:
+            weights[sid] = 1
+    return weights
 
-    ``reason`` is a short human-readable explanation recorded in the run
-    report so a user asking for ``workers=K`` can see why a run stayed
-    serial.
+
+def balance_groups(weights: Dict[int, int], k: int) -> List[List[int]]:
+    """Group streams onto ``k`` shards, balancing total instruction count.
+
+    Greedy longest-processing-time: heaviest stream first onto the
+    currently lightest shard (ties broken on the lower shard index, then
+    the lower stream id — fully deterministic).  Groups come back with
+    their stream ids sorted and empty groups dropped.
     """
-    streams = sorted(stream_ids)
-    if workers <= 1:
-        return None, "workers <= 1"
-    if len(streams) < 2:
-        return None, "single stream (nothing to shard)"
-    if telemetry is not None and getattr(telemetry, "enabled", False):
-        return None, "telemetry recorder attached (hooks need the serial loop)"
-    if policy is None:
-        return None, "no partition policy (fully shared GPU)"
-    if type(policy) not in SHARDABLE_POLICIES:
-        return None, "policy %r does not dedicate SMs per stream" % policy.name
+    k = min(k, len(weights))
+    loads = [0] * k
+    groups: List[List[int]] = [[] for _ in range(k)]
+    order = sorted(weights, key=lambda sid: (-weights[sid], sid))
+    for sid in order:
+        i = min(range(k), key=lambda j: (loads[j], j))
+        loads[i] += weights[sid]
+        groups[i].append(sid)
+    out = [sorted(g) for g in groups if g]
+    return out
+
+
+def split_sms(num_sms: int, k: int) -> List[List[int]]:
+    """Contiguous even partition of the SM array into ``k`` groups."""
+    k = min(k, num_sms)
+    base, extra = divmod(num_sms, k)
+    groups: List[List[int]] = []
+    start = 0
+    for i in range(k):
+        size = base + (1 if i < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def _plan_stream_mode(policy, streams, workers: int
+                      ) -> Tuple[Optional[ShardPlan], Optional[ShardRefusal]]:
+    ids = sorted(streams)
+    if len(ids) < 2:
+        return None, ShardRefusal(REFUSAL_SINGLE_STREAM,
+                                  "%d stream(s)" % len(ids))
+    if policy is None or type(policy) not in SHARDABLE_POLICIES:
+        name = getattr(policy, "name", None)
+        return None, ShardRefusal(REFUSAL_POLICY_NOT_PARTITIONED,
+                                  "policy=%s" % name)
     assignment = getattr(policy, "sm_assignment", None)
     if not assignment:
-        return None, "policy has no SM assignment"
-    for sid in streams:
+        return None, ShardRefusal(REFUSAL_NO_ASSIGNMENT,
+                                  "policy=%s" % policy.name)
+    for sid in ids:
         if not assignment.get(sid):
-            return None, "stream %d has no dedicated SM set" % sid
-    k = min(workers, len(streams))
-    groups: List[List[int]] = [[] for _ in range(k)]
-    for i, sid in enumerate(streams):
-        groups[i % k].append(sid)
-    plan = ShardPlan(groups=groups,
-                     assignment={sid: list(assignment[sid]) for sid in streams})
+            return None, ShardRefusal(REFUSAL_STREAM_WITHOUT_SMS,
+                                      "stream %d" % sid)
+    groups = balance_groups(_stream_weights(streams), workers)
+    plan = ShardPlan(mode="stream", groups=groups,
+                     assignment={sid: list(assignment[sid]) for sid in ids})
     return plan, None
 
 
+def _plan_sm_mode(num_sms: int, workers: int
+                  ) -> Tuple[Optional[ShardPlan], Optional[ShardRefusal]]:
+    if num_sms < 2:
+        return None, ShardRefusal(REFUSAL_SINGLE_SM, "num_sms=%d" % num_sms)
+    return ShardPlan(mode="sm", sm_groups=split_sms(num_sms, workers)), None
+
+
+def plan_shards(policy, streams, config=None, execution=None, telemetry=None,
+                arrivals: bool = False, workers: Optional[int] = None,
+                ) -> Tuple[Optional[ShardPlan], Optional[ShardRefusal]]:
+    """Return ``(plan, None)`` if the run can shard, else ``(None, refusal)``.
+
+    ``streams`` is the stream dict (ids alone also work, losing only the
+    load balancing); ``config`` supplies ``num_sms`` for sm mode;
+    ``execution`` is the caller's :class:`ExecutionPlan` (``workers=`` is
+    a legacy shorthand for ``ExecutionPlan(workers=N)``).
+    """
+    if execution is None:
+        execution = ExecutionPlan(workers=workers if workers else 1)
+    if execution.engine == "serial":
+        return None, ShardRefusal(REFUSAL_SERIAL_REQUESTED)
+    # Structural refusals outrank the workers count: they hold at every
+    # worker count, so reports stay stable across execution plans.
+    if arrivals:
+        return None, ShardRefusal(REFUSAL_ARRIVALS)
+    if execution.workers <= 1:
+        return None, ShardRefusal(REFUSAL_WORKERS,
+                                  "workers=%d" % execution.workers)
+    if telemetry is not None and getattr(telemetry, "requires_serial", False):
+        return None, ShardRefusal(REFUSAL_TELEMETRY_SERIAL,
+                                  type(telemetry).__name__)
+    telemetry_on = telemetry is not None and getattr(telemetry, "enabled",
+                                                     False)
+    num_sms = getattr(config, "num_sms", 0) if config is not None else 0
+    mode = execution.shard_by
+    if mode == "stream":
+        if telemetry_on:
+            return None, ShardRefusal(REFUSAL_TELEMETRY_STREAM_MODE)
+        return _plan_stream_mode(policy, streams, execution.workers)
+    if mode == "sm":
+        return _plan_sm_mode(num_sms, execution.workers)
+    # auto: stream mode when it is sound (and telemetry is off — the
+    # telemetry hooks run coordinator-side, which only sm mode supports);
+    # otherwise sm mode.
+    if not telemetry_on:
+        plan, _ = _plan_stream_mode(policy, streams, execution.workers)
+        if plan is not None:
+            return plan, None
+    return _plan_sm_mode(num_sms, execution.workers)
+
+
 def shard_policy(plan: ShardPlan, group: List[int]) -> MPSPolicy:
-    """Build the stripped per-shard policy for one stream group.
+    """Build the stripped per-shard policy for one stream-mode group.
 
     A plain MPSPolicy over the group's SM assignment reproduces the serial
     CTA-launch decisions exactly: for every certified policy the scheduler

@@ -90,6 +90,43 @@ class ShardScheduler(GTOScheduler):
             ready = nf
         return ready if ready > cycle else cycle
 
+    def stall_reason(self, slot: int, cycle: int) -> str:
+        """Serial classifier re-derived by walking the scoreboard.
+
+        The serial scheduler classifies against the cached
+        ``next_ready``, which the shard path does not maintain.  The
+        cache always equals ``max(stall_until, current-instruction dep
+        ready cycles)`` — it is recomputed from ``stall_until`` at every
+        commit and every ``stall_until`` raise, and the barrier release
+        path raises both in lockstep — so a fresh walk gives the same
+        verdict.  Telemetry hooks only fire at fully-drained coordinated
+        cycles, where every scoreboard operand is a patched real value.
+        """
+        from ..telemetry.stall import (
+            READY, STALL_BARRIER, STALL_LDST_QUEUE, STALL_NO_INSTRUCTION,
+            STALL_PIPE_BUSY, STALL_SCOREBOARD,
+        )
+        st = self.state
+        if st.done[slot]:
+            return STALL_NO_INSTRUCTION
+        if st.barrier[slot]:
+            return STALL_BARRIER
+        entry = st.cur[slot]
+        ready = st.stall_until[slot]
+        sb = st.sb
+        base = st.sb_base[slot]
+        for reg in entry[IE_REGS]:
+            t = sb[base + reg]
+            if t > ready:
+                ready = t
+        if ready > cycle:
+            return STALL_SCOREBOARD
+        if self._pnf[entry[IE_UNIT_IDX]] > cycle:
+            if entry[IE_USES_LDST]:
+                return STALL_LDST_QUEUE
+            return STALL_PIPE_BUSY
+        return READY
+
     def pick(self, cycle: int) -> int:
         self._picked_from_heap = False
         st = self.state

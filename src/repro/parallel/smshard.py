@@ -1,0 +1,490 @@
+"""SM-group sharding: shard executors and the coordinator's mirror SMs.
+
+Stream-mode sharding (``shard.py``) gives every shard a private CTA
+scheduler, which is only sound when the partition policy dedicates
+disjoint SM sets per stream.  SM-group sharding inverts the split so the
+*global* decisions stay in one place: the SM array is partitioned into
+contiguous groups, each :class:`SMGroupShard` executes warps for its
+group's SMs (deferring shared-memory traffic through the fabric exactly
+like stream mode), and every CTA-launch, quota, policy-epoch and
+telemetry decision runs on the coordinator against :class:`MirrorSM`
+resource mirrors.
+
+The cycle-level contract with the serial loop:
+
+* a shard ``advance()``\\ s through tick-only cycles on its own, but stops
+  *before* any visited cycle that would retire a CTA (``"retire"``), so
+  the retirement — and the launches it may unblock anywhere on the GPU —
+  happens under coordination;
+* :meth:`SMGroupShard.retire_bound` lower-bounds the next cycle this
+  shard could possibly retire at; the coordinator caps every shard's
+  advance at the minimum bound across shards, so no shard runs past a
+  cycle where another shard's retirement could have launched new CTAs
+  onto it;
+* a coordinated retirement cycle ``R`` is processed in two phases that
+  mirror one iteration of the serial loop: :meth:`begin_cycle` (pop due
+  SMs, free retired CTAs, report them) and — after the coordinator has
+  replayed the retirements through the real CTA scheduler and run
+  ``fill`` on the mirrors — :meth:`finish_cycle` (apply the launch
+  commands, tick every due SM at ``R``).
+
+Both phases keep the serial engine's exact per-cycle order: due SMs in
+ascending global SM id (shard groups are contiguous, so concatenating
+per-shard retire lists in shard order *is* the global order),
+completions before fill, fill before ticks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GPUConfig
+from ..isa import CTAResources, KernelTrace
+from ..timing.gpu import _sm_id
+from ..timing.stats import GPUStats
+from ..timing.warp import BLOCKED
+from .fabric import SENTINEL_BASE, ShardFabric
+from .shard import ShardSM
+
+#: Launch command: (sm_id, stream, kernel uid, cta index).  CTA indices
+#: are allocated strictly sequentially per kernel (``StreamQueue.take_cta``
+#: pops ``kernel.ctas[next_cta]``), so an index is enough for a worker
+#: process to find the same CTA in its forked copy of the trace.
+LaunchCmd = Tuple[int, int, int, int]
+
+#: Retire report: (sm_id, stream, kernel uid, launch_cycle, warp count),
+#: in the exact order the shard freed the CTAs.
+RetireRec = Tuple[int, int, int, int, int]
+
+
+class _MirrorResident:
+    """Launch-command stub standing in for the serial ``ResidentCTA``.
+
+    The CTA scheduler's only post-launch touch is ``launch_cycle``.
+    """
+
+    __slots__ = ("launch_cycle",)
+
+    def __init__(self) -> None:
+        self.launch_cycle = 0
+
+
+class MirrorSM:
+    """Coordinator-side resource mirror of one SM.
+
+    Tracks exactly the counters the CTA scheduler's placement decisions
+    read — free/used resources per stream — and turns ``launch_cta`` into
+    a launch command instead of building warps.  Execution-side counters
+    (``ctas_launched``, ``warps_launched``, ``issued_by_stream``) belong
+    to the shard that actually runs the CTA; the only stat flowing
+    through the mirror is ``kernels_completed``, which the CTA scheduler
+    bumps on ``stats`` (the coordinator's ``GPUStats``).
+    """
+
+    __slots__ = (
+        "sm_id", "config", "stats", "free_threads", "free_registers",
+        "free_shared_mem", "free_warp_slots", "free_cta_slots",
+        "threads_used", "registers_used", "shared_used", "warps_used",
+        "_launches", "_cta_counters",
+    )
+
+    def __init__(self, sm_id: int, config: GPUConfig, stats: GPUStats,
+                 launches: List[LaunchCmd],
+                 cta_counters: Dict[Tuple[int, int], int]) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.stats = stats
+        self.free_threads = config.max_threads_per_sm
+        self.free_registers = config.registers_per_sm
+        self.free_shared_mem = config.shared_mem_per_sm
+        self.free_warp_slots = config.max_warps_per_sm
+        self.free_cta_slots = config.max_ctas_per_sm
+        self.threads_used: Dict[int, int] = {}
+        self.registers_used: Dict[int, int] = {}
+        self.shared_used: Dict[int, int] = {}
+        self.warps_used: Dict[int, int] = {}
+        self._launches = launches
+        self._cta_counters = cta_counters
+
+    def fits(self, res: CTAResources) -> bool:
+        return self.free_cta_slots > 0 and res.fits_in(
+            self.free_threads, self.free_registers,
+            self.free_shared_mem, self.free_warp_slots)
+
+    def stream_usage(self, stream: int) -> CTAResources:
+        return CTAResources(
+            threads=self.threads_used.get(stream, 0),
+            registers=self.registers_used.get(stream, 0),
+            shared_mem=self.shared_used.get(stream, 0),
+            warps=self.warps_used.get(stream, 0),
+        )
+
+    def launch_cta(self, kernel: KernelTrace, trace, stream: int) -> _MirrorResident:
+        res = kernel.cta_resources(self.config.warp_size)
+        if not self.fits(res):
+            raise RuntimeError("CTA does not fit on SM%d" % self.sm_id)
+        self.free_threads -= res.threads
+        self.free_registers -= res.registers
+        self.free_shared_mem -= res.shared_mem
+        self.free_warp_slots -= res.warps
+        self.free_cta_slots -= 1
+        self.threads_used[stream] = self.threads_used.get(stream, 0) + res.threads
+        self.registers_used[stream] = self.registers_used.get(stream, 0) + res.registers
+        self.shared_used[stream] = self.shared_used.get(stream, 0) + res.shared_mem
+        self.warps_used[stream] = self.warps_used.get(stream, 0) + res.warps
+        key = (stream, kernel.uid)
+        index = self._cta_counters.get(key, 0)
+        self._cta_counters[key] = index + 1
+        self._launches.append((self.sm_id, stream, kernel.uid, index))
+        return _MirrorResident()
+
+    def free_cta(self, res: CTAResources, stream: int) -> None:
+        """Reverse of :meth:`launch_cta`'s accounting (serial ``_free_cta``)."""
+        self.free_threads += res.threads
+        self.free_registers += res.registers
+        self.free_shared_mem += res.shared_mem
+        self.free_warp_slots += res.warps
+        self.free_cta_slots += 1
+        self.threads_used[stream] -= res.threads
+        self.registers_used[stream] -= res.registers
+        self.shared_used[stream] -= res.shared_mem
+        self.warps_used[stream] -= res.warps
+
+
+class _KernelRef:
+    """Name/uid carrier for coordinator-side telemetry and retire plumbing."""
+
+    __slots__ = ("uid", "name")
+
+    def __init__(self, uid: int, name: str) -> None:
+        self.uid = uid
+        self.name = name
+
+
+class CtaShim:
+    """Retired-CTA view rebuilt from a shard's :data:`RetireRec`.
+
+    Satisfies what ``CTAScheduler.on_cta_complete`` and
+    ``Telemetry.on_cta_retire`` read: ``stream``, ``kernel.uid``,
+    ``kernel.name``, ``launch_cycle`` and ``len(cta.warps)``.
+    """
+
+    __slots__ = ("kernel", "stream", "launch_cycle", "warps")
+
+    def __init__(self, uid: int, name: str, stream: int, launch_cycle: int,
+                 warp_count: int) -> None:
+        self.kernel = _KernelRef(uid, name)
+        self.stream = stream
+        self.launch_cycle = launch_cycle
+        self.warps = (None,) * warp_count
+
+
+class SMGroupShard:
+    """Executor for one contiguous group of SMs (no CTA scheduler).
+
+    Holds the full stream dict only to resolve launch commands
+    (kernel uid + CTA index) against its own copy of the traces; kernel
+    queueing, launch placement and retirement bookkeeping are all the
+    coordinator's.
+    """
+
+    def __init__(self, config: GPUConfig,
+                 streams: Dict[int, Sequence[KernelTrace]],
+                 sm_ids: Sequence[int],
+                 max_cycles: int = 200_000_000) -> None:
+        self.config = config
+        self.stats = GPUStats()
+        self.fabric = ShardFabric(config)
+        self.max_cycles = max_cycles
+        self.sm_ids = sorted(sm_ids)
+        self.sms: Dict[int, ShardSM] = {}
+        self._sm_list: List[ShardSM] = []
+        for i in self.sm_ids:
+            sm = ShardSM(i, config, self.fabric, self.stats,
+                         on_cta_complete=self._cta_retired)
+            sm._queued_event = BLOCKED
+            sm.event_sink = self._push_event
+            self.sms[i] = sm
+            self._sm_list.append(sm)
+        self._kernels: Dict[Tuple[int, int], KernelTrace] = {}
+        for sid, kernels in sorted(streams.items()):
+            for k in kernels:
+                self._kernels[(sid, k.uid)] = k
+        self.cycle = 0
+        self._event_heap: List = []
+        self._next_visit = 0
+        self._retires: List[RetireRec] = []
+        self._due: List[ShardSM] = []
+
+    # -- serial-loop plumbing -----------------------------------------------
+    def _cta_retired(self, sm: ShardSM, cta) -> None:
+        self._retires.append((sm.sm_id, cta.stream, cta.kernel.uid,
+                              cta.launch_cycle, len(cta.warps)))
+
+    def _push_event(self, sm: ShardSM, t: int) -> None:
+        if t < sm._queued_event:
+            sm._queued_event = t
+            heapq.heappush(self._event_heap, (t, sm.sm_id, sm))
+
+    def _pop_due(self, cycle: int, into: List[ShardSM]) -> bool:
+        heap = self._event_heap
+        added = False
+        while heap and heap[0][0] <= cycle:
+            t, _, sm = heapq.heappop(heap)
+            if t != sm._queued_event:
+                continue
+            sm._queued_event = BLOCKED
+            into.append(sm)
+            added = True
+        return added
+
+    def _heap_top(self) -> int:
+        heap = self._event_heap
+        while heap:
+            t, _, sm = heap[0]
+            if t != sm._queued_event:
+                heapq.heappop(heap)
+                continue
+            return t
+        return BLOCKED
+
+    def _completion_top(self) -> Optional[int]:
+        best: Optional[int] = None
+        for sm in self._sm_list:
+            c = sm._completions
+            if c and (best is None or c[0][0] < best):
+                best = c[0][0]
+        return best
+
+    # -- coordinator surface ------------------------------------------------
+    def front(self) -> int:
+        """Every op this shard will ever log has ``visit >= front()``."""
+        nv = self._next_visit
+        mh = self.fabric.mem_horizon()
+        return nv if nv < mh else mh
+
+    def next_visit(self) -> int:
+        return self._next_visit
+
+    def take_log(self) -> List:
+        log = self.fabric.log
+        self.fabric.log = []
+        return log
+
+    def retire_bound(self) -> int:
+        """No retirement of this shard is *coordinated* below this cycle.
+
+        Three lower bounds on the completion values still to be popped —
+        queued completions, live CTAs (each remaining instruction costs
+        at least a cycle past the replay front), deferred retires (their
+        patched completions land at or past the memory horizon) — and
+        the front itself, because a retirement stop happens at a visited
+        cycle, which is never below the front.
+        """
+        best = BLOCKED
+        mh: Optional[int] = None
+        front = self.front()
+        for sm in self._sm_list:
+            c = sm._completions
+            if c and c[0][0] < best:
+                best = c[0][0]
+            if sm._deferred_retires:
+                if mh is None:
+                    mh = self.fabric.mem_horizon()
+                if mh < best:
+                    best = mh
+            st = sm.slot_state
+            done = st.done
+            pcs = st.pc
+            n_insts = st.n_insts
+            for cta in sm.resident:
+                if cta.live_warps <= 0:
+                    continue
+                rem = 0
+                for w in cta.warps:
+                    slot = w.slot
+                    if not done[slot]:
+                        r = n_insts[slot] - pcs[slot]
+                        if r > rem:
+                            rem = r
+                if front + rem < best:
+                    best = front + rem
+        if best < BLOCKED and front > best:
+            return front
+        return best
+
+    def apply_patches(self, patches) -> None:
+        touched = self.fabric.apply_patches(patches)
+        for sm in touched:
+            sm.flush_deferred_retires()
+            t = sm.next_event(self.cycle)
+            sm.next_event_cache = t
+            if t < BLOCKED:
+                self._push_event(sm, t)
+        if touched:
+            heap = self._event_heap
+            while heap:
+                t, _, sm = heap[0]
+                if t != sm._queued_event:
+                    heapq.heappop(heap)
+                    continue
+                if t < self._next_visit:
+                    self._next_visit = t
+                break
+
+    def occupancy_by_stream(self) -> Dict[int, int]:
+        warps: Dict[int, int] = {}
+        for sm in self._sm_list:
+            for stream, n in sm.warps_resident_by_stream().items():
+                if n:
+                    warps[stream] = warps.get(stream, 0) + n
+        return warps
+
+    # -- the loop -----------------------------------------------------------
+    def advance(self, limit: int) -> str:
+        """Process tick-only cycles < min(limit, memory horizon).
+
+        Returns ``"retire"`` when the next visited cycle would pop a CTA
+        completion (the coordinator turns it into a two-phase retirement
+        cycle), ``"limit"`` at the bound, ``"blocked"`` when only patches
+        can wake it, or ``"idle"`` when the group is completely empty.
+        """
+        fabric = self.fabric
+        while True:
+            bound = fabric.mem_horizon()
+            if limit < bound:
+                bound = limit
+            cycle = self._next_visit
+            top = self._completion_top()
+            if top is not None and top <= cycle:
+                return "retire"
+            if cycle >= bound:
+                return "limit"
+            self.cycle = cycle
+            due: List[ShardSM] = []
+            self._pop_due(cycle, due)
+            due.sort(key=_sm_id)
+            fabric.cycle = cycle
+            for sm in due:
+                if sm.has_work:
+                    fabric.sm_id = sm.sm_id
+                    t = sm.tick(cycle)
+                    sm.next_event_cache = t
+                    if t < BLOCKED:
+                        self._push_event(sm, t)
+            nxt = self._heap_top()
+            if nxt == BLOCKED:
+                pending = [
+                    t for t in (sm.next_completion_cycle()
+                                for sm in self._sm_list)
+                    if t is not None
+                ]
+                if pending:
+                    nxt_c = min(pending)
+                    self._next_visit = cycle + 1 if cycle + 1 > nxt_c else nxt_c
+                    continue
+                self._next_visit = BLOCKED
+                return "blocked" if fabric.unresolved else "idle"
+            self._next_visit = cycle + 1 if cycle + 1 > nxt else nxt
+            if SENTINEL_BASE > self._next_visit > self.max_cycles:
+                raise RuntimeError(
+                    "simulation exceeded %d cycles" % self.max_cycles)
+
+    # -- coordinated retirement cycle ---------------------------------------
+    def begin_cycle(self, cycle: int) -> Tuple[List[RetireRec], bool]:
+        """Phase A of a coordinated cycle: pop due SMs, free retired CTAs.
+
+        Returns the retire records (in serial per-SM pop order) and
+        whether any SM still has work after the frees — the coordinator's
+        ``all_complete``-and-idle termination check needs the global OR.
+        """
+        self.cycle = cycle
+        self._retires = []
+        due: List[ShardSM] = []
+        self._pop_due(cycle, due)
+        due.sort(key=_sm_id)
+        self._due = due
+        for sm in due:
+            if sm._completions:
+                sm.process_completions(cycle)
+        retires = self._retires
+        self._retires = []
+        any_work = any(sm.has_work for sm in self._sm_list)
+        return retires, any_work
+
+    def finish_cycle(self, cycle: int, launches: Sequence[LaunchCmd]) -> None:
+        """Phase B: apply launch commands, tick every due SM at ``cycle``.
+
+        Replicates the serial loop's re-collect: launch events land at
+        cycle 0, so freshly launched SMs join the due list *again* if
+        they were already popped — the serial loop keeps such duplicates,
+        and bit-identity means we must too.
+        """
+        fabric = self.fabric
+        for sm_id, stream, uid, cta_index in launches:
+            sm = self.sms[sm_id]
+            kernel = self._kernels[(stream, uid)]
+            resident = sm.launch_cta(kernel, kernel.ctas[cta_index], stream)
+            resident.launch_cycle = cycle
+        due = self._due
+        self._due = []
+        if self._pop_due(cycle, due):
+            due.sort(key=_sm_id)
+        fabric.cycle = cycle
+        for sm in due:
+            if sm.has_work:
+                fabric.sm_id = sm.sm_id
+                t = sm.tick(cycle)
+                sm.next_event_cache = t
+                if t < BLOCKED:
+                    self._push_event(sm, t)
+        nxt = self._heap_top()
+        if nxt == BLOCKED:
+            pending = [
+                t for t in (sm.next_completion_cycle()
+                            for sm in self._sm_list)
+                if t is not None
+            ]
+            if pending:
+                nxt_c = min(pending)
+                self._next_visit = cycle + 1 if cycle + 1 > nxt_c else nxt_c
+            else:
+                self._next_visit = BLOCKED
+        else:
+            self._next_visit = cycle + 1 if cycle + 1 > nxt else nxt
+
+    def apply_launches(self, launches: Sequence[LaunchCmd],
+                       cycle: int, resume: int) -> None:
+        """Launch without ticking (initial fill, idle drained-fill).
+
+        The serial loop launches at the idle cycle and advances the clock
+        without ticking; the launch events (at cycle 0) are picked up at
+        ``resume``, the next visited cycle.
+        """
+        for sm_id, stream, uid, cta_index in launches:
+            sm = self.sms[sm_id]
+            kernel = self._kernels[(stream, uid)]
+            resident = sm.launch_cta(kernel, kernel.ctas[cta_index], stream)
+            resident.launch_cycle = cycle
+        if launches and resume < self._next_visit:
+            self._next_visit = resume
+
+    # -- telemetry snapshots -------------------------------------------------
+    def snapshot(self, cycle: int) -> Tuple[dict, List[dict]]:
+        """Stats + per-SM instantaneous state for the coordinator's
+        telemetry view (process backend; the inline backend reads the SM
+        objects directly)."""
+        sms: List[dict] = []
+        for sm in self._sm_list:
+            stalls: Dict[int, Dict[str, int]] = {}
+            sm.sample_stalls(cycle, stalls)
+            sms.append({
+                "sm_id": sm.sm_id,
+                "warps_used": dict(sm.warps_used),
+                "issued_by_stream": dict(sm.issued_by_stream),
+                "stalls": stalls,
+                "mshr_inflight": sm.ldst.mshr_inflight(),
+                "icnt_queue_depth": sm.ldst.icnt_queue_depth(cycle),
+            })
+        return self.stats.to_dict(), sms

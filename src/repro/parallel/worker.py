@@ -15,6 +15,7 @@ from ..config import GPUConfig
 from ..timing.stats import GPUStats
 from .fabric import EpochUnsafeError
 from .shard import ShardGPU
+from .smshard import SMGroupShard
 
 
 def fork_available() -> bool:
@@ -45,6 +46,51 @@ def _worker_main(conn, config: GPUConfig, streams, policy,
                 conn.send(("ok", gpu.occupancy_by_stream()))
             elif cmd == "finalize":
                 conn.send(("ok", gpu.stats.to_dict(), gpu.final_cycle))
+            elif cmd == "stop":
+                break
+    except EpochUnsafeError as exc:
+        conn.send(("unsafe", str(exc)))
+    except EOFError:  # pragma: no cover - coordinator died
+        pass
+    except Exception as exc:  # pragma: no cover - surfaced by coordinator
+        import traceback
+        conn.send(("error", "%s\n%s" % (exc, traceback.format_exc())))
+    finally:
+        conn.close()
+
+
+def _sm_worker_main(conn, config: GPUConfig, streams, sm_ids,
+                    max_cycles: int) -> None:
+    """Child process loop: drive one SMGroupShard from coordinator commands."""
+    try:
+        shard = SMGroupShard(config, streams, sm_ids, max_cycles=max_cycles)
+
+        def state():
+            return (shard.front(), shard.next_visit(), shard.retire_bound(),
+                    shard.cycle)
+
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "advance":
+                status = shard.advance(msg[1])
+                conn.send(("ok", status) + state() + (shard.take_log(),))
+            elif cmd == "patch":
+                shard.apply_patches(msg[1])
+                conn.send(("ok",) + state())
+            elif cmd == "begin":
+                retires, any_work = shard.begin_cycle(msg[1])
+                conn.send(("ok", retires, any_work))
+            elif cmd == "finish":
+                shard.finish_cycle(msg[1], msg[2])
+                conn.send(("ok",) + state() + (shard.take_log(),))
+            elif cmd == "launches":
+                shard.apply_launches(msg[1], msg[2], msg[3])
+                conn.send(("ok",) + state())
+            elif cmd == "occupancy":
+                conn.send(("ok", shard.occupancy_by_stream()))
+            elif cmd == "snapshot":
+                conn.send(("ok",) + shard.snapshot(msg[1]))
             elif cmd == "stop":
                 break
     except EpochUnsafeError as exc:
@@ -111,3 +157,55 @@ class ProcessShard:
         if self._proc.is_alive():  # pragma: no cover - hung worker
             self._proc.terminate()
             self._proc.join(timeout=5)
+
+
+class ProcessSMShard:
+    """Coordinator-side handle for one forked SM-group shard worker.
+
+    Mirrors ``engine._InlineSMShard``; every reply carries the shard's
+    ``(front, next_visit, retire_bound, cycle)`` state tuple so the
+    coordinator never needs a second round-trip per phase.
+    """
+
+    def __init__(self, config: GPUConfig, streams, sm_ids,
+                 max_cycles: int) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_sm_worker_main,
+            args=(child, config, streams, sm_ids, max_cycles),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+
+    _rpc = ProcessShard._rpc
+
+    def advance(self, limit: int):
+        _, status, front, nv, bound, cycle, ops = self._rpc("advance", limit)
+        return status, front, nv, bound, cycle, ops
+
+    def apply_patches(self, patches):
+        return self._rpc("patch", patches)[1:]
+
+    def begin_cycle(self, cycle: int):
+        _, retires, any_work = self._rpc("begin", cycle)
+        return retires, any_work
+
+    def finish_cycle(self, cycle: int, launches):
+        _, front, nv, bound, shard_cycle, ops = self._rpc(
+            "finish", cycle, launches)
+        return front, nv, bound, shard_cycle, ops
+
+    def apply_launches(self, launches, cycle: int, resume: int):
+        return self._rpc("launches", launches, cycle, resume)[1:]
+
+    def occupancy(self) -> Dict[int, int]:
+        return self._rpc("occupancy")[1]
+
+    def snapshot(self, cycle: int):
+        from .engine import _SMView
+        _, stats_dict, sms = self._rpc("snapshot", cycle)
+        return GPUStats.from_dict(stats_dict), [_SMView(s) for s in sms]
+
+    stop = ProcessShard.stop

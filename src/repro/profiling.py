@@ -34,10 +34,10 @@ from .service.records import (  # noqa: F401 - re-exports
 
 def _run(config: GPUConfig, streams: Dict[int, List[KernelTrace]],
          policy: Optional[str], sample_interval: Optional[int],
-         workers: int = 1):
+         execution=None):
     from .api import simulate
     result = simulate(config=config, streams=streams, policy=policy,
-                      sample_interval=sample_interval, workers=workers)
+                      sample_interval=sample_interval, execution=execution)
     return result.stats, result.policy
 
 
@@ -122,7 +122,7 @@ def measure_simrate(
     sample_interval: Optional[int] = None,
     repeats: int = 1,
     label: str = "",
-    workers: int = 1,
+    execution=None,
 ) -> dict:
     """Time the simulation (best wall-clock of ``repeats`` runs).
 
@@ -136,7 +136,7 @@ def measure_simrate(
     for _ in range(repeats):
         t0 = time.perf_counter()
         stats, _ = _run(config, streams, policy, sample_interval,
-                        workers=workers)
+                        execution=execution)
         wall = time.perf_counter() - t0
         if best_wall is None or wall < best_wall:
             best_wall = wall
@@ -152,7 +152,7 @@ def profile_simulation(
     top: int = 20,
     sort: str = "cumulative",
     label: str = "",
-    workers: int = 1,
+    execution=None,
 ) -> Tuple[str, dict]:
     """Run one simulation under cProfile.
 
@@ -165,7 +165,7 @@ def profile_simulation(
     t0 = time.perf_counter()
     profiler.enable()
     stats, _ = _run(config, streams, policy, sample_interval,
-                    workers=workers)
+                    execution=execution)
     profiler.disable()
     wall = time.perf_counter() - t0
     buf = io.StringIO()

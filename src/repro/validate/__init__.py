@@ -9,9 +9,11 @@ deliberately snapshotted.
   partition disjointness, scoreboard drain).
 * :mod:`~repro.validate.fuzz` — seeded random RunRequests over policy ×
   partition fractions × cache geometry × workload mix.
-* :mod:`~repro.validate.differential` — runs each case through serial,
-  ``workers=2``/``4`` and the process backend, asserts bit-identity, and
-  shrinks failures to minimal repros.
+* :mod:`~repro.validate.differential` — runs each case through the
+  serial engine and sharded :class:`~repro.parallel.ExecutionPlan`\\ s
+  (2/4 workers plus the process backend), asserts bit-identity — stats,
+  run logs and trace events alike — and shrinks failures to minimal
+  repros.
 * :mod:`~repro.validate.goldens` — regenerates/checks the
   ``tests/golden`` snapshots (``repro validate regen-goldens``).
 """

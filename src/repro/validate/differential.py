@@ -5,7 +5,8 @@ engine.  The golden tests pin six hand-picked workloads; this module
 checks the promise on arbitrary fuzzed cases by running each case through
 the serial engine, ``workers=2`` and ``workers=4`` inline sharding, and
 the forked process backend, then comparing the full canonical
-``GPUStats.to_dict()`` trees.  A mismatch is shrunk to a minimal failing
+``GPUStats.to_dict()`` trees — plus, on telemetry-on cases, the recorded
+run logs and trace events.  A mismatch is shrunk to a minimal failing
 case (fewer streams, kernels, CTAs, a simpler policy) before it is
 reported, so a CI failure arrives as a small repro, not a 40-kernel blob.
 """
@@ -18,33 +19,37 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..api import simulate
 from ..isa import KernelTrace
-from ..parallel.plan import plan_shards
+from ..parallel import ExecutionPlan, plan_shards
 from .fuzz import FuzzCase
 
 __all__ = ["ENGINES", "CaseResult", "FuzzReport", "engines_for", "run_case",
            "check_case", "shrink_case", "run_fuzz", "first_difference"]
 
-#: Engine labels the oracle can drive.
-ENGINES = ("serial", "workers2", "workers4", "process")
-
-_ENGINE_ARGS = {
-    "serial": {"workers": 1, "backend": None},
-    "workers2": {"workers": 2, "backend": "inline"},
-    "workers4": {"workers": 4, "backend": "inline"},
-    "process": {"workers": 2, "backend": "process"},
+#: Engine labels the oracle can drive, with the ExecutionPlan each denotes.
+_ENGINE_PLANS = {
+    "serial": ExecutionPlan(engine="serial"),
+    "workers2": ExecutionPlan(engine="sharded", workers=2),
+    "workers4": ExecutionPlan(engine="sharded", workers=4),
+    "process": ExecutionPlan(engine="process", workers=2),
 }
+
+ENGINES = tuple(_ENGINE_PLANS)
 
 
 def engines_for(case: FuzzCase, include_process: bool = True
                 ) -> List[str]:
     """Engines worth running for ``case``.
 
-    When the shard plan refuses the case's policy, every ``workers=K`` run
-    is the same serial code path; one ``workers2`` run still exercises the
-    fallback dispatch, but ``workers4``/``process`` would simulate the
-    exact same thing twice more for no coverage.
+    When the shard plan refuses the case outright (e.g. a single-SM
+    config), every ``workers=K`` run is the same serial code path; one
+    ``workers2`` run still exercises the fallback dispatch, but
+    ``workers4``/``process`` would simulate the exact same thing twice
+    more for no coverage.
     """
-    plan, _ = plan_shards(case.make_policy(), case.streams.keys(), 2, None)
+    plan, _ = plan_shards(case.make_policy(), case.streams,
+                          config=case.config,
+                          execution=ExecutionPlan(workers=2),
+                          telemetry=case.make_telemetry())
     if plan is None:
         return ["serial", "workers2"]
     engines = ["serial", "workers2", "workers4"]
@@ -88,11 +93,33 @@ def first_difference(a, b, path: str = "$") -> Optional[str]:
     return None
 
 
+def _strip_volatile(obj):
+    """Drop wall-clock fields (``unix_time``) from a record tree."""
+    if isinstance(obj, dict):
+        return {k: _strip_volatile(v) for k, v in obj.items()
+                if k != "unix_time"}
+    if isinstance(obj, list):
+        return [_strip_volatile(v) for v in obj]
+    return obj
+
+
+def canonical_run(out) -> dict:
+    """Everything of one run the oracle holds identical across engines:
+    the stats tree plus, when the run recorded telemetry, the structured
+    run log and the trace events (wall-clock stamps excluded)."""
+    tree: Dict[str, object] = {"stats": canonical(out.stats)}
+    request = getattr(out, "request", None)
+    telemetry = request.telemetry if request is not None else None
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        tree["runlog"] = _strip_volatile(telemetry.runlog.records)
+        tree["trace"] = telemetry.sink.events
+    return json.loads(json.dumps(tree, sort_keys=True))
+
+
 def run_case(case: FuzzCase, engine: str):
     """Execute ``case`` on one engine; returns the RunResult."""
-    args = _ENGINE_ARGS[engine]
-    return simulate(case.request(workers=args["workers"],
-                                 backend=args["backend"]))
+    return simulate(case.request(execution=_ENGINE_PLANS[engine],
+                                 telemetry=case.make_telemetry()))
 
 
 @dataclass
@@ -126,8 +153,8 @@ def check_case(case: FuzzCase, engines: Optional[Sequence[str]] = None,
     reference = None
     for engine in engines:
         out = run(case, engine)
-        tree = canonical(out.stats)
-        report = getattr(out, "parallel", None)
+        tree = canonical_run(out)
+        report = getattr(out, "execution", None)
         if report is not None:
             result.any_engaged |= bool(report.engaged)
             result.any_restarted |= bool(report.restarted)
@@ -167,7 +194,8 @@ def _with_streams(case: FuzzCase, streams: Dict[int, List[KernelTrace]],
     }
     descr["policy"] = spec
     return FuzzCase(seed=case.seed, config=case.config, streams=streams,
-                    policy_spec=spec, descr=descr)
+                    policy_spec=spec, descr=descr,
+                    telemetry_on=case.telemetry_on)
 
 
 def _candidates(case: FuzzCase):

@@ -62,6 +62,9 @@ class FuzzCase:
     policy_spec: Optional[dict]
     #: Human/JSON description of the case (written to failure corpora).
     descr: dict = field(default_factory=dict)
+    #: When True every engine run records full telemetry and the oracle
+    #: compares the run logs and trace events too, not just the stats.
+    telemetry_on: bool = False
 
     def make_policy(self):
         """Materialise a *fresh* policy instance (policies are stateful)."""
@@ -87,11 +90,21 @@ class FuzzCase:
                                  for s, f in spec["fractions"].items()})
         raise ValueError("unknown policy spec %r" % (spec,))
 
-    def request(self, workers: int = 1, backend: Optional[str] = None,
-                telemetry=None) -> RunRequest:
+    def make_telemetry(self):
+        """Fresh recorder for one engine run, or None for plain cases.
+
+        Fresh per run because recorders accumulate; a short sample
+        interval so even sub-thousand-cycle cases take several samples.
+        """
+        if not self.telemetry_on:
+            return None
+        from ..telemetry import Telemetry
+        return Telemetry(sample_interval=256)
+
+    def request(self, execution=None, telemetry=None) -> RunRequest:
         return RunRequest(config=self.config, streams=self.streams,
-                          policy=self.make_policy(), workers=workers,
-                          backend=backend, telemetry=telemetry)
+                          policy=self.make_policy(), execution=execution,
+                          telemetry=telemetry)
 
     @property
     def total_instructions(self) -> int:
@@ -275,14 +288,20 @@ def build_case(seed: int, allow_scenes: bool = True) -> FuzzCase:
                   for kernels in streams.values() for k in kernels)
     policy_spec = _random_policy_spec(rng, config, sorted(streams),
                                       max_warps_per_cta=max_wpc)
+    # Telemetry-on arm: the recorder hooks run coordinator-side in sm-mode
+    # sharding, so a quarter of the corpus polices run-log/trace-event
+    # identity across engines, not just the stats trees.
+    telemetry_on = rng.random() < 0.25
     descr = {
         "seed": seed,
         "config": config.canonical_dict(),
         "workload": workload_descr,
         "policy": policy_spec,
+        "telemetry": telemetry_on,
     }
     return FuzzCase(seed=seed, config=config, streams=streams,
-                    policy_spec=policy_spec, descr=descr)
+                    policy_spec=policy_spec, descr=descr,
+                    telemetry_on=telemetry_on)
 
 
 def build_cases(seeds: Sequence[int],

@@ -2,8 +2,9 @@
 
 Pins three things: the public surface itself (names and call signatures,
 so accidental breaks show up as a failed snapshot rather than a user bug
-report), the deprecation shims (old entry points must warn *and* still
-return the exact pre-redesign results), and request resolution semantics
+report), the ``execution=`` knob and its deprecation shims (the legacy
+``workers=``/``backend=`` keywords must warn *and* fold into an
+equivalent :class:`ExecutionPlan`), and request resolution semantics
 (streams-vs-workload exclusivity, named-policy single-stream behaviour).
 """
 
@@ -14,16 +15,17 @@ import inspect
 import pytest
 
 import repro
-from repro.api import RunRequest, RunResult, WorkloadSpec, simulate
-from repro.config import get_preset
-from repro.core.platform import (
-    CRISP,
-    PairResult,
-    collect_streams,
-    execute_streams,
-    make_policy,
+from repro.api import (
+    ExecutionPlan,
+    RunRequest,
+    RunResult,
+    WorkloadSpec,
+    simulate,
 )
+from repro.config import get_preset
+from repro.core.platform import CRISP, collect_streams, make_policy
 from repro.core.streams import COMPUTE_STREAM, GRAPHICS_STREAM
+from repro.parallel import ShardReport
 
 
 @pytest.fixture(scope="module")
@@ -45,8 +47,8 @@ def baseline(reference_workload):
 
 def test_package_exports():
     assert set(repro.__all__) == {
-        "CRISP", "RunRequest", "RunResult", "WorkloadSpec", "simulate",
-        "__version__",
+        "CRISP", "ExecutionPlan", "RunRequest", "RunResult", "WorkloadSpec",
+        "simulate", "__version__",
     }
     for name in repro.__all__:
         assert hasattr(repro, name)
@@ -61,7 +63,8 @@ def test_run_request_fields():
     fields = list(inspect.signature(RunRequest).parameters)
     assert fields == [
         "config", "streams", "workload", "policy", "sample_interval",
-        "telemetry", "arrivals", "workers", "backend", "max_cycles",
+        "telemetry", "arrivals", "execution", "workers", "backend",
+        "max_cycles",
     ]
 
 
@@ -71,6 +74,56 @@ def test_workload_spec_fields():
         "scene", "res", "lod_enabled", "compute", "compute_args",
         "graphics_trace", "compute_trace",
     ]
+
+
+def test_pr4_shims_are_gone():
+    """The PR-4 execution shims were removed outright: CRISP is a pure
+    tracing facade and the module no longer exports execute_streams."""
+    import repro.core.platform as platform
+    assert not hasattr(platform, "execute_streams")
+    for name in ("run", "run_single", "run_pair"):
+        assert not hasattr(CRISP, name)
+
+
+# -- ExecutionPlan -----------------------------------------------------------
+
+def test_execution_plan_defaults_and_validation():
+    plan = ExecutionPlan()
+    assert (plan.engine, plan.workers, plan.shard_by, plan.horizon) == \
+        ("auto", 1, "auto", None)
+    assert not plan.wants_parallel
+    assert ExecutionPlan(workers=2).wants_parallel
+    assert not ExecutionPlan(engine="serial", workers=8).wants_parallel
+    with pytest.raises(ValueError):
+        ExecutionPlan(engine="turbo")
+    with pytest.raises(ValueError):
+        ExecutionPlan(shard_by="kernel")
+    with pytest.raises(ValueError):
+        ExecutionPlan(workers=0)
+    with pytest.raises(ValueError):
+        ExecutionPlan(horizon=0)
+
+
+def test_execution_plan_coercion():
+    assert RunRequest(streams={}, execution=None).execution == ExecutionPlan()
+    assert RunRequest(streams={}, execution=4).execution == \
+        ExecutionPlan(workers=4)
+    assert RunRequest(
+        streams={}, execution={"engine": "process", "workers": 2}
+    ).execution == ExecutionPlan(engine="process", workers=2)
+    plan = ExecutionPlan(engine="sharded", workers=2, shard_by="sm")
+    assert RunRequest(streams={}, execution=plan).execution is plan
+    d = plan.to_dict()
+    assert ExecutionPlan.from_dict(d) == plan
+
+
+def test_execution_plan_runs_sharded(reference_workload, baseline):
+    config, streams = reference_workload
+    result = simulate(config=config, streams=streams, policy="mps",
+                      execution=ExecutionPlan(engine="sharded", workers=2))
+    assert result.execution.engaged
+    assert result.execution.num_shards == 2
+    assert result.stats.to_dict() == baseline.stats.to_dict()
 
 
 # -- request resolution ------------------------------------------------------
@@ -85,8 +138,8 @@ def test_streams_xor_workload(reference_workload):
 
 
 def test_named_policy_skipped_for_single_stream(reference_workload):
-    """A *named* policy only applies with >1 stream (execute_streams
-    parity); single-stream runs own the whole GPU."""
+    """A *named* policy only applies with >1 stream; single-stream runs
+    own the whole GPU."""
     config, streams = reference_workload
     solo = {GRAPHICS_STREAM: streams[GRAPHICS_STREAM]}
     result = simulate(config=config, streams=solo, policy="mps")
@@ -113,53 +166,46 @@ def test_result_accessors(baseline):
     assert r.total_cycles == r.stats.cycles
     assert r.graphics_cycles == r.stats.stream_cycles(GRAPHICS_STREAM)
     assert r.compute_cycles == r.stats.stream_cycles(COMPUTE_STREAM)
-    assert r.parallel.requested_workers == 1
-    assert not r.parallel.engaged
+    assert isinstance(r.execution, ShardReport)
+    assert r.execution.requested_workers == 1
+    assert not r.execution.engaged
+    assert r.execution.refusal is not None
+    assert r.execution.refusal.code == "workers-not-parallel"
+    assert r.parallel is r.execution  # deprecated alias
     assert isinstance(r, RunResult)
     assert "serial" in repr(r)
 
 
+def test_to_record_carries_execution(baseline):
+    record = baseline.to_record(label="t")
+    assert record["extras"]["parallel_engaged"] is False
+    assert record["extras"]["execution"]["execution"]["workers"] == 1
+
+
 # -- deprecation shims -------------------------------------------------------
 
-def test_execute_streams_warns_and_matches(reference_workload, baseline):
+def test_workers_kwarg_warns_and_folds(reference_workload, baseline):
     config, streams = reference_workload
-    with pytest.warns(DeprecationWarning, match="execute_streams"):
-        stats, policy = execute_streams(config, streams, policy="mps")
-    assert stats.to_dict() == baseline.stats.to_dict()
-    assert policy.name == "mps"
+    with pytest.warns(DeprecationWarning, match="workers"):
+        request = RunRequest(config=config, streams=streams, policy="mps",
+                             workers=2, backend="inline")
+    assert request.execution == ExecutionPlan(engine="sharded", workers=2)
+    assert request.workers is None and request.backend is None
+    result = simulate(request)
+    assert result.execution.engaged
+    assert result.stats.to_dict() == baseline.stats.to_dict()
 
 
-def test_crisp_run_pair_warns_and_matches(reference_workload, baseline):
+def test_workers_and_execution_conflict(reference_workload):
     config, streams = reference_workload
-    crisp = CRISP(config)
-    with pytest.warns(DeprecationWarning, match="run_pair"):
-        pair = crisp.run_pair(streams[GRAPHICS_STREAM],
-                              streams[COMPUTE_STREAM], policy="mps")
-    assert isinstance(pair, PairResult)
-    assert pair.stats.to_dict() == baseline.stats.to_dict()
-
-
-def test_crisp_run_single_warns(reference_workload):
-    config, streams = reference_workload
-    crisp = CRISP(config)
-    with pytest.warns(DeprecationWarning, match="run_single"):
-        stats = crisp.run_single(streams[GRAPHICS_STREAM])
-    solo = simulate(config=config,
-                    streams={GRAPHICS_STREAM: streams[GRAPHICS_STREAM]})
-    assert stats.to_dict() == solo.stats.to_dict()
-
-
-def test_crisp_run_warns(reference_workload, baseline):
-    config, streams = reference_workload
-    crisp = CRISP(config)
-    pol = make_policy("mps", config, sorted(streams))
-    with pytest.warns(DeprecationWarning, match="CRISP.run"):
-        stats = crisp.run(streams, policy=pol)
-    assert stats.to_dict() == baseline.stats.to_dict()
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="not both"):
+            RunRequest(config=config, streams=streams,
+                       execution=ExecutionPlan(workers=2), workers=2)
 
 
 def test_repro_internals_emit_no_deprecation_warnings(reference_workload):
-    """No internal code path still calls the shims above.
+    """No internal code path still uses the ``workers=`` shim.
 
     pyproject's filterwarnings escalates the shim messages to errors
     suite-wide; this test additionally pins the contract explicitly, with
@@ -172,7 +218,9 @@ def test_repro_internals_emit_no_deprecation_warnings(reference_workload):
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         result = simulate(config=config, streams=streams, policy="tap",
-                          workers=2, backend="inline", sample_interval=500)
+                          execution=ExecutionPlan(engine="sharded",
+                                                  workers=2),
+                          sample_interval=500)
         assert result.stats.cycles > 0
     ours = [w for w in caught
             if issubclass(w.category, DeprecationWarning)

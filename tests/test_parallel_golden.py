@@ -1,12 +1,20 @@
 """Bit-identity gate for the sharded parallel engine.
 
 ``repro.parallel.run_sharded`` promises results *bit-identical* to the
-serial engine for every partition policy: the MPS family (mps, mig, tap)
-actually shards, the rest fall back serially.  These tests replay the
-reference workload (sponza + hologram at nano on JetsonOrin-mini) through
-``workers=2`` and ``workers=4`` and compare the full ``GPUStats.to_dict()``
-tree against the same ``tests/golden/`` snapshots the serial engine is
-pinned to — one source of truth for both engines.
+serial engine for every partition policy.  The MPS family (mps, mig, tap)
+shards by stream; everything else — and every telemetry-on run — shards
+by SM group, with the coordinator hosting CTA scheduling, policy epochs
+and telemetry hooks.  A shard that cannot prove serial branch-identity
+(EpochUnsafeError, e.g. an L1 MSHR file saturated with deferred fills)
+aborts the sharded attempt and the run is redone serially — still
+bit-identical, reported via ``ShardReport.restarted``.
+
+These tests replay the reference workload (sponza + hologram at nano on
+JetsonOrin-mini) through both shard modes at ``workers=2``/``4`` and
+compare the full ``GPUStats.to_dict()`` tree against the same
+``tests/golden/`` snapshots the serial engine is pinned to — one source
+of truth for both engines.  Telemetry-on runs additionally compare the
+structured run log and trace events byte-for-byte.
 """
 
 from __future__ import annotations
@@ -18,15 +26,18 @@ import pytest
 
 from repro.api import simulate
 from repro.config import get_preset
-from repro.core.platform import collect_streams
-from repro.parallel import run_sharded
+from repro.core.platform import collect_streams, make_policy
+from repro.parallel import ExecutionPlan, run_sharded
 from repro.parallel.worker import fork_available
+from repro.telemetry import Telemetry
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "golden")
 POLICIES = ("shared", "mps", "mig", "fg-even", "warped-slicer", "tap")
-#: Policies whose SM assignment is disjoint per stream, hence shardable.
-SHARDED = ("mps", "mig", "tap")
+#: Policies whose SM assignment is disjoint per stream: stream-shardable.
+STREAM_SHARDED = ("mps", "mig", "tap")
+#: Co-scheduling policies: shard by SM group instead.
+SM_SHARDED = ("shared", "fg-even", "warped-slicer")
 
 
 @pytest.fixture(scope="module")
@@ -47,36 +58,67 @@ def _canonical(stats) -> dict:
     return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
 
 
+def _sharded(workers: int, shard_by: str = "auto") -> ExecutionPlan:
+    return ExecutionPlan(engine="sharded", workers=workers,
+                         shard_by=shard_by)
+
+
 @pytest.mark.parametrize("policy", POLICIES)
 def test_workers2_bit_identical(reference_workload, policy):
-    """workers=2 must reproduce the serial golden stats for every policy —
-    sharded where the plan allows, serial fallback where it doesn't."""
+    """workers=2 must reproduce the serial golden stats for every policy.
+
+    Every policy now gets a shard plan (stream mode for the MPS family,
+    sm mode for the co-scheduling policies); a plan that turns out
+    epoch-unsafe at run time restarts serially and must *still* match.
+    """
     config, streams = reference_workload
     result = simulate(config=config, streams=streams, policy=policy,
-                      workers=2, backend="inline")
+                      execution=_sharded(2))
     assert _canonical(result.stats) == _golden(policy), (
         "sharded run diverged from serial goldens under policy=%s" % policy)
-    report = result.parallel
-    if policy in SHARDED:
+    report = result.execution
+    if policy in STREAM_SHARDED:
         assert report.engaged and report.num_shards == 2
+        assert report.mode == "stream"
         assert report.fallback_reason is None
         assert report.replayed_ops > 0 and report.rounds > 0
     else:
-        assert not report.engaged
-        assert report.fallback_reason
+        # Planned in sm mode; on this workload the co-scheduled streams
+        # saturate the per-SM L1 MSHR file with deferred fills, so the
+        # shards bail epoch-unsafe and the run is redone serially.
+        assert report.mode == "sm"
+        assert report.engaged or report.restarted
+        if report.restarted:
+            assert report.refusal is not None
+            assert report.refusal.code == "epoch-unsafe"
 
 
-@pytest.mark.parametrize("policy", SHARDED)
+@pytest.mark.parametrize("policy", STREAM_SHARDED)
 def test_workers4_bit_identical(reference_workload, policy):
     """More workers than streams: shards clamp to one stream each and the
     result stays bit-identical."""
     config, streams = reference_workload
     result = simulate(config=config, streams=streams, policy=policy,
-                      workers=4, backend="inline")
+                      execution=_sharded(4))
     assert _canonical(result.stats) == _golden(policy)
-    assert result.parallel.engaged
+    assert result.execution.engaged
     # Two streams -> at most two shards regardless of requested workers.
-    assert result.parallel.num_shards == 2
+    assert result.execution.num_shards == 2
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+@pytest.mark.parametrize("policy", STREAM_SHARDED)
+def test_sm_mode_bit_identical(reference_workload, policy, workers):
+    """Forcing shard_by='sm' runs the SM-group coordinator for policies
+    that would normally stream-shard — and must match the same goldens."""
+    config, streams = reference_workload
+    result = simulate(config=config, streams=streams, policy=policy,
+                      execution=_sharded(workers, shard_by="sm"))
+    assert _canonical(result.stats) == _golden(policy), (
+        "sm-mode run diverged from serial goldens under policy=%s" % policy)
+    report = result.execution
+    assert report.engaged and report.mode == "sm"
+    assert report.num_shards == min(workers, config.num_sms)
 
 
 @pytest.mark.skipif(not fork_available(),
@@ -84,19 +126,86 @@ def test_workers4_bit_identical(reference_workload, policy):
 def test_process_backend_bit_identical(reference_workload):
     """The forked-worker backend must match the inline one exactly."""
     config, streams = reference_workload
-    from repro.core.platform import make_policy
     policy = make_policy("mps", config, sorted(streams))
-    stats, _, report = run_sharded(config, streams, policy=policy,
-                                   workers=2, backend="process")
+    stats, _, report = run_sharded(
+        config, streams, policy=policy,
+        execution=ExecutionPlan(engine="process", workers=2))
     assert report.engaged and report.backend == "process"
+    assert report.mode == "stream"
     assert _canonical(stats) == _golden("mps")
 
 
-def test_telemetry_forces_serial(reference_workload):
-    """Telemetry hooks need the serial loop; the engine must notice."""
-    from repro.telemetry import Telemetry
+@pytest.mark.skipif(not fork_available(),
+                    reason="fork start method unavailable")
+def test_process_backend_sm_mode_bit_identical(reference_workload):
     config, streams = reference_workload
-    result = simulate(config=config, streams=streams, policy="mps",
-                      workers=2, telemetry=Telemetry(sample_interval=1000))
-    assert not result.parallel.engaged
-    assert "telemetry" in result.parallel.fallback_reason
+    policy = make_policy("tap", config, sorted(streams))
+    stats, _, report = run_sharded(
+        config, streams, policy=policy,
+        execution=ExecutionPlan(engine="process", workers=2, shard_by="sm"))
+    assert report.engaged and report.backend == "process"
+    assert report.mode == "sm"
+    assert _canonical(stats) == _golden("tap")
+
+
+def _telemetry_capture(monkeypatch, config, streams, policy, execution):
+    """Run with a fresh recorder under a frozen clock; return the record
+    trees (the run-log header stamps wall-clock time)."""
+    import time as _time
+    monkeypatch.setattr(_time, "time", lambda: 1700000000.0)
+    tel = Telemetry(sample_interval=500)
+    result = simulate(config=config, streams=streams, policy=policy,
+                      telemetry=tel, execution=execution)
+    return result, tel.runlog.records, tel.sink.events
+
+
+def test_telemetry_shards_in_sm_mode(reference_workload, monkeypatch):
+    """Telemetry no longer forces the serial loop: the auto planner picks
+    sm mode and the recorded run log and trace events are byte-identical
+    to a serial run's."""
+    config, streams = reference_workload
+    serial, serial_log, serial_events = _telemetry_capture(
+        monkeypatch, config, streams, "mps",
+        ExecutionPlan(engine="serial"))
+    sharded, shard_log, shard_events = _telemetry_capture(
+        monkeypatch, config, streams, "mps", _sharded(2))
+    assert sharded.execution.engaged
+    assert sharded.execution.mode == "sm"
+    assert _canonical(sharded.stats) == _canonical(serial.stats)
+    assert json.dumps(shard_log, sort_keys=True) == \
+        json.dumps(serial_log, sort_keys=True)
+    assert json.dumps(shard_events, sort_keys=True) == \
+        json.dumps(serial_events, sort_keys=True)
+
+
+def test_telemetry_repartition_identical(reference_workload, monkeypatch):
+    """TAP repartitions mid-run via coordinator epochs; the repartition
+    records must land identically under sharding."""
+    config, streams = reference_workload
+    _, serial_log, _ = _telemetry_capture(
+        monkeypatch, config, streams, "tap", ExecutionPlan(engine="serial"))
+    sharded, shard_log, _ = _telemetry_capture(
+        monkeypatch, config, streams, "tap", _sharded(2))
+    assert sharded.execution.engaged
+    repartitions = [r for r in shard_log if r.get("kind") == "repartition"]
+    assert repartitions == [r for r in serial_log
+                            if r.get("kind") == "repartition"]
+    assert json.dumps(shard_log, sort_keys=True) == \
+        json.dumps(serial_log, sort_keys=True)
+
+
+def test_epoch_unsafe_restart_resets_telemetry(reference_workload,
+                                               monkeypatch):
+    """A serial redo after EpochUnsafeError must produce exactly the
+    records a serial-only run would — no residue from the aborted shards."""
+    config, streams = reference_workload
+    _, serial_log, serial_events = _telemetry_capture(
+        monkeypatch, config, streams, "shared",
+        ExecutionPlan(engine="serial"))
+    sharded, shard_log, shard_events = _telemetry_capture(
+        monkeypatch, config, streams, "shared", _sharded(2))
+    assert _canonical(sharded.stats) == _golden("shared")
+    assert json.dumps(shard_log, sort_keys=True) == \
+        json.dumps(serial_log, sort_keys=True)
+    assert json.dumps(shard_events, sort_keys=True) == \
+        json.dumps(serial_events, sort_keys=True)

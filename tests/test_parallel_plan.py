@@ -1,20 +1,39 @@
 """Unit tests for shard planning and the deferred-traffic fabric.
 
-These cover the decision logic (:func:`repro.parallel.plan.plan_shards`)
-and the arithmetic the epoch-safety proof rests on (sentinel encoding,
-memory horizon, completion lower bound) without running a simulation —
-the end-to-end bit-identity gate lives in ``test_parallel_golden.py``.
+These cover the decision logic (:func:`repro.parallel.plan.plan_shards`
+with its two shard modes and structured refusals), the ExecutionPlan
+surface, the load balancer, and the arithmetic the epoch-safety proof
+rests on (sentinel encoding, memory horizon, completion lower bound)
+without running a simulation — the end-to-end bit-identity gate lives in
+``test_parallel_golden.py``.
 """
 
 from __future__ import annotations
+
+import pytest
 
 from repro.config import get_preset
 from repro.core.partition import FGEvenPolicy, MiGPolicy, MPSPolicy
 from repro.core.tap import TAPPolicy
 from repro.core.warped_slicer import WarpedSlicerPolicy
-from repro.parallel import SENTINEL_BASE, plan_shards
+from repro.parallel import (
+    SENTINEL_BASE,
+    ExecutionPlan,
+    balance_groups,
+    plan_shards,
+    split_sms,
+)
 from repro.parallel.fabric import ShardFabric
-from repro.parallel.plan import shard_policy
+from repro.parallel.plan import (
+    REFUSAL_ARRIVALS,
+    REFUSAL_SERIAL_REQUESTED,
+    REFUSAL_SINGLE_SM,
+    REFUSAL_SINGLE_STREAM,
+    REFUSAL_TELEMETRY_STREAM_MODE,
+    REFUSAL_WORKERS,
+    shard_policy,
+)
+from repro.telemetry import Telemetry
 from repro.timing.warp import BLOCKED
 
 
@@ -26,64 +45,166 @@ def _mps():
     return MPSPolicy.even(CONFIG.num_sms, list(STREAMS))
 
 
-# -- plan_shards -------------------------------------------------------------
+def _plan(policy, streams, workers=2, **kw):
+    kw.setdefault("config", CONFIG)
+    return plan_shards(policy, streams, workers=workers, **kw)
+
+
+# -- refusals ----------------------------------------------------------------
 
 def test_plan_requires_multiple_workers():
-    plan, reason = plan_shards(_mps(), STREAMS, workers=1)
-    assert plan is None and "workers" in reason
+    plan, refusal = _plan(_mps(), STREAMS, workers=1)
+    assert plan is None and refusal.code == REFUSAL_WORKERS
+    assert "workers" in refusal.render()
 
 
-def test_plan_requires_multiple_streams():
-    plan, reason = plan_shards(_mps(), [0], workers=2)
-    assert plan is None and "single stream" in reason
+def test_plan_refuses_serial_engine():
+    plan, refusal = _plan(_mps(), STREAMS,
+                          execution=ExecutionPlan(engine="serial",
+                                                  workers=4),
+                          workers=None)
+    assert plan is None and refusal.code == REFUSAL_SERIAL_REQUESTED
 
 
-def test_plan_requires_policy():
-    plan, reason = plan_shards(None, STREAMS, workers=2)
-    assert plan is None and "no partition policy" in reason
+def test_plan_refuses_open_loop_arrivals():
+    plan, refusal = _plan(_mps(), STREAMS, arrivals=True)
+    assert plan is None and refusal.code == REFUSAL_ARRIVALS
 
 
-def test_plan_rejects_co_scheduling_policies():
-    for policy in (FGEvenPolicy.even(list(STREAMS)),
-                   WarpedSlicerPolicy(list(STREAMS))):
-        plan, reason = plan_shards(policy, STREAMS, workers=2)
-        assert plan is None, policy.name
-        assert "does not dedicate SMs" in reason
+def test_stream_mode_requires_multiple_streams():
+    plan, refusal = _plan(_mps(), [0],
+                          execution=ExecutionPlan(workers=2,
+                                                  shard_by="stream"),
+                          workers=None)
+    assert plan is None and refusal.code == REFUSAL_SINGLE_STREAM
 
 
-def test_plan_accepts_mps_family():
+def test_stream_mode_refuses_telemetry():
+    plan, refusal = _plan(_mps(), STREAMS,
+                          execution=ExecutionPlan(workers=2,
+                                                  shard_by="stream"),
+                          workers=None, telemetry=Telemetry())
+    assert plan is None and refusal.code == REFUSAL_TELEMETRY_STREAM_MODE
+
+
+def test_sm_mode_requires_multiple_sms():
+    tiny = CONFIG.replace(name="one-sm", num_sms=1)
+    plan, refusal = plan_shards(None, [0], config=tiny,
+                                execution=ExecutionPlan(workers=2,
+                                                        shard_by="sm"))
+    assert plan is None and refusal.code == REFUSAL_SINGLE_SM
+    assert refusal.to_dict() == {"code": REFUSAL_SINGLE_SM,
+                                 "detail": "num_sms=1"}
+
+
+# -- mode selection ----------------------------------------------------------
+
+def test_plan_accepts_mps_family_in_stream_mode():
     policies = (_mps(),
                 MiGPolicy.even(CONFIG.num_sms, list(STREAMS),
                                CONFIG.l2_banks),
                 TAPPolicy.even(CONFIG.num_sms, list(STREAMS)))
     for policy in policies:
-        plan, reason = plan_shards(policy, STREAMS, workers=2)
-        assert reason is None, policy.name
+        plan, refusal = _plan(policy, STREAMS)
+        assert refusal is None, policy.name
+        assert plan.mode == "stream"
         assert plan.num_shards == 2
         assert sorted(sid for g in plan.groups for sid in g) == [0, 1]
 
 
+def test_co_scheduling_policies_plan_sm_mode():
+    for policy in (None,
+                   FGEvenPolicy.even(list(STREAMS)),
+                   WarpedSlicerPolicy(list(STREAMS))):
+        plan, refusal = _plan(policy, STREAMS)
+        assert refusal is None
+        assert plan.mode == "sm"
+        assert plan.num_shards == 2
+        flat = [sm for g in plan.sm_groups for sm in g]
+        assert flat == list(range(CONFIG.num_sms))
+
+
+def test_telemetry_forces_sm_mode():
+    plan, refusal = _plan(_mps(), STREAMS, telemetry=Telemetry())
+    assert refusal is None
+    assert plan.mode == "sm"
+
+
+def test_explicit_sm_mode_overrides_stream_soundness():
+    plan, _ = _plan(_mps(), STREAMS,
+                    execution=ExecutionPlan(workers=2, shard_by="sm"),
+                    workers=None)
+    assert plan.mode == "sm"
+
+
 def test_plan_clamps_shards_to_stream_count():
-    plan, _ = plan_shards(_mps(), STREAMS, workers=8)
+    plan, _ = _plan(_mps(), STREAMS, workers=8)
     assert plan.num_shards == 2
     assert all(len(g) == 1 for g in plan.groups)
 
 
-def test_plan_groups_round_robin():
-    streams = [0, 1, 2]
-    policy = MPSPolicy.even(CONFIG.num_sms, streams)
-    plan, _ = plan_shards(policy, streams, workers=2)
-    assert plan.groups == [[0, 2], [1]]
+def test_plan_describe_round_trips():
+    plan, _ = _plan(_mps(), STREAMS)
+    d = plan.describe()
+    assert d["mode"] == "stream" and d["num_shards"] == 2
+
+
+# -- load balancing ----------------------------------------------------------
+
+def test_balance_groups_by_weight():
+    # LPT: heaviest (stream 2, w=90) alone; 50+40 together beats 90+40.
+    groups = balance_groups({0: 50, 1: 40, 2: 90}, 2)
+    assert groups == [[2], [0, 1]] or groups == [[0, 1], [2]]
+    loads = [sum({0: 50, 1: 40, 2: 90}[s] for s in g) for g in groups]
+    assert max(loads) == 90
+
+
+def test_balance_groups_deterministic_ties():
+    assert balance_groups({0: 1, 1: 1, 2: 1, 3: 1}, 2) == \
+        balance_groups({0: 1, 1: 1, 2: 1, 3: 1}, 2)
+
+
+def test_plan_shards_balances_by_instruction_count():
+    class K:
+        def __init__(self, n):
+            self.num_instructions = n
+
+    streams = {0: [K(10)], 1: [K(1000)], 2: [K(20)]}
+    policy = MPSPolicy.even(CONFIG.num_sms, [0, 1, 2])
+    plan, _ = _plan(policy, streams)
+    # The heavy stream gets a shard to itself.
+    assert [1] in plan.groups
+    assert sorted(sid for g in plan.groups for sid in g) == [0, 1, 2]
+
+
+def test_split_sms_contiguous_even():
+    assert split_sms(8, 2) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    assert split_sms(5, 2) == [[0, 1, 2], [3, 4]]
+    assert split_sms(2, 8) == [[0], [1]]
 
 
 def test_shard_policy_restricts_to_group():
-    plan, _ = plan_shards(_mps(), STREAMS, workers=2)
+    plan, _ = _plan(_mps(), STREAMS)
     group = plan.groups[0]
     sub = shard_policy(plan, group)
     assert isinstance(sub, MPSPolicy)
     assert sorted(sub.sm_assignment) == sorted(group)
     for sid in group:
         assert sub.sm_assignment[sid] == plan.assignment[sid]
+
+
+# -- ExecutionPlan surface ---------------------------------------------------
+
+def test_execution_plan_backend_mapping():
+    assert ExecutionPlan(engine="process").backend == "process"
+    assert ExecutionPlan(engine="sharded").backend == "inline"
+    assert ExecutionPlan().backend is None
+    assert ExecutionPlan(engine="serial").backend is None
+
+
+def test_execution_plan_coerce_rejects_junk():
+    with pytest.raises(TypeError):
+        ExecutionPlan.coerce("fast")
 
 
 # -- fabric arithmetic -------------------------------------------------------

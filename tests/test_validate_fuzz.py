@@ -60,11 +60,24 @@ class TestFuzzerDeterminism:
 
 class TestEngineSelection:
     def test_unshardable_case_skips_redundant_engines(self):
-        # Single stream -> no shard plan -> workers4/process add nothing.
+        # The planner is total over policies and stream counts (single
+        # stream cases shard by SM group), so the only structural refusal
+        # left is a single-SM device without a pre-partitioned policy:
+        # every workers=K run is the same serial path, and
+        # workers4/process add nothing.
+        case = build_case(0, allow_scenes=False)
+        case.config = case.config.replace(num_sms=1)
+        case.policy_spec = None
+        assert engines_for(case) == ["serial", "workers2"]
+
+    def test_single_stream_case_still_shards(self):
+        # Planner totality: a single stream can't split by stream, but its
+        # CTAs still spread over SM groups, so the full matrix applies.
         for seed in range(40):
             case = build_case(seed, allow_scenes=False)
             if len(case.streams) == 1:
-                assert engines_for(case) == ["serial", "workers2"]
+                engines = engines_for(case, include_process=False)
+                assert engines[:3] == ["serial", "workers2", "workers4"]
                 return
         pytest.fail("no single-stream case in the first 40 seeds")
 
@@ -203,11 +216,14 @@ class TestEpochUnsafeFallback:
     def test_restart_matches_pristine_serial(self):
         """A mid-flight shard bailout reruns serially and the rerun is
         bit-identical to a run that never attempted sharding."""
+        from repro.parallel import ExecutionPlan
+
         config, streams = _mshr_bomb_workload()
         pristine = simulate(config=config, streams=streams, policy="mps")
         sharded = simulate(config=config, streams=streams, policy="mps",
-                           workers=2, backend="inline")
-        report = sharded.parallel
+                           execution=ExecutionPlan(engine="sharded",
+                                                   workers=2))
+        report = sharded.execution
         assert report.restarted, (
             "workload no longer trips EpochUnsafeError; fallback untested "
             "(report: %r)" % report)

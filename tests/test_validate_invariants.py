@@ -52,13 +52,19 @@ class TestBitIdentity:
                 "check group %r never ran: %r" % (group, report))
 
     def test_checked_run_reports_serial_fallback(self, reference_workload):
-        """enabled telemetry forces the serial engine even at workers=2 —
-        the invariants walk serial data structures."""
+        """The checker marks itself requires_serial, so it forces the
+        serial engine even at workers=2 (ordinary telemetry shards in sm
+        mode; the invariants walk serial data structures)."""
+        from repro.parallel import ExecutionPlan
+
         config, streams = reference_workload
         checker = InvariantChecker()
         result = simulate(config=config, streams=streams, policy="mps",
-                          telemetry=checker, workers=2, backend="inline")
-        assert not result.parallel.engaged
+                          telemetry=checker,
+                          execution=ExecutionPlan(engine="sharded",
+                                                  workers=2))
+        assert not result.execution.engaged
+        assert result.execution.refusal.code == "telemetry-requires-serial"
         assert checker.finalized
 
 
