@@ -4,8 +4,8 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke bench-compare bench-parallel \
-	test-parallel fuzz fuzz-smoke check-goldens qos-smoke qos-campaign \
-	serve-smoke
+	test-parallel fuzz fuzz-smoke fuzz-spec check-goldens qos-smoke \
+	qos-campaign serve-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -48,6 +48,14 @@ fuzz:
 fuzz-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate fuzz \
 		--seeds 20 --invariants --quiet
+
+# Speculation-stress sweep: every seed runs with horizon 1..3 and the
+# forced-rollback injection hook armed; bit-identity must survive
+# rollbacks firing orders of magnitude more often than organic traffic.
+fuzz-spec:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate fuzz \
+		--seeds 500 --spec-stress --no-scenes --quiet \
+		--corpus fuzz-corpus
 
 check-goldens:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro validate check-goldens

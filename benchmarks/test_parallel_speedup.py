@@ -24,6 +24,10 @@ from repro.parallel import ExecutionPlan
 from repro.profiling import SIMRATE_SCHEMA, simrate_record
 
 SPEEDUP_FLOOR = 2.0
+# The sm-mode coordinator used to round-trip every CTA launch and carried
+# no floor; batched retirements + speculative epochs changed that, so it
+# now has one of its own (lower: sm shards still share every stream).
+SM_SPEEDUP_FLOOR = 1.3
 WORKERS = 4
 
 
@@ -66,28 +70,50 @@ def test_parallel_speedup():
     for shard_by, (result, seconds, report) in legs.items():
         speedup = serial_s / seconds if seconds else float("inf")
         print("%-26s %8.2f %7.2fx  (%d cpus, %d shards, backend=%s, "
-              "rounds=%d, replayed_ops=%d)"
+              "rounds=%d, replayed_ops=%d, rpr=%s, rollbacks=%d)"
               % ("shard_by=%s" % shard_by, seconds, speedup, cpus,
                  report.num_shards, report.backend, report.rounds,
-                 report.replayed_ops))
+                 report.replayed_ops,
+                 "%.3f" % (report.rounds / report.retirements)
+                 if report.retirements else "-",
+                 report.spec_rollbacks))
 
     rows = [simrate_record(serial.stats, serial_s, label="serial",
                            config=config)]
     modes = {}
     for shard_by, (result, seconds, report) in legs.items():
-        rows.append(simrate_record(
+        row = simrate_record(
             result.stats, seconds,
             label="workers=%d shard_by=%s" % (WORKERS, shard_by),
-            config=config))
-        modes[shard_by] = {
-            "seconds": seconds,
-            "speedup": serial_s / seconds if seconds else float("inf"),
-            "num_shards": report.num_shards,
-            "backend": report.backend,
+            config=config)
+        # Speculation health ships with the sim-rate row: sm-mode's
+        # speedup stands on batched retirements (rounds-per-retirement
+        # well under 1) and on rollbacks staying rare relative to the
+        # epochs speculated.
+        execution = {
             "rounds": report.rounds,
-            "replayed_ops": report.replayed_ops,
+            "retirements": report.retirements,
+            "rounds_per_retirement": (
+                report.rounds / report.retirements
+                if report.retirements else None),
+            "spec_epochs": report.spec_epochs,
+            "spec_commits": report.spec_commits,
+            "spec_rollbacks": report.spec_rollbacks,
+            "rollback_rate": (
+                report.spec_rollbacks / report.spec_epochs
+                if report.spec_epochs else 0.0),
+            "spec_interrupts": report.spec_interrupts,
             "restarted": report.restarted,
         }
+        row["execution"] = execution
+        rows.append(row)
+        modes[shard_by] = dict(execution,
+                               seconds=seconds,
+                               speedup=(serial_s / seconds if seconds
+                                        else float("inf")),
+                               num_shards=report.num_shards,
+                               backend=report.backend,
+                               replayed_ops=report.replayed_ops)
 
     write_bench_json("parallel", {
         "schema": SIMRATE_SCHEMA,
@@ -107,3 +133,7 @@ def test_parallel_speedup():
         assert stream_speedup >= SPEEDUP_FLOOR, \
             "%d workers on %d cpus only gave %.2fx" \
             % (WORKERS, cpus, stream_speedup)
+        sm_speedup = serial_s / legs["sm"][1]
+        assert sm_speedup >= SM_SPEEDUP_FLOOR, \
+            "sm-mode: %d workers on %d cpus only gave %.2fx" \
+            % (WORKERS, cpus, sm_speedup)

@@ -18,7 +18,7 @@ A :class:`RunRequest` describes *what* to simulate (a prebuilt stream dict
 or a declarative :class:`WorkloadSpec`), under which policy, and *how* to
 execute it: the ``execution`` field takes a first-class
 :class:`~repro.parallel.ExecutionPlan` (engine, workers, shard mode,
-horizon) and is the only execution knob — the engine falls back to the
+speculation horizon) and is the only execution knob — the engine falls back to the
 serial loop, bit-identical, whenever sharding cannot be proven sound, and
 the returned :class:`RunResult` carries the :class:`~repro.parallel.ShardReport`
 (``result.execution``) saying what actually ran and the structured

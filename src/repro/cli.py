@@ -117,7 +117,8 @@ def _cmd_simulate(args) -> int:
         telemetry = Telemetry(out_dir=args.telemetry,
                               sample_interval=args.sample_interval or 1000)
     execution = ExecutionPlan(engine=args.engine, workers=args.workers,
-                              shard_by=args.shard_by)
+                              shard_by=args.shard_by, horizon=args.horizon,
+                              speculation=args.speculation)
     if args.explain_plan:
         from .core.platform import make_policy
         from .parallel import plan_shards
@@ -132,6 +133,10 @@ def _cmd_simulate(args) -> int:
             groups = d.get("groups", d.get("sm_groups"))
             print("sharded by %s: %d shard(s) %s"
                   % (plan.mode, plan.num_shards, groups))
+            print("speculation %s: horizon=%d defer_cap=%s%s"
+                  % (execution.speculation, plan.horizon, plan.defer_cap,
+                     " mshr-shallow (interruptible ticks)"
+                     if plan.mshr_shallow else ""))
         return 0
     result = simulate(config=config, streams=streams, policy=args.policy,
                       sample_interval=args.sample_interval,
@@ -215,6 +220,7 @@ def _cmd_validate(args) -> int:
                           corpus_dir=args.corpus,
                           allow_scenes=not args.no_scenes,
                           include_process=not args.no_process,
+                          spec_stress=True if args.spec_stress else None,
                           progress=progress)
         import json
         print(json.dumps(report.summary(), sort_keys=True))
@@ -399,6 +405,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("auto", "stream", "sm"),
                    help="shard layout: whole streams per worker or "
                         "contiguous SM groups (auto picks the sound one)")
+    p.add_argument("--horizon", type=int, default=None, metavar="N",
+                   help="speculation depth: quanta each shard runs past "
+                        "its conservative memory horizon before waiting "
+                        "for patches (default: tuned per shard mode)")
+    p.add_argument("--speculation", default="auto",
+                   choices=("auto", "on", "off"),
+                   help="speculative epoch execution: off pins shards to "
+                        "their conservative horizons (and disables the "
+                        "tiny-MSHR interruptible-tick rescue)")
     p.add_argument("--explain-plan", action="store_true",
                    help="print the shard plan or the structured refusal "
                         "and exit without simulating")
@@ -455,6 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip rendered-scene workloads (faster)")
     vp.add_argument("--no-process", action="store_true",
                     help="skip the forked process backend")
+    vp.add_argument("--spec-stress", action="store_true",
+                    help="force the speculation-stress arm on every seed "
+                         "(horizon 1..3 + forced-rollback injection)")
     vp.add_argument("--quiet", action="store_true",
                     help="suppress per-seed progress lines")
 

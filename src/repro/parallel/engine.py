@@ -89,6 +89,38 @@ class ShardReport:
     #: True when a shard bailed with EpochUnsafeError and the run was
     #: redone serially.
     restarted: bool = False
+    #: Speculation totals across shards: quanta opened / committed,
+    #: rollback events, and quanta discarded by rollbacks.
+    spec_epochs: int = 0
+    spec_commits: int = 0
+    spec_rollbacks: int = 0
+    spec_rollback_depth: int = 0
+    #: Ticks interrupted mid-execution by an MSHR-full bailout and
+    #: resumed via probe patches (stream mode, tiny MSHR files).
+    spec_interrupts: int = 0
+    #: CTAs retired through the coordinator (sm mode) — the denominator
+    #: of the rounds-per-retirement coordination-cost metric.
+    retirements: int = 0
+
+    @property
+    def rounds_per_retirement(self) -> Optional[float]:
+        if not self.retirements:
+            return None
+        return self.rounds / self.retirements
+
+    @property
+    def rollback_rate(self) -> float:
+        """Rollbacks per speculated quantum (0.0 when speculation is off)."""
+        if not self.spec_epochs:
+            return 0.0
+        return self.spec_rollbacks / self.spec_epochs
+
+    def add_counters(self, counters: Dict[str, int]) -> None:
+        self.spec_epochs += counters.get("spec_epochs", 0)
+        self.spec_commits += counters.get("spec_commits", 0)
+        self.spec_rollbacks += counters.get("spec_rollbacks", 0)
+        self.spec_rollback_depth += counters.get("spec_rollback_depth", 0)
+        self.spec_interrupts += counters.get("spec_interrupts", 0)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -103,6 +135,13 @@ class ShardReport:
             "rounds": self.rounds,
             "replayed_ops": self.replayed_ops,
             "restarted": self.restarted,
+            "spec_epochs": self.spec_epochs,
+            "spec_commits": self.spec_commits,
+            "spec_rollbacks": self.spec_rollbacks,
+            "spec_rollback_depth": self.spec_rollback_depth,
+            "spec_interrupts": self.spec_interrupts,
+            "retirements": self.retirements,
+            "rounds_per_retirement": self.rounds_per_retirement,
         }
 
     def describe(self) -> str:
@@ -111,20 +150,34 @@ class ShardReport:
             why = self.refusal.render() if self.refusal else \
                 (self.fallback_reason or "serial engine")
             return "serial (%s)" % why
-        return "sharded by %s: %d shard(s), %s backend, %d round(s)" % (
+        line = "sharded by %s: %d shard(s), %s backend, %d round(s)" % (
             self.mode, self.num_shards, self.backend, self.rounds)
+        if self.spec_epochs:
+            line += ", %d speculated epoch(s), %d rollback(s)" % (
+                self.spec_epochs, self.spec_rollbacks)
+        if self.spec_interrupts:
+            line += ", %d interrupted tick(s)" % self.spec_interrupts
+        rpr = self.rounds_per_retirement
+        if rpr is not None:
+            line += ", %.2f rounds/retirement" % rpr
+        return line
 
 
 class _InlineShard:
     """Stream-mode shard handle running in-process (tests, 1-CPU fallback)."""
 
-    def __init__(self, config: GPUConfig, streams, policy, max_cycles: int) -> None:
-        self.gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles)
+    def __init__(self, config: GPUConfig, streams, policy, max_cycles: int,
+                 horizon: int = 0, defer_cap: Optional[int] = None,
+                 interruptible: bool = False) -> None:
+        self.gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles,
+                            horizon=horizon, defer_cap=defer_cap,
+                            interruptible=interruptible)
         self.gpu.start()
 
     def advance(self, limit: int):
         status = self.gpu.advance(limit)
-        return status, self.gpu.front(), self.gpu.next_visit(), self.gpu.take_log()
+        return (status, self.gpu.front(), self.gpu.next_visit(),
+                self.gpu.probe_boundary(), self.gpu.take_log())
 
     def apply_patches(self, patches):
         self.gpu.apply_patches(patches)
@@ -132,6 +185,14 @@ class _InlineShard:
 
     def occupancy(self) -> Dict[int, int]:
         return self.gpu.occupancy_by_stream()
+
+    def counters(self) -> Dict[str, int]:
+        g = self.gpu
+        return {"spec_epochs": g.spec_epochs,
+                "spec_commits": g.spec_commits,
+                "spec_rollbacks": g.spec_rollbacks,
+                "spec_rollback_depth": g.spec_rollback_depth,
+                "spec_interrupts": g.spec_interrupts}
 
     def finalize(self) -> Tuple[GPUStats, int]:
         return self.gpu.stats, self.gpu.final_cycle
@@ -144,24 +205,34 @@ class _InlineSMShard:
     """SM-mode shard handle running in-process."""
 
     def __init__(self, config: GPUConfig, streams, sm_ids,
-                 max_cycles: int) -> None:
+                 max_cycles: int, horizon: int = 0,
+                 defer_cap: Optional[int] = None) -> None:
         self.shard = SMGroupShard(config, streams, sm_ids,
-                                  max_cycles=max_cycles)
+                                  max_cycles=max_cycles, horizon=horizon,
+                                  defer_cap=defer_cap)
 
     def _state(self):
         s = self.shard
-        return s.front(), s.next_visit(), s.retire_bound(), s.cycle
+        return (s.front(), s.next_visit(), s.retire_bound(), s.cycle,
+                s.committed_pos())
 
-    def advance(self, limit: int):
-        status = self.shard.advance(limit)
+    def advance(self, limit: int, floor: Optional[int] = None):
+        status = self.shard.advance(limit, floor)
         return (status,) + self._state() + (self.shard.take_log(),)
 
     def apply_patches(self, patches):
         self.shard.apply_patches(patches)
         return self._state()
 
+    def rewind(self, below: Optional[int] = None):
+        self.shard.rewind(below)
+        return self._state()
+
     def begin_cycle(self, cycle: int):
         return self.shard.begin_cycle(cycle)
+
+    def retire_next(self):
+        return self.shard.retire_next()
 
     def finish_cycle(self, cycle: int, launches):
         self.shard.finish_cycle(cycle, launches)
@@ -173,6 +244,14 @@ class _InlineSMShard:
 
     def occupancy(self) -> Dict[int, int]:
         return self.shard.occupancy_by_stream()
+
+    def counters(self) -> Dict[str, int]:
+        s = self.shard
+        return {"spec_epochs": s.spec_epochs,
+                "spec_commits": s.spec_commits,
+                "spec_rollbacks": s.spec_rollbacks,
+                "spec_rollback_depth": s.spec_rollback_depth,
+                "spec_interrupts": s.spec_interrupts}
 
     def snapshot(self, cycle: int):
         return self.shard.stats, list(self.shard._sm_list)
@@ -318,11 +397,30 @@ def _serial_run(config, streams, policy, sample_interval, telemetry,
 
 
 def _replay(queues: List[deque], l2: L2Cache, bound: int,
-            patches: List[List[Tuple[int, int]]]) -> int:
-    """Replay every logged op with visit < ``bound`` in serial order."""
+            patches: List[List[Tuple[int, int]]],
+            allows: Optional[List] = None) -> int:
+    """Replay every logged op with visit < ``bound`` in serial order.
+
+    ``allows`` (optional, per-queue) extends eligibility beyond the
+    scalar floor: an op whose ``(visit, sm_id)`` key precedes its queue's
+    allow key may also replay.  Each shard's shipped stream is
+    non-decreasing in that key, so this never reorders a queue against
+    itself; the caller sets queue *i*'s allowance to the minimum
+    "next possible op" key over the *other* live shards, which is what
+    lets an interrupted shard's probe ops drain at the floor itself.
+    """
+    if allows is None:
+        def ok(i, op):
+            return op[1] < bound
+    else:
+        def ok(i, op):
+            if op[1] < bound:
+                return True
+            a = allows[i]
+            return a is not None and (op[1], op[2]) < a
     heap = []
     for i, q in enumerate(queues):
-        if q and q[0][1] < bound:
+        if q and ok(i, q[0]):
             op = q[0]
             heap.append((op[1], op[2], i))
     heapq.heapify(heap)
@@ -341,7 +439,7 @@ def _replay(queues: List[deque], l2: L2Cache, bound: int,
                                              sector_mask=mask,
                                              fetch_bytes=fetch)))
         count += 1
-        if q and q[0][1] < bound:
+        if q and ok(i, q[0]):
             op = q[0]
             heapq.heappush(heap, (op[1], op[2], i))
     return count
@@ -357,12 +455,37 @@ def _run_coordinated(config: GPUConfig, streams, policy, sample_interval,
     queues: List[deque] = [deque() for _ in range(n)]
     fronts = [0] * n
     nvs = [0] * n
+    #: Probe boundaries: (visit, sm_id) "next possible op" key of a shard
+    #: wedged on an interrupted tick, None otherwise.
+    bnds: List[Optional[Tuple[int, int]]] = [None] * n
     done = [False] * n
     interval = sample_interval
     next_sample = interval if interval else None
     epoch = policy.epoch_interval
     next_epoch = epoch if epoch else None
     total_slots = config.num_sms * config.max_warps_per_sm
+
+    def allow_keys(live):
+        # Queue i may drain ops preceding every OTHER live shard's next
+        # possible (visit, sm_id) key (two-min over the boundaries); an
+        # interrupted shard's own probes drain at the floor itself once
+        # every other shard has provably moved past them.
+        b1 = b2 = None
+        arg1 = -1
+        for i in live:
+            b = bnds[i] if bnds[i] is not None else (fronts[i], -1)
+            if b1 is None or b < b1:
+                b2 = b1
+                b1 = b
+                arg1 = i
+            elif b2 is None or b < b2:
+                b2 = b
+        inf = (BLOCKED, BLOCKED)
+        out = []
+        for i in range(n):
+            a = b2 if i == arg1 else b1
+            out.append(a if a is not None else inf)
+        return out
 
     while True:
         if next_epoch is not None and next_sample is not None:
@@ -376,16 +499,20 @@ def _run_coordinated(config: GPUConfig, streams, policy, sample_interval,
         for i, h in enumerate(handles):
             if done[i]:
                 continue
-            status, front, nv, ops = h.advance(limit)
+            status, front, nv, bnd, ops = h.advance(limit)
             queues[i].extend(ops)
             fronts[i] = front
             nvs[i] = nv
+            bnds[i] = bnd
             if status == "done":
                 done[i] = True
+                bnds[i] = None
         live = [i for i in range(n) if not done[i]]
         floor = min((fronts[i] for i in live), default=BLOCKED)
+        allows = allow_keys(live) if any(bnds[i] is not None
+                                         for i in live) else None
         patches: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-        report.replayed_ops += _replay(queues, l2, floor, patches)
+        report.replayed_ops += _replay(queues, l2, floor, patches, allows)
         patched = False
         for i, p in enumerate(patches):
             if p:
@@ -408,17 +535,36 @@ def _run_coordinated(config: GPUConfig, streams, policy, sample_interval,
                     default=BLOCKED)
         if event >= SENTINEL_BASE:
             raise EpochUnsafeError("coordinator found no runnable shard")
-        for i in live:
-            status, front, nv, ops = handles[i].advance(event + 1)
-            queues[i].extend(ops)
-            fronts[i] = front
-            nvs[i] = nv
-            if status == "done":
-                done[i] = True
-        report.replayed_ops += _replay(queues, l2, event + 1, patches)
-        for i, p in enumerate(patches):
-            if p:
-                fronts[i], nvs[i] = handles[i].apply_patches(p)
+        # Drive every shard through `event` and wait until the cycles up
+        # to it are *committed* (fronts past event): a speculating shard
+        # may need a patch round or two to retire its quanta, and the
+        # hooks below must observe fully final state.
+        while True:
+            for i in live:
+                status, front, nv, bnd, ops = handles[i].advance(event + 1)
+                queues[i].extend(ops)
+                fronts[i] = front
+                nvs[i] = nv
+                bnds[i] = bnd
+                if status == "done":
+                    done[i] = True
+                    bnds[i] = None
+            allows = allow_keys(live) if any(bnds[i] is not None
+                                             for i in live) else None
+            report.replayed_ops += _replay(queues, l2, event + 1, patches,
+                                           allows)
+            patched = False
+            for i, p in enumerate(patches):
+                if p:
+                    patched = True
+                    fronts[i], nvs[i] = handles[i].apply_patches(p)
+            live = [i for i in live if not done[i]]
+            if all(fronts[i] >= event + 1 for i in live):
+                break
+            if not patched:
+                raise EpochUnsafeError(
+                    "shards stalled below threshold event %d" % event)
+            patches = [[] for _ in range(n)]
         if next_epoch is not None and event >= next_epoch:
             # Serial passes the GPU only for telemetry, which is off in
             # stream-mode sharded runs; every certified policy accepts None.
@@ -499,6 +645,8 @@ def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
     nvs = [0] * n
     bounds = [BLOCKED] * n
     cycles = [0] * n
+    #: committed_pos() per shard: BLOCKED = no uncommitted speculation.
+    cpos = [BLOCKED] * n
     statuses = [""] * n
 
     def dispatch(cmds):
@@ -506,6 +654,21 @@ def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
         for cmd in cmds:
             per[owner[cmd[0]]].append(cmd)
         return per
+
+    def shard_floors() -> List[int]:
+        """Per-shard commit floor: the minimum retire bound over the
+        *other* shards.  A shard's own retirement is separately gated by
+        its queued-completion top (it never processes past it), so its
+        own — often stale while speculating — walk bound must not gate
+        its own commits or the fleet deadlocks on each other's fronts.
+        """
+        if n == 1:
+            return [BLOCKED]
+        m1 = min(bounds)
+        if bounds.count(m1) > 1:
+            return [m1] * n
+        m2 = min((b for b in bounds if b != m1), default=BLOCKED)
+        return [m2 if b == m1 else m1 for b in bounds]
 
     def drain_launches():
         cmds = launch_buf[:]
@@ -537,10 +700,94 @@ def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
     cta_scheduler.fill(0)
     for i, cmds in enumerate(drain_launches()):
         if cmds:
-            fronts[i], nvs[i], bounds[i], cycles[i] = \
+            fronts[i], nvs[i], bounds[i], cycles[i], cpos[i] = \
                 handles[i].apply_launches(cmds, 0, 0)
 
     final: Optional[int] = None
+
+    def run_retire_cycle(R: int) -> bool:
+        """One coordinated retirement cycle; True ends the simulation."""
+        nonlocal final
+        all_retires: List = []
+        works = [False] * n
+        for i, h in enumerate(handles):
+            rets, works[i] = h.begin_cycle(R)
+            all_retires.extend(rets)
+        # Shard groups are contiguous ascending SM ranges, so shard
+        # order == global ascending sm_id == serial pop order.
+        for sm_id, stream, uid, launch_cycle, warp_count in all_retires:
+            name, res = kernel_info[(stream, uid)]
+            mirrors[sm_id].free_cta(res, stream)
+            shim = CtaShim(uid, name, stream, launch_cycle, warp_count)
+            tel.on_cta_retire(mirrors[sm_id], shim, R)
+            cta_scheduler.on_cta_complete(mirrors[sm_id], shim, R)
+        report.retirements += len(all_retires)
+        launched = 0
+        if all_retires:
+            if cta_scheduler.has_issuable_work:
+                view.sync(R)
+                launched = cta_scheduler.fill(R)
+            if cta_scheduler.all_complete and launched == 0 \
+                    and not any(works):
+                # Serial breaks before ticking the final cycle.
+                patches = [[] for _ in range(n)]
+                report.replayed_ops += _replay(queues, l2, BLOCKED, patches)
+                for i, p in enumerate(patches):
+                    if p:
+                        handles[i].apply_patches(p)
+                if any(queues):
+                    raise AssertionError(
+                        "ops left unreplayed after completion")
+                final = R
+                return True
+        per = drain_launches()
+        for i, h in enumerate(handles):
+            fronts[i], nvs[i], bounds[i], cycles[i], cpos[i], ops = \
+                h.finish_cycle(R, per[i])
+            queues[i].extend(ops)
+        patches = [[] for _ in range(n)]
+        report.replayed_ops += _replay(queues, l2, R + 1, patches)
+        for i, p in enumerate(patches):
+            if p:
+                fronts[i], nvs[i], bounds[i], cycles[i], cpos[i] = \
+                    handles[i].apply_patches(p)
+        return False
+
+    def drain_to(rn: int, attempts: int = 2) -> Optional[int]:
+        """Capped sweeps toward the queued retirement at ``rn``.
+
+        Execution is limited to ``rn`` — nothing speculates past a
+        retirement that is already known to land — while commits flow
+        beneath it.  Returns the retire cycle once it is coordinatable
+        (all fronts past it, no uncommitted speculation, a shard parked
+        on it), or None to fall back to the open speculative loop.
+        """
+        for _ in range(attempts):
+            report.rounds += 1
+            floors = shard_floors()
+            for i, h in enumerate(handles):
+                statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], \
+                    cpos[i], ops = h.advance(rn, floors[i])
+                queues[i].extend(ops)
+            patches = [[] for _ in range(n)]
+            report.replayed_ops += _replay(queues, l2, min(fronts), patches)
+            dpre = list(nvs)
+            for i, p in enumerate(patches):
+                if p:
+                    fronts[i], nvs[i], bounds[i], cycles[i], cpos[i] = \
+                        handles[i].apply_patches(p)
+            ev = min((v for v in nvs if v < SENTINEL_BASE), default=BLOCKED)
+            if ev >= SENTINEL_BASE:
+                return None
+            if any(f < ev for f in fronts) or \
+                    any(c < SENTINEL_BASE for c in cpos):
+                continue
+            if any(statuses[i] == "retire" and nvs[i] == ev
+                   and nvs[i] == dpre[i] for i in range(n)):
+                return ev
+        return None
+    stall_sig: Optional[tuple] = None
+    stall_rounds = 0
     while final is None:
         if next_epoch is not None and next_sample is not None:
             threshold: Optional[int] = min(next_epoch, next_sample)
@@ -549,30 +796,65 @@ def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
         else:
             threshold = next_sample
         limit = threshold if threshold is not None else BLOCKED
-        rb = min(bounds)
-        if rb < limit:
-            limit = rb
+        # Once a shard has parked on a committed retirement (status
+        # "retire" from the previous round), cap every shard's execution
+        # at that cycle: work below it still commits (floors permitting),
+        # but nothing speculates *past* a retirement that is already
+        # known to land — those cycles would only be rolled back by the
+        # coordinated retirement anyway.
+        # The retire floor is a *commit* bound, not an execution limit:
+        # shards run speculatively past it (up to their horizon) and the
+        # coordinator rewinds them if a retirement lands inside the
+        # speculated range.
+        floors = shard_floors()
         report.rounds += 1
         for i, h in enumerate(handles):
-            statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], ops = \
-                h.advance(limit)
+            statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], \
+                cpos[i], ops = h.advance(limit, floors[i])
             queues[i].extend(ops)
         floor = min(fronts)
         patches: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         report.replayed_ops += _replay(queues, l2, floor, patches)
         patched = False
+        pre_nvs: Optional[List[int]] = None
         for i, p in enumerate(patches):
             if p:
-                patched = True
-                fronts[i], nvs[i], bounds[i], cycles[i] = \
+                if not patched:
+                    patched = True
+                    pre_nvs = list(nvs)
+                fronts[i], nvs[i], bounds[i], cycles[i], cpos[i] = \
                     handles[i].apply_patches(p)
-        if patched:
-            continue
+        # A patch round falls through instead of burning a sweep: it can
+        # surface a committed retirement (or a threshold event) that is
+        # coordinatable right now.  The retiring check below guards on
+        # the next visit being *unmoved* by the patches, so a freshly
+        # woken earlier cycle is never mislabelled.
+        if not patched:
+            sig = (threshold, tuple(fronts), tuple(nvs), tuple(bounds),
+                   tuple(cpos), tuple(statuses))
+            if sig == stall_sig:
+                stall_rounds += 1
+                if stall_rounds >= 3:
+                    # Deterministic fixpoint: same inputs, no patches, no
+                    # retirement — the sharded run cannot make progress.
+                    raise EpochUnsafeError(
+                        "sharded run stalled (no patches, no commits, no "
+                        "retirements for %d rounds)" % stall_rounds)
+            else:
+                stall_sig = sig
+                stall_rounds = 0
         event = min((v for v in nvs if v < SENTINEL_BASE), default=BLOCKED)
         if event >= SENTINEL_BASE:
+            if patched:
+                # Stale statuses: re-sweep before judging the idle state.
+                continue
             if any(s == "blocked" for s in statuses):
                 raise EpochUnsafeError(
                     "shards blocked with no patches to apply")
+            if any(c < SENTINEL_BASE for c in cpos):
+                # Speculated quanta still uncommitted at global idle;
+                # another round lets them commit as the bounds drain.
+                continue
             # Global idle.  Serial either launches queued CTAs at the
             # last visited cycle (without ticking), deadlocks, or is done.
             c = max(cycles)
@@ -584,7 +866,7 @@ def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
                         % c)
                 for i, cmds in enumerate(drain_launches()):
                     if cmds:
-                        fronts[i], nvs[i], bounds[i], cycles[i] = \
+                        fronts[i], nvs[i], bounds[i], cycles[i], cpos[i] = \
                             handles[i].apply_launches(cmds, c, c + 1)
                 continue
             if not cta_scheduler.all_complete:
@@ -595,72 +877,141 @@ def _run_sm_coordinated(config: GPUConfig, streams, policy, sample_interval,
         if any(f < event for f in fronts):
             continue
         retiring = any(statuses[i] == "retire" and nvs[i] == event
+                       and (pre_nvs is None or nvs[i] == pre_nvs[i])
                        for i in range(n))
+        if not retiring:
+            rmin = min((nvs[i] for i in range(n)
+                        if statuses[i] == "retire"
+                        and (pre_nvs is None or nvs[i] == pre_nvs[i])),
+                       default=BLOCKED)
+            if rmin < BLOCKED:
+                # A committed retirement is parked at rmin > event, so
+                # the retire floor is pinned at rmin and any speculated
+                # quantum straddling it can never commit.  Rewind the
+                # lagging speculators' tails — only execution at or past
+                # rmin is discarded, earlier quanta keep committing —
+                # then drain straight to the retirement instead of
+                # re-speculating past it.
+                if threshold is None or rmin <= threshold:
+                    for i in range(n):
+                        if cpos[i] < SENTINEL_BASE and nvs[i] < rmin:
+                            fronts[i], nvs[i], bounds[i], cycles[i], \
+                                cpos[i] = handles[i].rewind(rmin)
+                    ev = drain_to(rmin, attempts=3)
+                    if ev is None:
+                        continue
+                    event = ev
+                    retiring = True
+                else:
+                    # Hooks are due before the retirement; the threshold
+                    # path below needs the speculators fully unwound so
+                    # their quanta cannot pin the commit floor.
+                    rewound = False
+                    for i in range(n):
+                        if cpos[i] < SENTINEL_BASE and nvs[i] < rmin:
+                            fronts[i], nvs[i], bounds[i], cycles[i], \
+                                cpos[i] = handles[i].rewind()
+                            rewound = True
+                    if rewound:
+                        continue
         if retiring:
+            if any(c < SENTINEL_BASE for c in cpos):
+                # The coordinated phases mutate launch/retire bookkeeping
+                # that cannot roll back, so every shard still holding
+                # uncommitted speculative cycles is rewound to its last
+                # committed state (cross-shard traffic from the
+                # retirement could land inside the speculated range).
+                for i in range(n):
+                    if cpos[i] < SENTINEL_BASE:
+                        fronts[i], nvs[i], bounds[i], cycles[i], \
+                            cpos[i] = handles[i].rewind()
+                # Re-applying the patch journal on the rewound state can
+                # surface committed work below the retire cycle; if so,
+                # advance again before coordinating it.
+                if any(f < event for f in fronts) or \
+                        min(nvs) < event:
+                    continue
             # Coordinated retirement cycle.  Every shard has processed
             # exactly the cycles < event, so this IS the serial loop's
-            # next visited cycle; run it in two phases.
+            # next visited cycle; run it in two phases.  After the
+            # R + 1 replay the shards are fully drained (every logged op
+            # is patched), so when the next visited cycle is itself a
+            # committed retirement it can be *chained* — coordinated
+            # immediately, without an advance/replay round in between.
             R = event
-            all_retires: List = []
-            works = [False] * n
-            for i, h in enumerate(handles):
-                rets, works[i] = h.begin_cycle(R)
-                all_retires.extend(rets)
-            # Shard groups are contiguous ascending SM ranges, so shard
-            # order == global ascending sm_id == serial pop order.
-            for sm_id, stream, uid, launch_cycle, warp_count in all_retires:
-                name, res = kernel_info[(stream, uid)]
-                mirrors[sm_id].free_cta(res, stream)
-                shim = CtaShim(uid, name, stream, launch_cycle, warp_count)
-                tel.on_cta_retire(mirrors[sm_id], shim, R)
-                cta_scheduler.on_cta_complete(mirrors[sm_id], shim, R)
-            launched = 0
-            if all_retires:
-                if cta_scheduler.has_issuable_work:
-                    view.sync(R)
-                    launched = cta_scheduler.fill(R)
-                if cta_scheduler.all_complete and launched == 0 \
-                        and not any(works):
-                    # Serial breaks before ticking the final cycle.
-                    patches = [[] for _ in range(n)]
-                    report.replayed_ops += _replay(queues, l2, BLOCKED,
-                                                   patches)
-                    for i, p in enumerate(patches):
-                        if p:
-                            handles[i].apply_patches(p)
-                    if any(queues):
-                        raise AssertionError(
-                            "ops left unreplayed after completion")
-                    final = R
+            while True:
+                if run_retire_cycle(R):
                     break
-            per = drain_launches()
-            for i, h in enumerate(handles):
-                fronts[i], nvs[i], bounds[i], cycles[i], ops = \
-                    h.finish_cycle(R, per[i])
-                queues[i].extend(ops)
-            patches = [[] for _ in range(n)]
-            report.replayed_ops += _replay(queues, l2, R + 1, patches)
-            for i, p in enumerate(patches):
-                if p:
-                    fronts[i], nvs[i], bounds[i], cycles[i] = \
-                        handles[i].apply_patches(p)
-            fire_hooks(R)
+                fire_hooks(R)
+                nxt = min((v for v in nvs if v < SENTINEL_BASE),
+                          default=BLOCKED)
+                if nxt >= SENTINEL_BASE:
+                    break
+                chain = False
+                for i in range(n):
+                    if nvs[i] == nxt:
+                        rn = handles[i].retire_next()
+                        if rn is not None and rn <= nxt:
+                            chain = True
+                            break
+                if chain:
+                    R = nxt
+                    continue
+                # Retirements cluster: the next queued completion is
+                # often a handful of tick-only cycles ahead, well below
+                # every memory horizon.  Drain straight to it with a
+                # capped sweep and keep the burst going instead of
+                # falling back to an open-ended speculative round (which
+                # would speculate past the retirement and be rewound).
+                rn = BLOCKED
+                for i in range(n):
+                    t = handles[i].retire_next()
+                    if t is not None and t < rn:
+                        rn = t
+                if rn >= SENTINEL_BASE or \
+                        (threshold is not None and rn > threshold):
+                    break
+                ev = drain_to(rn)
+                if ev is None:
+                    break
+                R = ev
             continue
         if threshold is not None and event >= threshold:
             # Threshold event, as in stream mode: no retirement can hide
             # at or below `event` (every retire bound exceeds it), so the
-            # shards advance through exactly `event` and the hooks fire
-            # on fully drained state.
-            for i, h in enumerate(handles):
-                statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], ops = \
-                    h.advance(event + 1)
-                queues[i].extend(ops)
-            patches = [[] for _ in range(n)]
-            report.replayed_ops += _replay(queues, l2, event + 1, patches)
-            for i, p in enumerate(patches):
-                if p:
-                    fronts[i], nvs[i], bounds[i], cycles[i] = \
-                        handles[i].apply_patches(p)
+            # shards advance through exactly `event` and — once every
+            # front passes it, which may take a patch round or two while
+            # speculated quanta commit — the hooks fire on final state.
+            bailed = False
+            while True:
+                floors = shard_floors()
+                for i, h in enumerate(handles):
+                    statuses[i], fronts[i], nvs[i], bounds[i], cycles[i], \
+                        cpos[i], ops = h.advance(event + 1, floors[i])
+                    queues[i].extend(ops)
+                patches = [[] for _ in range(n)]
+                report.replayed_ops += _replay(queues, l2, event + 1,
+                                               patches)
+                patched = False
+                for i, p in enumerate(patches):
+                    if p:
+                        patched = True
+                        fronts[i], nvs[i], bounds[i], cycles[i], cpos[i] = \
+                            handles[i].apply_patches(p)
+                if any(statuses[i] == "retire" and nvs[i] <= event
+                       for i in range(n)):
+                    # A committed retirement surfaced at or below the
+                    # threshold event; coordinate it first — the hooks
+                    # re-fire once the shards pass the threshold again.
+                    bailed = True
+                    break
+                if all(f >= event + 1 for f in fronts):
+                    break
+                if not patched:
+                    raise EpochUnsafeError(
+                        "shards stalled below threshold event %d" % event)
+            if bailed:
+                continue
             fire_hooks(event)
         # else: the recomputed retire bounds now exceed `event`, so the
         # next round's limit lets the shards process it.
@@ -733,11 +1084,15 @@ def run_sharded(
                     spolicy = shard_policy(plan, group)
                     if resolved_backend == "process":
                         from .worker import ProcessShard
-                        handles.append(ProcessShard(config, group_streams,
-                                                    spolicy, max_cycles))
+                        handles.append(ProcessShard(
+                            config, group_streams, spolicy, max_cycles,
+                            horizon=plan.horizon, defer_cap=plan.defer_cap,
+                            interruptible=plan.mshr_shallow))
                     else:
-                        handles.append(_InlineShard(config, group_streams,
-                                                    spolicy, max_cycles))
+                        handles.append(_InlineShard(
+                            config, group_streams, spolicy, max_cycles,
+                            horizon=plan.horizon, defer_cap=plan.defer_cap,
+                            interruptible=plan.mshr_shallow))
                 stats = _run_coordinated(config, streams, policy,
                                          sample_interval, handles, report,
                                          sorted(streams))
@@ -748,14 +1103,18 @@ def run_sharded(
                         owner[sm_id] = idx
                     if resolved_backend == "process":
                         from .worker import ProcessSMShard
-                        handles.append(ProcessSMShard(config, streams,
-                                                      group, max_cycles))
+                        handles.append(ProcessSMShard(
+                            config, streams, group, max_cycles,
+                            horizon=plan.horizon, defer_cap=plan.defer_cap))
                     else:
-                        handles.append(_InlineSMShard(config, streams,
-                                                      group, max_cycles))
+                        handles.append(_InlineSMShard(
+                            config, streams, group, max_cycles,
+                            horizon=plan.horizon, defer_cap=plan.defer_cap))
                 stats = _run_sm_coordinated(config, streams, policy,
                                             sample_interval, telemetry,
                                             handles, owner, report)
+            for h in handles:
+                report.add_counters(h.counters())
             report.engaged = True
             return stats, policy, report
         finally:

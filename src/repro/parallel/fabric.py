@@ -35,6 +35,24 @@ from ..timing.warp import BLOCKED
 #: harmlessly until patched.
 SENTINEL_BASE = 1 << 61
 
+#: Id offset for ops that never reach the coordinator (merge ops, issue
+#: records).  Keeping them off the logged-op counter makes logged op ids a
+#: pure function of the logged-op *sequence*: an interrupted tick that is
+#: re-executed with some accesses pre-resolved (so fewer merges / issue
+#: records are created) still re-allocates the same ids for the ops it
+#: ships, which the probe-replay prefix match depends on.
+AUX_ID_OFFSET = 1 << 40
+
+
+#: Speculation-stress injection knob (validation only).  When set to an
+#: integer N >= 1, every Nth speculative shard tick raises a synthetic
+#: :class:`EpochUnsafeError`, forcing the shard's checkpoint/rollback
+#: path far more often than organic patch traffic would.  Rollback is
+#: semantically transparent, so every result must stay bit-identical
+#: with the knob armed — the fuzzer's speculation-stress arm runs whole
+#: cases under it.  Forked process workers inherit the armed value.
+FORCE_ROLLBACK_EVERY = 0
+
 
 class EpochUnsafeError(RuntimeError):
     """A shard hit a state where serial branch-identity cannot be proven.
@@ -104,6 +122,19 @@ class ShardFabric:
         self.cycle = 0
         self.sm_id = 0
         self._next_id = 0
+        self._next_aux = 0
+        #: op_id -> return cycle for patches that arrived before their op
+        #: (re-)exists: an interrupted tick ships its partial log as
+        #: *probes*, rolls back, and resolves them from this stash when
+        #: the tick re-executes (see ShardGPU interruptible ticks).
+        self.prepatched: Dict[int, int] = {}
+        #: While re-executing an interrupted tick: the shipped log-entry
+        #: prefix the re-execution must reproduce verbatim, and the match
+        #: cursor.  A divergence poisons the shard (serial order at the
+        #: L2 is unrecoverable) and escalates to the serial-restart path.
+        self.probe_replay: Optional[List[Tuple]] = None
+        self.probe_pos = 0
+        self.probe_poisoned = False
         #: Ordered op log for the coordinator, drained every round.  Tuples
         #: of (op_id|None, visit, sm_id, kind, line, t, data_class, stream,
         #: sector_mask, fetch_bytes).
@@ -112,22 +143,50 @@ class ShardFabric:
         self.unresolved: Dict[int, LineOp] = {}
         #: issue sentinel -> IssueRecord awaiting full resolution.
         self.issue_records: Dict[int, IssueRecord] = {}
+        #: LDST paths at/over the planned defer cap; the shard loop checks
+        #: (and re-validates) this before processing each cycle.
+        self.hot_paths: Set = set()
 
     # -- deferral (called from ShardLDSTPath) -------------------------------
+    def _probe_match(self, entry: Tuple) -> bool:
+        """During an interrupted tick's re-execution, consume one entry of
+        the shipped prefix (suppressing the duplicate log append).  The
+        re-execution must reproduce the shipped sequence exactly — those
+        ops already hit the coordinator's L2 replay."""
+        rp = self.probe_replay
+        if rp is None or self.probe_pos >= len(rp):
+            return False
+        if rp[self.probe_pos] != entry:
+            self.probe_poisoned = True
+            raise EpochUnsafeError(
+                "interrupted tick diverged on re-execution at cycle %d"
+                % self.cycle)
+        self.probe_pos += 1
+        return True
+
     def defer_load(self, ldst, kind: str, line: int, t: int, data_class,
                    stream: int, sector_mask: int,
                    fetch_bytes: Optional[int]) -> LineOp:
         self._next_id += 1
+        entry = (self._next_id, self.cycle, self.sm_id, kind, line, t,
+                 data_class, stream, sector_mask, fetch_bytes)
         op = LineOp(self._next_id, kind, line, t, self.cycle, ldst)
-        self.log.append((op.op_id, self.cycle, self.sm_id, kind, line, t,
-                         data_class, stream, sector_mask, fetch_bytes))
+        if self._probe_match(entry):
+            # Already shipped (and replayed) as a probe: resolve in place
+            # from the stashed patch, exactly as serial resolved it.
+            op.value = self.prepatched[op.op_id] + self.icnt
+            return op
+        self.log.append(entry)
         self.unresolved[op.op_id] = op
         return op
 
     def record_store(self, line: int, t: int, data_class, stream: int) -> None:
         """Stores are fire-and-forget: replayed for L2/DRAM state, no patch."""
-        self.log.append((None, self.cycle, self.sm_id, "store", line, t,
-                         data_class, stream, 0, None))
+        entry = (None, self.cycle, self.sm_id, "store", line, t,
+                 data_class, stream, 0, None)
+        if self._probe_match(entry):
+            return
+        self.log.append(entry)
 
     def merge_load(self, base: LineOp, probe_done: int) -> LineOp:
         """An L1 hit/merge on a line whose fill is still deferred.
@@ -135,21 +194,70 @@ class ShardFabric:
         Serial semantics: ``max(probe_done, pending)`` — resolved the
         moment the base op's patch arrives.  Not logged (no L2 traffic).
         """
-        self._next_id += 1
-        op = LineOp(self._next_id, "merge", base.line, base.t, self.cycle)
+        self._next_aux += 1
+        op = LineOp(AUX_ID_OFFSET + self._next_aux, "merge", base.line,
+                    base.t, self.cycle)
         op.probe_done = probe_done
         base.mergers.append(op)
         return op
 
     def make_issue(self, ops: List[LineOp], local_done: int) -> int:
         """Register a deferred instruction completion over ``ops``."""
-        self._next_id += 1
-        sentinel = SENTINEL_BASE + self._next_id
+        self._next_aux += 1
+        sentinel = SENTINEL_BASE + AUX_ID_OFFSET + self._next_aux
         rec = IssueRecord(sentinel, len(ops), local_done)
         for op in ops:
             op.dependents.append(rec)
         self.issue_records[sentinel] = rec
         return sentinel
+
+    # -- checkpoint / rollback ----------------------------------------------
+    def _op_marks(self, op: LineOp) -> tuple:
+        # Merge chains are short; record list lengths recursively so a
+        # rollback can truncate children attached during speculation.
+        return (op, len(op.dependents), len(op.mergers),
+                [self._op_marks(c) for c in op.mergers])
+
+    @staticmethod
+    def _restore_op(marks: tuple) -> None:
+        op, n_dep, n_merge, children = marks
+        del op.dependents[n_dep:]
+        del op.mergers[n_merge:]
+        op.value = None
+        for child in children:
+            ShardFabric._restore_op(child)
+
+    def snapshot(self) -> tuple:
+        """Capture the deferred-op graph for rollback.
+
+        Ops and issue records are pinned by reference (patches only mutate
+        their fields); list lengths mark where speculative children start.
+        """
+        return (
+            self._next_id, len(self.log),
+            {op_id: self._op_marks(op)
+             for op_id, op in self.unresolved.items()},
+            {sent: (rec, rec.remaining, rec.local_done)
+             for sent, rec in self.issue_records.items()},
+            self._next_aux,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        # ``prepatched`` deliberately survives restores: it carries patch
+        # values across an interrupted tick's rollback.
+        next_id, log_len, unresolved, issue_records, next_aux = snap
+        self._next_id = next_id
+        self._next_aux = next_aux
+        del self.log[log_len:]
+        self.unresolved = {}
+        for op_id, marks in unresolved.items():
+            self._restore_op(marks)
+            self.unresolved[op_id] = marks[0]
+        self.issue_records = {}
+        for sent, (rec, remaining, local_done) in issue_records.items():
+            rec.remaining = remaining
+            rec.local_done = local_done
+            self.issue_records[sent] = rec
 
     # -- horizon ------------------------------------------------------------
     def mem_horizon(self) -> int:
@@ -173,7 +281,12 @@ class ShardFabric:
         """
         touched: Set = set()
         for op_id, ret in patches:
-            op = self.unresolved.pop(op_id)
+            op = self.unresolved.pop(op_id, None)
+            if op is None:
+                # A probe patch: the op rolled back with its interrupted
+                # tick and resolves from the stash on re-execution.
+                self.prepatched[op_id] = ret
+                continue
             self._finish_line(op, ret + self.icnt, touched)
         return touched
 

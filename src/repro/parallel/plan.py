@@ -37,6 +37,14 @@ SHARDABLE_POLICIES = (MPSPolicy, MiGPolicy, TAPPolicy)
 
 ENGINES = ("auto", "serial", "sharded", "process")
 SHARD_MODES = ("auto", "stream", "sm")
+SPECULATION_MODES = ("auto", "on", "off")
+
+#: Tuned default speculation depths (quanta past the conservative memory
+#: horizon) per shard mode.  Stream-mode shards own whole streams and
+#: their conservative windows are already long, so one quantum suffices;
+#: sm-mode shards synchronise every retire-bounded round and gain more
+#: from running deeper ahead.
+DEFAULT_HORIZON = {"stream": 1, "sm": 2}
 
 #: Machine-readable refusal codes (``ShardRefusal.code``).
 REFUSAL_SERIAL_REQUESTED = "serial-requested"
@@ -85,15 +93,19 @@ class ExecutionPlan:
     SM-partitioned policy), ``sm`` partitions the SM array itself, and
     ``auto`` picks stream mode when it is sound and sm mode otherwise.
 
-    ``horizon`` optionally caps how many cycles past the replay floor a
-    shard may run ahead per coordinator round (the epoch-horizon knob);
-    ``None`` lets the memory horizon alone bound the window.
+    ``speculation`` gates speculative epoch execution: ``auto`` (on, with
+    per-mode default depths), ``on`` (force on) or ``off`` (conservative
+    horizons only).  ``horizon`` overrides the speculation depth — how
+    many ``min_roundtrip``-sized quanta a shard may execute past its
+    conservative memory horizon before waiting for patches; ``None``
+    picks the tuned per-mode default (see :func:`resolve_horizon`).
     """
 
     engine: str = "auto"
     workers: int = 1
     shard_by: str = "auto"
     horizon: Optional[int] = None
+    speculation: str = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -106,6 +118,9 @@ class ExecutionPlan:
             raise ValueError("workers must be >= 1")
         if self.horizon is not None and self.horizon < 1:
             raise ValueError("horizon must be >= 1 when given")
+        if self.speculation not in SPECULATION_MODES:
+            raise ValueError("speculation must be one of %s, not %r"
+                             % (SPECULATION_MODES, self.speculation))
 
     @property
     def wants_parallel(self) -> bool:
@@ -122,14 +137,16 @@ class ExecutionPlan:
 
     def to_dict(self) -> Dict[str, object]:
         return {"engine": self.engine, "workers": self.workers,
-                "shard_by": self.shard_by, "horizon": self.horizon}
+                "shard_by": self.shard_by, "horizon": self.horizon,
+                "speculation": self.speculation}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExecutionPlan":
         return cls(engine=str(data.get("engine", "auto")),
                    workers=int(data.get("workers", 1)),
                    shard_by=str(data.get("shard_by", "auto")),
-                   horizon=data.get("horizon"))
+                   horizon=data.get("horizon"),
+                   speculation=str(data.get("speculation", "auto")))
 
     @classmethod
     def coerce(cls, value) -> "ExecutionPlan":
@@ -173,6 +190,18 @@ class ShardPlan:
     assignment: Dict[int, List[int]] = field(default_factory=dict)
     #: SM-mode: SM ids per shard worker (contiguous, disjoint, covering).
     sm_groups: List[List[int]] = field(default_factory=list)
+    #: Speculation depth shards run with (0 = conservative horizons only).
+    horizon: int = 0
+    #: MSHR-aware defer-pressure cap: a shard yields to the coordinator
+    #: once an L1 holds this many deferred fills, planning a shallower
+    #: window instead of running into the MSHR-full epoch-safety bailout.
+    defer_cap: Optional[int] = None
+    #: Tiny-MSHR planning: the L1 file is small enough that one warp
+    #: instruction can overflow it mid-tick, so shards run a shallow
+    #: (horizon-0) window with interruptible ticks — the MSHR-full
+    #: bailout interrupts and resumes via probe patches instead of
+    #: restarting the run serially.
+    mshr_shallow: bool = False
 
     @property
     def num_shards(self) -> int:
@@ -180,7 +209,10 @@ class ShardPlan:
 
     def describe(self) -> Dict[str, object]:
         out: Dict[str, object] = {"mode": self.mode,
-                                  "num_shards": self.num_shards}
+                                  "num_shards": self.num_shards,
+                                  "horizon": self.horizon,
+                                  "defer_cap": self.defer_cap,
+                                  "mshr_shallow": self.mshr_shallow}
         if self.mode == "stream":
             out["groups"] = [list(g) for g in self.groups]
         else:
@@ -188,15 +220,62 @@ class ShardPlan:
         return out
 
 
+def resolve_horizon(execution: "ExecutionPlan", mode: str) -> int:
+    """Speculation depth for a planned mode, honouring the plan's knobs."""
+    if execution.speculation == "off":
+        return 0
+    if execution.horizon is not None:
+        return execution.horizon
+    return DEFAULT_HORIZON.get(mode, 0)
+
+
+def mshr_tiny(config) -> bool:
+    """True when a single warp instruction can overflow the L1 MSHR file
+    (every line distinct, up to ``2 * warp_size`` sectors) — the shape
+    that hits the MSHR-full epoch-safety bailout mid-instruction, where
+    no clean stop point can help."""
+    l1 = getattr(config, "l1", None)
+    entries = getattr(l1, "mshr_entries", 0) if l1 is not None else 0
+    warp = getattr(config, "warp_size", 32) or 32
+    return bool(entries) and entries < 2 * warp
+
+
+def mshr_defer_cap(config) -> Optional[int]:
+    """Deferred-fill pressure threshold derived from the L1 MSHR file.
+
+    Half the file keeps a full cycle's worth of new misses from
+    saturating it between the shard loop's clean stop points, while
+    leaving enough outstanding fills that normal windows never trip it.
+    Tiny files get the tightest usable cap — with so few entries every
+    deferred fill held across a cycle boundary is MSHR pressure.
+    """
+    l1 = getattr(config, "l1", None)
+    entries = getattr(l1, "mshr_entries", 0) if l1 is not None else 0
+    if not entries:
+        return None
+    if mshr_tiny(config):
+        return max(1, entries // 2)
+    return max(4, entries // 2)
+
+
 def _stream_weights(streams) -> Dict[int, int]:
     """Total trace length per stream (1 when only ids were given)."""
     weights: Dict[int, int] = {}
     if isinstance(streams, dict):
         for sid, kernels in streams.items():
+            # Fall back per kernel, not per stream: one malformed (or
+            # empty) kernel must not collapse the whole stream's weight
+            # to 1 and skew the LPT balance.
+            total = 0
             try:
-                weights[sid] = sum(k.num_instructions for k in kernels) or 1
-            except (TypeError, AttributeError):
-                weights[sid] = 1
+                for k in kernels:
+                    try:
+                        total += int(k.num_instructions)
+                    except (TypeError, AttributeError):
+                        total += 1
+            except TypeError:
+                total = 0
+            weights[sid] = total or 1
     else:
         for sid in streams:
             weights[sid] = 1
@@ -295,20 +374,35 @@ def plan_shards(policy, streams, config=None, execution=None, telemetry=None,
                                                      False)
     num_sms = getattr(config, "num_sms", 0) if config is not None else 0
     mode = execution.shard_by
+
+    def finish(plan, refusal):
+        if plan is not None:
+            plan.horizon = resolve_horizon(execution, plan.mode)
+            plan.defer_cap = mshr_defer_cap(config)
+            if execution.speculation != "off" and config is not None \
+                    and mshr_tiny(config):
+                # Tiny MSHR file: plan the shallowest window and run
+                # interruptible ticks around the MSHR-full bailout.  An
+                # explicit horizon= still wins (the knob is an override).
+                plan.mshr_shallow = True
+                if execution.horizon is None:
+                    plan.horizon = 0
+        return plan, refusal
+
     if mode == "stream":
         if telemetry_on:
             return None, ShardRefusal(REFUSAL_TELEMETRY_STREAM_MODE)
-        return _plan_stream_mode(policy, streams, execution.workers)
+        return finish(*_plan_stream_mode(policy, streams, execution.workers))
     if mode == "sm":
-        return _plan_sm_mode(num_sms, execution.workers)
+        return finish(*_plan_sm_mode(num_sms, execution.workers))
     # auto: stream mode when it is sound (and telemetry is off — the
     # telemetry hooks run coordinator-side, which only sm mode supports);
     # otherwise sm mode.
     if not telemetry_on:
         plan, _ = _plan_stream_mode(policy, streams, execution.workers)
         if plan is not None:
-            return plan, None
-    return _plan_sm_mode(num_sms, execution.workers)
+            return finish(plan, None)
+    return finish(*_plan_sm_mode(num_sms, execution.workers))
 
 
 def shard_policy(plan: ShardPlan, group: List[int]) -> MPSPolicy:

@@ -33,6 +33,7 @@ from ..timing.scheduler import GTOScheduler
 from ..timing.sm import SM
 from ..timing.stats import GPUStats
 from ..timing.warp import BLOCKED
+from . import fabric as _fabric_mod
 from .fabric import EpochUnsafeError, IssueRecord, LineOp, SENTINEL_BASE, ShardFabric
 
 
@@ -68,6 +69,18 @@ class ShardScheduler(GTOScheduler):
         self._bucketed = False
         #: slot -> [(partial_key, seq), ...] awaiting patch re-push.
         self._park_ledger: Dict[int, List] = {}
+
+    # -- checkpoint / rollback ----------------------------------------------
+    def snapshot(self) -> tuple:
+        return (super().snapshot(),
+                {slot: list(entries)
+                 for slot, entries in self._park_ledger.items()})
+
+    def restore(self, snap: tuple) -> None:
+        base, ledger = snap
+        super().restore(base)
+        self._park_ledger = {slot: list(entries)
+                             for slot, entries in ledger.items()}
 
     def _issue_time(self, slot: int, cycle: int) -> int:
         """Full scoreboard walk (the serial scheduler's cached
@@ -175,12 +188,16 @@ class ShardScheduler(GTOScheduler):
             if nf > ready:
                 ready = nf
             if parked:
-                ledger.setdefault(s, []).append((ready, next(self._seq)))
+                seq = self._seq
+                self._seq = seq + 1
+                ledger.setdefault(s, []).append((ready, seq))
                 continue
             if ready <= cycle:
                 self._picked_from_heap = True
                 return s
-            heapq.heappush(heap, (ready, next(self._seq), s))
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(heap, (ready, seq, s))
         return -1
 
     def _pick_lrr(self, cycle: int) -> int:
@@ -211,12 +228,16 @@ class ShardScheduler(GTOScheduler):
             if nf > t:
                 t = nf
             if parked:
-                ledger.setdefault(s, []).append((t, next(self._seq)))
+                seq = self._seq
+                self._seq = seq + 1
+                ledger.setdefault(s, []).append((t, seq))
                 continue
             if t <= cycle:
                 ready_entries.append(item)
             else:
-                heapq.heappush(heap, (t, next(self._seq), s))
+                seq = self._seq
+                self._seq = seq + 1
+                heapq.heappush(heap, (t, seq, s))
         if not ready_entries:
             return -1
         last = self._last_warp_id
@@ -242,6 +263,23 @@ class ShardLDSTPath(LDSTPath):
         self._fabric = fabric
         #: line -> LineOp for lines whose L1 pending entry is a sentinel.
         self._pending_ops: Dict[int, LineOp] = {}
+        #: Deferred-fill pressure threshold (plan.mshr_defer_cap); once
+        #: this many lines await patches the shard yields to the
+        #: coordinator instead of risking an MSHR-full bailout.
+        self._defer_cap: Optional[int] = None
+
+    # -- checkpoint / rollback ----------------------------------------------
+    def snapshot(self) -> tuple:
+        # LineOps are pinned by reference; the fabric snapshot restores
+        # their mutable fields (a patched op is re-marked unresolved there).
+        return (super().snapshot(), dict(self._pending_ops))
+
+    def restore(self, snap: tuple) -> None:
+        super().restore(snap[0])
+        self._pending_ops = dict(snap[1])
+        cap = self._defer_cap
+        if cap is not None and len(self._pending_ops) >= cap:
+            self._fabric.hot_paths.add(self)
 
     # Serial ``_global_access`` with deferred-completion bookkeeping: real
     # (local) completions fold into ``done``; deferred ones collect into an
@@ -272,10 +310,14 @@ class ShardLDSTPath(LDSTPath):
                 launch = self._inject(t_cycle)
                 op = fabric.defer_load(self, "bypass", line, launch + icnt,
                                        data_class, stream, 0, None)
-                if ops is None:
-                    ops = []
-                ops.append(op)
-                continue
+                if op.value is not None:
+                    # Pre-resolved probe (interrupted-tick re-execution).
+                    completion = op.value
+                else:
+                    if ops is None:
+                        ops = []
+                    ops.append(op)
+                    continue
             else:
                 if sectored:
                     mask, fetch_bytes = self._sector_request(inst, line)
@@ -350,9 +392,18 @@ class ShardLDSTPath(LDSTPath):
         launch = self._inject(cycle)
         op = fabric.defer_load(self, "load", line, launch + icnt, data_class,
                                stream, sector_mask, fetch_bytes)
+        if op.value is not None:
+            # Pre-resolved probe (interrupted-tick re-execution): the fill
+            # behaves exactly as serial's, real pending completion and all.
+            l1.fill(line, data_class, stream, sector_mask)
+            l1.note_pending(line, op.value)
+            return op.value
         l1.fill(line, data_class, stream, sector_mask)
         l1.note_pending(line, op.sentinel)
         self._pending_ops[line] = op
+        cap = self._defer_cap
+        if cap is not None and len(self._pending_ops) >= cap:
+            fabric.hot_paths.add(self)
         return op
 
     def _check_purge_safe(self, l1, cycle: int) -> None:
@@ -417,6 +468,17 @@ class ShardSM(SM):
         #: final issue) so the completions heap orders ties exactly as the
         #: serial engine does.
         self._deferred_retires: List = []
+
+    # -- checkpoint / rollback ----------------------------------------------
+    def snapshot(self) -> tuple:
+        return (super().snapshot(), dict(self._warp_pending),
+                list(self._deferred_retires))
+
+    def restore(self, snap: tuple) -> None:
+        base, warp_pending, deferred_retires = snap
+        super().restore(base)
+        self._warp_pending = dict(warp_pending)
+        self._deferred_retires = list(deferred_retires)
 
     # Serial ``_issue`` with a deferred branch: a sentinel completion is
     # committed without touching last_commit_cycle (folded at patch time)
@@ -488,16 +550,20 @@ class ShardSM(SM):
             sched._greedy = slot
             sched._last_warp_id = st.warp_ids[slot]
             if sched._picked_from_heap:
+                seq = sched._seq
+                sched._seq = seq + 1
                 sched._park_ledger.setdefault(slot, []).append(
-                    (issue_cycle + 1, next(sched._seq)))
+                    (issue_cycle + 1, seq))
             sched._picked_from_heap = False
         else:
             sched.issued += 1
             sched._greedy = slot if not done else -1
             sched._last_warp_id = st.warp_ids[slot]
             if not done and sched._picked_from_heap:
+                seq = sched._seq
+                sched._seq = seq + 1
                 heapq.heappush(sched._heap,
-                               (estimate, next(sched._seq), slot))
+                               (estimate, seq, slot))
             sched._picked_from_heap = False
         sstat = st.sstats[slot]
         if sstat is None:
@@ -583,16 +649,73 @@ class ShardSM(SM):
         return queued
 
 
+class SpecCheckpoint:
+    """One speculation quantum boundary: the committed-state markers plus a
+    full state snapshot the shard can roll back to.
+
+    ``pos`` is the last cycle processed when the checkpoint was taken: a
+    patch whose fill value lands at ``v > pos`` cannot invalidate any cycle
+    this checkpoint has processed, so the newest checkpoint with
+    ``pos < v`` is the rollback target.  ``nv`` is the next visited cycle
+    the shard reports to the coordinator while this is the oldest
+    uncommitted checkpoint — the committed-state view.  ``jmark`` is the
+    patch-journal length at creation (rollback re-applies everything
+    after it); ``edge`` is the quantum's execution bound.
+    """
+
+    __slots__ = ("pos", "nv", "jmark", "edge", "state")
+
+    def __init__(self, pos: int, nv: int, jmark: int,
+                 edge: int, state: tuple) -> None:
+        self.pos = pos
+        self.nv = nv
+        self.jmark = jmark
+        self.edge = edge
+        self.state = state
+
+
 class ShardGPU:
-    """The serial GPU event loop, resumable and fabric-backed."""
+    """The serial GPU event loop, resumable and fabric-backed.
+
+    With ``horizon > 0`` the shard executes *speculatively* past its
+    memory horizon: at the conservative stop it checkpoints the committed
+    state and opens an optimistic quantum of ``min_roundtrip`` cycles
+    (then another, up to ``horizon`` deep).  The quantum length is the
+    crux of the commit rule: an op deferred inside a quantum starting at
+    ``C`` completes at or after ``C + min_roundtrip``, i.e. past the
+    quantum's end — so once ``mem_horizon()`` passes a checkpoint's
+    position no future patch can land inside it and the quantum is
+    final.  A patch whose fill lands *inside* the speculated range rolls
+    the shard back to the newest checkpoint before the fill and replays
+    the patch journal.  The coordinator only ever sees committed state:
+    ``front()``/``next_visit()``/``take_log()`` report the oldest
+    uncommitted checkpoint's view, so the replay merge order — and with
+    it bit-identity — is untouched.
+    """
 
     def __init__(self, config: GPUConfig, streams: Dict[int, Sequence[KernelTrace]],
-                 policy, max_cycles: int = 200_000_000) -> None:
+                 policy, max_cycles: int = 200_000_000, horizon: int = 0,
+                 defer_cap: Optional[int] = None,
+                 interruptible: bool = False) -> None:
         self.config = config
         self.stats = GPUStats()
         self.fabric = ShardFabric(config)
         self.policy = policy
         self.max_cycles = max_cycles
+        #: Speculation depth in quanta (0 = conservative).
+        self.horizon = horizon
+        #: MSHR-aware shallow stop: yield to the coordinator once any L1
+        #: holds this many deferred fills (see plan.mshr_defer_cap).
+        self.defer_cap = defer_cap
+        #: Interruptible ticks (tiny MSHR files a single warp instruction
+        #: can overflow): every committed tick snapshots first, so an
+        #: MSHR-full EpochUnsafeError mid-tick ships the partial tick's
+        #: log as *probes*, rolls back, and re-executes once their
+        #: patches return — instead of restarting the whole run serially.
+        self._interruptible = bool(interruptible)
+        #: Shipped probe log entries of the interrupted tick (the prefix
+        #: a re-execution must reproduce); empty = no interrupt pending.
+        self._probe_entries: List = []
         # Full SM list so CTAScheduler's positional indexing matches the
         # serial engine; SMs outside this shard's assignment stay idle.
         self.sms: List[ShardSM] = [
@@ -608,6 +731,24 @@ class ShardGPU:
         self._completed_this_step = False
         self._event_heap: List = []
         self._next_visit = 0
+        #: Oldest-first uncommitted quantum checkpoints (empty = committed).
+        self._spec: List[SpecCheckpoint] = []
+        #: Patch groups applied since the oldest checkpoint; a rollback
+        #: re-applies the suffix recorded after its target's ``jmark``.
+        self._journal: List[List] = []
+        #: Fabric-log prefix the coordinator may see (only meaningful
+        #: while ``_spec`` is non-empty; the full log is committed else).
+        self._committed_log = 0
+        self.spec_epochs = 0
+        self.spec_commits = 0
+        self.spec_rollbacks = 0
+        self.spec_rollback_depth = 0
+        self.spec_interrupts = 0
+        #: Speculative ticks executed, for the stress-injection hook.
+        self._stress_ticks = 0
+        if defer_cap is not None:
+            for sm in self.sms:
+                sm.ldst._defer_cap = defer_cap
         for sid, kernels in sorted(streams.items()):
             self.cta_scheduler.add_stream(sid, kernels)
 
@@ -631,23 +772,76 @@ class ShardGPU:
 
     # -- coordinator surface ------------------------------------------------
     def front(self) -> int:
-        """All ops this shard will ever log from here on have
-        ``visit >= front()`` — the coordinator's replay floor."""
-        nv = self._next_visit
+        """All ops this shard will ever *deliver* from here on have
+        ``visit >= front()`` — the coordinator's replay floor.  While
+        speculating the committed next-visit (``spec[0].nv``) stands in
+        for the live one, but the *live* memory horizon applies: a
+        rollback re-execution only visits cycles at or past the patch
+        value that triggered it, which is at least the horizon at that
+        moment, and the horizon is monotone.  (A horizon frozen at
+        checkpoint time would cap the replay floor below ops committed
+        later and stall the commit pipeline.)"""
+        nv = self._spec[0].nv if self._spec else self._next_visit
         mh = self.fabric.mem_horizon()
         return nv if nv < mh else mh
 
     def next_visit(self) -> int:
-        """Next event-loop cycle (>= SENTINEL_BASE means parked on
-        patches; BLOCKED means no event at all)."""
+        """Next event-loop cycle from *committed* state (>= SENTINEL_BASE
+        means parked on patches; BLOCKED means no event at all)."""
+        if self._spec:
+            return self._spec[0].nv
         return self._next_visit
+
+    def probe_boundary(self) -> Optional[Tuple[int, int]]:
+        """Merge-order key ``(visit, sm_id)`` of the last shipped probe,
+        or None when no interrupt is pending.
+
+        While interrupted, ``front()`` cannot pass the interrupted cycle
+        (the re-execution will deliver more ops at that very visit), but
+        every future op provably carries a key >= this one: the shipped
+        prefix is reproduced verbatim and new ops come from the raising
+        SM onward.  The coordinator uses it to replay queued probe ops
+        *at* the floor, which is what breaks the patch deadlock."""
+        if not self._probe_entries:
+            return None
+        e = self._probe_entries[-1]
+        return (e[1], e[2])
 
     def take_log(self) -> List:
         log = self.fabric.log
+        if self._spec:
+            # Deliver only the committed prefix; ops deferred inside
+            # uncommitted quanta could be rolled back and must not reach
+            # the replay merge.  Checkpoint log marks (stored inside the
+            # fabric snapshot lists) rebase against the drained prefix.
+            n = self._committed_log
+            if n == 0:
+                return []
+            self.fabric.log = log[n:]
+            self._committed_log = 0
+            for ck in self._spec:
+                ck.state[1][1] -= n
+            return log[:n]
         self.fabric.log = []
         return log
 
     def apply_patches(self, patches) -> None:
+        if self._spec:
+            icnt = self.fabric.icnt
+            v = min(ret for _, ret in patches) + icnt
+            if v <= self.cycle:
+                # The fill lands inside the speculated range: some cycle
+                # this shard already processed saw a sentinel where serial
+                # saw a real value.  Unwind to the newest checkpoint that
+                # predates the fill and replay the patch journal.
+                self._spec_rollback(v)
+            if self._spec:
+                self._journal.append(list(patches))
+        self._apply_patches_raw(patches)
+        if self._spec:
+            self._spec_commit(self.fabric.mem_horizon())
+
+    def _apply_patches_raw(self, patches) -> None:
         touched: Set = self.fabric.apply_patches(patches)
         for sm in touched:
             sm.flush_deferred_retires()
@@ -657,6 +851,96 @@ class ShardGPU:
                 self._push_event(sm, t)
         if touched:
             self._refresh_next_visit()
+
+    # -- speculation --------------------------------------------------------
+    def _checkpoint_state(self) -> tuple:
+        # The fabric snapshot is stored as a *list* so take_log can rebase
+        # its log mark (index 1) when the committed prefix is drained.
+        return (
+            [sm.snapshot() for sm in self.sms],
+            list(self.fabric.snapshot()),
+            self.stats.snapshot(),
+            self.cta_scheduler.snapshot(),
+            self.cycle, self._next_visit, self.final_cycle,
+            self._completed_this_step, list(self._event_heap),
+        )
+
+    def _restore_state(self, state: tuple) -> None:
+        (sm_snaps, fab, stats, cta, cycle, nv, final, completed, heap) = state
+        for sm, snap in zip(self.sms, sm_snaps):
+            sm.restore(snap)
+        self.fabric.restore(tuple(fab))
+        self.stats.restore(stats)
+        self.cta_scheduler.restore(cta)
+        self.cycle = cycle
+        self._next_visit = nv
+        self.final_cycle = final
+        self._completed_this_step = completed
+        self._event_heap[:] = heap
+
+    def _spec_push(self, edge: int) -> None:
+        self._spec.append(SpecCheckpoint(
+            self.cycle, self._next_visit, len(self._journal),
+            edge, self._checkpoint_state()))
+        if len(self._spec) == 1:
+            self._committed_log = len(self.fabric.log)
+        self.spec_epochs += 1
+
+    def _spec_commit(self, mh: int) -> None:
+        """Retire quanta no future patch can reach.
+
+        A checkpoint is only ever a rollback target for a fill landing at
+        ``v`` with ``ck.pos < v <= next.pos``; once ``mem_horizon()``
+        passes the next checkpoint's position no such fill can arrive and
+        the quantum is final.  When the horizon passes the last processed
+        cycle everything is final and speculation fully unwinds.
+        """
+        spec = self._spec
+        if not spec:
+            return
+        if mh > self.cycle:
+            self.spec_commits += len(spec)
+            spec.clear()
+            del self._journal[:]
+            return
+        committed = 0
+        while len(spec) >= 2 and mh > spec[1].pos:
+            spec.pop(0)
+            committed += 1
+        if committed:
+            self.spec_commits += committed
+            self._committed_log = spec[0].state[1][1]
+
+    def _spec_rollback(self, v: int) -> None:
+        spec = self._spec
+        i = len(spec) - 1
+        while i > 0 and spec[i].pos >= v:
+            i -= 1
+        ck = spec[i]
+        self.spec_rollbacks += 1
+        self.spec_rollback_depth += len(spec) - i
+        # ck itself stays: an even-earlier fill may still target it, and
+        # its snapshot holds value copies, untouched by the restore below.
+        del spec[i + 1:]
+        self._restore_state(ck.state)
+        for group in self._journal[ck.jmark:]:
+            self._apply_patches_raw(group)
+
+    def _stress_rollback_due(self) -> bool:
+        """Speculation-stress hook (``fabric.FORCE_ROLLBACK_EVERY``).
+
+        When armed, every Nth speculative tick is answered with a
+        synthetic EpochUnsafeError so the rollback path runs under load.
+        The counter is deliberately *not* checkpointed: it survives the
+        rollback it triggers, so the re-execution gets N clean
+        speculative ticks before the next injection and forward progress
+        is preserved.
+        """
+        n = _fabric_mod.FORCE_ROLLBACK_EVERY
+        if not n:
+            return False
+        self._stress_ticks += 1
+        return self._stress_ticks % n == 0
 
     def _refresh_next_visit(self) -> None:
         heap = self._event_heap
@@ -689,53 +973,148 @@ class ShardGPU:
         """
         heap = self._event_heap
         fabric = self.fabric
+        spec = self._spec
         while True:
-            bound = fabric.mem_horizon()
+            if self._probe_entries:
+                # Interrupted tick: wait for every probe's patch, then
+                # re-execute the tick under prefix replay below.
+                pre = fabric.prepatched
+                if any(e[0] is not None and e[0] not in pre
+                       for e in self._probe_entries):
+                    return "blocked"
+            hot = fabric.hot_paths
+            if hot and not self._probe_entries:
+                # MSHR-aware shallow stop: an L1 is accumulating deferred
+                # fills toward the file size.  Yield here (a clean state
+                # point) so the coordinator's replay drains them, instead
+                # of running into the MSHR-full EpochUnsafeError bailout.
+                cap = self.defer_cap
+                for p in list(hot):
+                    if len(p._pending_ops) < cap:
+                        hot.discard(p)
+                if hot:
+                    return "limit"
+            mh = fabric.mem_horizon()
+            if spec:
+                self._spec_commit(mh)
+            bound = spec[-1].edge if spec else mh
             if limit < bound:
                 bound = limit
             cycle = self._next_visit
             if cycle >= bound:
-                return "limit"
-            self.cycle = cycle
-            self._completed_this_step = False
-            due: List[ShardSM] = []
-            while heap and heap[0][0] <= cycle:
-                t, _, sm = heapq.heappop(heap)
-                if t != sm._queued_event:
-                    continue
-                sm._queued_event = BLOCKED
-                due.append(sm)
-            due.sort(key=_sm_id)
-            for sm in due:
-                if sm._completions:
-                    sm.process_completions(cycle)
-            if self._completed_this_step:
-                if self.cta_scheduler.has_issuable_work:
-                    self.cta_scheduler.fill(cycle)
-                if self.cta_scheduler.all_complete and not any(
-                    sm.has_work for sm in self.sms
-                ):
-                    self.final_cycle = cycle
-                    self.stats.cycles = cycle
-                    return "done"
-                added = False
+                if (cycle >= limit or cycle >= SENTINEL_BASE
+                        or len(spec) >= self.horizon
+                        or not fabric.unresolved):
+                    # A sentinel-keyed next visit means every runnable
+                    # warp is parked on an unpatched op — nothing real to
+                    # speculate into; yield for patches instead.
+                    return "limit"
+                # Conservative stop inside the window with speculation
+                # budget left: checkpoint and open an optimistic quantum,
+                # then fall through and process this cycle.  (Going back
+                # to the loop top instead would full-commit the fresh,
+                # still-empty checkpoint — mem_horizon() exceeds the last
+                # *processed* cycle here — and push again, forever.)
+                base = spec[-1].edge if spec else mh
+                if cycle > base:
+                    base = cycle
+                self._spec_push(base + fabric.min_roundtrip)
+            snap = None
+            pre_log = 0
+            if self._interruptible and not spec:
+                # Risky tick (tiny MSHR file): checkpoint first so an
+                # MSHR-full bailout mid-tick can interrupt instead of
+                # poisoning the whole run.
+                snap = self._checkpoint_state()
+                pre_log = len(fabric.log)
+                if self._probe_entries:
+                    fabric.probe_replay = self._probe_entries
+                    fabric.probe_pos = 0
+            try:
+                if spec and self._stress_rollback_due():
+                    raise EpochUnsafeError(
+                        "speculation-stress forced rollback")
+                self.cycle = cycle
+                self._completed_this_step = False
+                due: List[ShardSM] = []
                 while heap and heap[0][0] <= cycle:
                     t, _, sm = heapq.heappop(heap)
                     if t != sm._queued_event:
                         continue
                     sm._queued_event = BLOCKED
                     due.append(sm)
-                    added = True
-                if added:
-                    due.sort(key=_sm_id)
-            fabric.cycle = cycle
-            for sm in due:
-                if sm.has_work:
-                    fabric.sm_id = sm.sm_id
-                    t = sm.tick(cycle)
-                    sm.next_event_cache = t
-                    if t < BLOCKED:
-                        self._push_event(sm, t)
+                due.sort(key=_sm_id)
+                for sm in due:
+                    if sm._completions:
+                        sm.process_completions(cycle)
+                if self._completed_this_step:
+                    if self.cta_scheduler.has_issuable_work:
+                        self.cta_scheduler.fill(cycle)
+                    if self.cta_scheduler.all_complete and not any(
+                        sm.has_work for sm in self.sms
+                    ):
+                        self.final_cycle = cycle
+                        self.stats.cycles = cycle
+                        return "done"
+                    added = False
+                    while heap and heap[0][0] <= cycle:
+                        t, _, sm = heapq.heappop(heap)
+                        if t != sm._queued_event:
+                            continue
+                        sm._queued_event = BLOCKED
+                        due.append(sm)
+                        added = True
+                    if added:
+                        due.sort(key=_sm_id)
+                fabric.cycle = cycle
+                for sm in due:
+                    if sm.has_work:
+                        fabric.sm_id = sm.sm_id
+                        t = sm.tick(cycle)
+                        sm.next_event_cache = t
+                        if t < BLOCKED:
+                            self._push_event(sm, t)
+                if fabric.probe_replay is not None:
+                    if fabric.probe_pos != len(fabric.probe_replay):
+                        # Shipped probes the re-execution never issued:
+                        # they already mutated the coordinator's L2, so
+                        # serial order is unrecoverable.
+                        fabric.probe_poisoned = True
+                        raise EpochUnsafeError(
+                            "interrupted tick re-execution issued fewer "
+                            "ops than were shipped (cycle %d)" % cycle)
+                    # Re-execution complete: the interrupt is resolved.
+                    for e in self._probe_entries:
+                        if e[0] is not None:
+                            fabric.prepatched.pop(e[0], None)
+                    fabric.probe_replay = None
+                    self._probe_entries = []
+            except EpochUnsafeError:
+                fabric.probe_replay = None
+                if fabric.probe_poisoned:
+                    raise
+                if spec:
+                    # The ambiguity arose inside an optimistic quantum:
+                    # unwind the speculation entirely — the conservative
+                    # re-execution waits for the patches that resolve it.
+                    self.spec_rollbacks += 1
+                    self.spec_rollback_depth += len(spec)
+                    ck = spec[0]
+                    del spec[1:]
+                    self._restore_state(ck.state)
+                    for group in self._journal[ck.jmark:]:
+                        self._apply_patches_raw(group)
+                    return "limit"
+                if snap is None:
+                    raise
+                # Interrupt: ship the partial tick's ops as probes, roll
+                # the tick back, and wait for their patches.
+                delta = fabric.log[pre_log:]
+                self._restore_state(snap)
+                fabric.log.extend(delta)
+                self._probe_entries.extend(delta)
+                self.spec_interrupts += 1
+                return "blocked"
             nxt = BLOCKED
             while heap:
                 t, _, sm = heap[0]

@@ -44,8 +44,9 @@ from ..isa import CTAResources, KernelTrace
 from ..timing.gpu import _sm_id
 from ..timing.stats import GPUStats
 from ..timing.warp import BLOCKED
-from .fabric import SENTINEL_BASE, ShardFabric
-from .shard import ShardSM
+from . import fabric as _fabric_mod
+from .fabric import EpochUnsafeError, SENTINEL_BASE, ShardFabric
+from .shard import ShardSM, SpecCheckpoint
 
 #: Launch command: (sm_id, stream, kernel uid, cta index).  CTA indices
 #: are allocated strictly sequentially per kernel (``StreamQueue.take_cta``
@@ -192,11 +193,14 @@ class SMGroupShard:
     def __init__(self, config: GPUConfig,
                  streams: Dict[int, Sequence[KernelTrace]],
                  sm_ids: Sequence[int],
-                 max_cycles: int = 200_000_000) -> None:
+                 max_cycles: int = 200_000_000, horizon: int = 0,
+                 defer_cap: Optional[int] = None) -> None:
         self.config = config
         self.stats = GPUStats()
         self.fabric = ShardFabric(config)
         self.max_cycles = max_cycles
+        self.horizon = horizon
+        self.defer_cap = defer_cap
         self.sm_ids = sorted(sm_ids)
         self.sms: Dict[int, ShardSM] = {}
         self._sm_list: List[ShardSM] = []
@@ -205,6 +209,8 @@ class SMGroupShard:
                          on_cta_complete=self._cta_retired)
             sm._queued_event = BLOCKED
             sm.event_sink = self._push_event
+            if defer_cap is not None:
+                sm.ldst._defer_cap = defer_cap
             self.sms[i] = sm
             self._sm_list.append(sm)
         self._kernels: Dict[Tuple[int, int], KernelTrace] = {}
@@ -216,6 +222,25 @@ class SMGroupShard:
         self._next_visit = 0
         self._retires: List[RetireRec] = []
         self._due: List[ShardSM] = []
+        #: Last processed (ticked) cycle — the speculation violation test
+        #: compares patch fill values against this, so it must survive the
+        #: coordinated phases resetting ``self.cycle``.
+        self._pos = -1
+        self._spec: List[SpecCheckpoint] = []
+        self._journal: List[List] = []
+        self._committed_log = 0
+        #: Latest coordinator-supplied retire floor: no coordinated
+        #: retirement (and hence no cross-shard CTA launch) can land
+        #: below it, so cycles < min(floor, memory horizon) are final.
+        self._floor = 0
+        self.spec_epochs = 0
+        self.spec_commits = 0
+        self.spec_rollbacks = 0
+        self.spec_rollback_depth = 0
+        #: Interrupted ticks (stream-mode only; always 0 here).
+        self.spec_interrupts = 0
+        #: Speculative ticks executed, for the stress-injection hook.
+        self._stress_ticks = 0
 
     # -- serial-loop plumbing -----------------------------------------------
     def _cta_retired(self, sm: ShardSM, cta) -> None:
@@ -259,41 +284,196 @@ class SMGroupShard:
 
     # -- coordinator surface ------------------------------------------------
     def front(self) -> int:
-        """Every op this shard will ever log has ``visit >= front()``."""
-        nv = self._next_visit
+        """Every op this shard will ever *deliver* has ``visit >= front()``.
+
+        While speculating: committed next-visit, live memory horizon —
+        see :meth:`ShardGPU.front` for why the horizon must not be the
+        one frozen at checkpoint time.
+        """
+        nv = self._spec[0].nv if self._spec else self._next_visit
         mh = self.fabric.mem_horizon()
         return nv if nv < mh else mh
 
     def next_visit(self) -> int:
+        if self._spec:
+            return self._spec[0].nv
         return self._next_visit
+
+    def committed_pos(self) -> int:
+        """Last cycle whose execution is final (BLOCKED = everything is).
+
+        The coordinator refuses to run a coordinated retirement cycle
+        while any shard still holds uncommitted speculative cycles —
+        coordinator-side retire/launch bookkeeping cannot be rolled back.
+        """
+        if self._spec:
+            return self._spec[0].pos
+        return BLOCKED
 
     def take_log(self) -> List:
         log = self.fabric.log
+        if self._spec:
+            n = self._committed_log
+            if n == 0:
+                return []
+            self.fabric.log = log[n:]
+            self._committed_log = 0
+            for ck in self._spec:
+                ck.state[1][1] -= n
+            return log[:n]
         self.fabric.log = []
         return log
+
+    def retire_next(self) -> Optional[int]:
+        """Earliest queued committed CTA completion (None while
+        speculating or when nothing is queued) — the coordinator's
+        retire-chaining probe."""
+        if self._spec:
+            return None
+        return self._completion_top()
+
+    # -- speculation ---------------------------------------------------------
+    def _checkpoint_state(self) -> tuple:
+        # _retires and _due are only populated inside coordinated phases,
+        # which never overlap speculation; the fabric snapshot is a list
+        # so take_log can rebase its log mark (index 1).
+        return (
+            [sm.snapshot() for sm in self._sm_list],
+            list(self.fabric.snapshot()),
+            self.stats.snapshot(),
+            self.cycle, self._pos, self._next_visit,
+            list(self._event_heap),
+        )
+
+    def _restore_state(self, state: tuple) -> None:
+        sm_snaps, fab, stats, cycle, pos, nv, heap = state
+        for sm, snap in zip(self._sm_list, sm_snaps):
+            sm.restore(snap)
+        self.fabric.restore(tuple(fab))
+        self.stats.restore(stats)
+        self.cycle = cycle
+        self._pos = pos
+        self._next_visit = nv
+        self._event_heap[:] = heap
+
+    def _spec_push(self, edge: int) -> None:
+        self._spec.append(SpecCheckpoint(
+            self._pos, self._next_visit, len(self._journal),
+            edge, self._checkpoint_state()))
+        if len(self._spec) == 1:
+            self._committed_log = len(self.fabric.log)
+        self.spec_epochs += 1
+
+    def _spec_commit(self, mh: int) -> None:
+        spec = self._spec
+        if not spec:
+            return
+        if mh > self._pos:
+            self.spec_commits += len(spec)
+            spec.clear()
+            del self._journal[:]
+            return
+        committed = 0
+        while len(spec) >= 2 and mh > spec[1].pos:
+            spec.pop(0)
+            committed += 1
+        if committed:
+            self.spec_commits += committed
+            self._committed_log = spec[0].state[1][1]
+
+    def _spec_rollback(self, v: int) -> None:
+        spec = self._spec
+        i = len(spec) - 1
+        while i > 0 and spec[i].pos >= v:
+            i -= 1
+        ck = spec[i]
+        self.spec_rollbacks += 1
+        self.spec_rollback_depth += len(spec) - i
+        del spec[i + 1:]
+        self._restore_state(ck.state)
+        for group in self._journal[ck.jmark:]:
+            self._apply_patches_raw(group)
+
+    def rewind(self, below: Optional[int] = None) -> None:
+        """Discard uncommitted speculative cycles.
+
+        With ``below=None`` the whole window is rolled back to the last
+        committed state (the coordinator does this before running a
+        coordinated retirement cycle: a retirement elsewhere may launch
+        CTAs onto this group inside the speculated range), with every
+        patch batch received since re-applied on top.
+
+        With ``below=R`` only execution at or past ``R`` is discarded:
+        the shard restores the newest checkpoint below ``R`` and keeps
+        the earlier quanta, which commit as usual once the horizon and
+        floor pass them.  Used when a retirement is parked at ``R``
+        elsewhere — the straddling tail could never commit, but the
+        quanta below ``R`` still can.
+        """
+        spec = self._spec
+        if not spec:
+            return
+        if below is not None:
+            if below > self._pos:
+                return  # nothing executed at or past `below`
+            if len(spec) > 1 and spec[1].pos < below:
+                self._spec_rollback(below)
+                return
+        ck = spec[0]
+        self.spec_rollbacks += 1
+        self.spec_rollback_depth += len(spec)
+        spec.clear()
+        self._restore_state(ck.state)
+        journal = self._journal
+        self._journal = []
+        self._committed_log = 0
+        for group in journal[ck.jmark:]:
+            self._apply_patches_raw(group)
+
+    def _stress_rollback_due(self) -> bool:
+        """Speculation-stress hook; see ``ShardGPU._stress_rollback_due``.
+        The counter survives the rollback it triggers (not checkpointed),
+        so forward progress is preserved between injections."""
+        n = _fabric_mod.FORCE_ROLLBACK_EVERY
+        if not n:
+            return False
+        self._stress_ticks += 1
+        return self._stress_ticks % n == 0
 
     def retire_bound(self) -> int:
         """No retirement of this shard is *coordinated* below this cycle.
 
-        Three lower bounds on the completion values still to be popped —
+        The bound is walked on live state even while speculating: the
+        walk floors every parked warp at the memory horizon and every
+        running warp at ``front + remaining instructions``, and a
+        rollback can only ever push completions *later* — re-executed
+        fills wake warps at or past the horizon, contention only delays
+        issue, and extra speculative L1 fills can only evict (turning
+        speculative hits into re-executed misses, never the reverse).
+        So any bound computed here also lower-bounds the committed
+        timeline this execution rolls back onto.
+        """
+        return self._retire_bound_live()
+
+    def _retire_bound_live(self) -> int:
+        """Three lower bounds on the completion values still to be popped —
         queued completions, live CTAs (each remaining instruction costs
-        at least a cycle past the replay front), deferred retires (their
-        patched completions land at or past the memory horizon) — and
-        the front itself, because a retirement stop happens at a visited
-        cycle, which is never below the front.
+        at least a cycle past the live walk base), deferred retires
+        (their patched completions land at or past the memory horizon) —
+        and the live next visit, because a retirement pops a completion
+        no earlier than the one the live timeline would pop, and
+        rollback re-execution only ever moves completions later.
         """
         best = BLOCKED
-        mh: Optional[int] = None
-        front = self.front()
+        nv = self._next_visit
+        fmh = self.fabric.mem_horizon()
+        front = nv if nv < fmh else fmh
         for sm in self._sm_list:
             c = sm._completions
             if c and c[0][0] < best:
                 best = c[0][0]
-            if sm._deferred_retires:
-                if mh is None:
-                    mh = self.fabric.mem_horizon()
-                if mh < best:
-                    best = mh
+            if sm._deferred_retires and fmh < best:
+                best = fmh
             st = sm.slot_state
             done = st.done
             pcs = st.pc
@@ -315,6 +495,19 @@ class SMGroupShard:
         return best
 
     def apply_patches(self, patches) -> None:
+        if self._spec and patches:
+            icnt = self.fabric.icnt
+            v = min(ret for _, ret in patches) + icnt
+            if v <= self._pos:
+                self._spec_rollback(v)
+        if self._spec:
+            self._journal.append(list(patches))
+        self._apply_patches_raw(patches)
+        if self._spec:
+            mh = self.fabric.mem_horizon()
+            self._spec_commit(mh if mh < self._floor else self._floor)
+
+    def _apply_patches_raw(self, patches) -> None:
         touched = self.fabric.apply_patches(patches)
         for sm in touched:
             sm.flush_deferred_retires()
@@ -342,37 +535,90 @@ class SMGroupShard:
         return warps
 
     # -- the loop -----------------------------------------------------------
-    def advance(self, limit: int) -> str:
-        """Process tick-only cycles < min(limit, memory horizon).
+    def advance(self, limit: int, floor: Optional[int] = None) -> str:
+        """Process tick-only cycles < min(limit, conservative bound).
+
+        The conservative bound is ``min(memory horizon, floor)`` — the
+        coordinator's ``floor`` is the minimum live retire bound across
+        shards, below which no coordinated retirement (and so no
+        cross-shard CTA launch) can land.  With ``horizon > 0`` the
+        shard checkpoints at the bound and optimistically executes up to
+        ``horizon`` quanta past it; cycles commit as the bound rises and
+        roll back if a patch or a coordinated retirement lands inside
+        the speculated range.
 
         Returns ``"retire"`` when the next visited cycle would pop a CTA
         completion (the coordinator turns it into a two-phase retirement
         cycle), ``"limit"`` at the bound, ``"blocked"`` when only patches
         can wake it, or ``"idle"`` when the group is completely empty.
         """
+        if floor is None:
+            floor = limit
+        self._floor = floor
         fabric = self.fabric
+        spec = self._spec
         while True:
-            bound = fabric.mem_horizon()
+            hot = fabric.hot_paths
+            if hot:
+                cap = self.defer_cap
+                for p in list(hot):
+                    if len(p._pending_ops) < cap:
+                        hot.discard(p)
+                if hot:
+                    return "limit"
+            mh = fabric.mem_horizon()
+            through = mh if mh < floor else floor
+            if spec:
+                self._spec_commit(through)
+            bound = spec[-1].edge if spec else through
             if limit < bound:
                 bound = limit
             cycle = self._next_visit
             top = self._completion_top()
             if top is not None and top <= cycle:
-                return "retire"
+                # Retirements are never processed speculatively: the
+                # coordinator's launch/retire bookkeeping can't roll back.
+                return "limit" if spec else "retire"
             if cycle >= bound:
-                return "limit"
+                if (cycle >= limit or cycle >= SENTINEL_BASE
+                        or len(spec) >= self.horizon):
+                    # Out of quanta (or all runnable warps are parked on
+                    # unpatched sentinel ops) — yield for patches or a
+                    # higher floor.
+                    return "limit"
+                # Checkpoint and open an optimistic quantum, then fall
+                # through to process this cycle (re-entering the loop top
+                # would full-commit the still-empty checkpoint and push
+                # again, forever — see ShardGPU.advance).
+                base = spec[-1].edge if spec else through
+                if cycle > base:
+                    base = cycle
+                self._spec_push(base + fabric.min_roundtrip)
             self.cycle = cycle
+            self._pos = cycle
             due: List[ShardSM] = []
             self._pop_due(cycle, due)
             due.sort(key=_sm_id)
             fabric.cycle = cycle
-            for sm in due:
-                if sm.has_work:
-                    fabric.sm_id = sm.sm_id
-                    t = sm.tick(cycle)
-                    sm.next_event_cache = t
-                    if t < BLOCKED:
-                        self._push_event(sm, t)
+            try:
+                if spec and self._stress_rollback_due():
+                    raise EpochUnsafeError(
+                        "speculation-stress forced rollback")
+                for sm in due:
+                    if sm.has_work:
+                        fabric.sm_id = sm.sm_id
+                        t = sm.tick(cycle)
+                        sm.next_event_cache = t
+                        if t < BLOCKED:
+                            self._push_event(sm, t)
+            except EpochUnsafeError:
+                if not spec:
+                    raise
+                # The ambiguity involves state produced inside the
+                # speculated window — discard the window and wait for
+                # patches to resolve it instead of aborting the run.
+                self.rewind()
+                return "limit"
             nxt = self._heap_top()
             if nxt == BLOCKED:
                 pending = [
@@ -399,6 +645,12 @@ class SMGroupShard:
         whether any SM still has work after the frees — the coordinator's
         ``all_complete``-and-idle termination check needs the global OR.
         """
+        if self._spec:
+            # The coordinator gates retirement cycles on committed_pos();
+            # a coordinated phase with live speculation would mutate
+            # state a later rollback could not reconstruct.
+            raise EpochUnsafeError(
+                "coordinated cycle %d with uncommitted speculation" % cycle)
         self.cycle = cycle
         self._retires = []
         due: List[ShardSM] = []
@@ -431,6 +683,8 @@ class SMGroupShard:
         self._due = []
         if self._pop_due(cycle, due):
             due.sort(key=_sm_id)
+        if cycle > self._pos:
+            self._pos = cycle
         fabric.cycle = cycle
         for sm in due:
             if sm.has_work:

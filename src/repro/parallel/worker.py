@@ -26,11 +26,22 @@ def fork_available() -> bool:
     return True
 
 
+def _counters(shard) -> Dict[str, int]:
+    return {"spec_epochs": shard.spec_epochs,
+            "spec_commits": shard.spec_commits,
+            "spec_rollbacks": shard.spec_rollbacks,
+            "spec_rollback_depth": shard.spec_rollback_depth,
+            "spec_interrupts": shard.spec_interrupts}
+
+
 def _worker_main(conn, config: GPUConfig, streams, policy,
-                 max_cycles: int) -> None:
+                 max_cycles: int, horizon: int, defer_cap,
+                 interruptible: bool) -> None:
     """Child process loop: drive one ShardGPU from coordinator commands."""
     try:
-        gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles)
+        gpu = ShardGPU(config, streams, policy, max_cycles=max_cycles,
+                       horizon=horizon, defer_cap=defer_cap,
+                       interruptible=interruptible)
         gpu.start()
         while True:
             msg = conn.recv()
@@ -38,12 +49,14 @@ def _worker_main(conn, config: GPUConfig, streams, policy,
             if cmd == "advance":
                 status = gpu.advance(msg[1])
                 conn.send(("ok", status, gpu.front(), gpu.next_visit(),
-                           gpu.take_log()))
+                           gpu.probe_boundary(), gpu.take_log()))
             elif cmd == "patch":
                 gpu.apply_patches(msg[1])
                 conn.send(("ok", gpu.front(), gpu.next_visit()))
             elif cmd == "occupancy":
                 conn.send(("ok", gpu.occupancy_by_stream()))
+            elif cmd == "counters":
+                conn.send(("ok", _counters(gpu)))
             elif cmd == "finalize":
                 conn.send(("ok", gpu.stats.to_dict(), gpu.final_cycle))
             elif cmd == "stop":
@@ -60,23 +73,27 @@ def _worker_main(conn, config: GPUConfig, streams, policy,
 
 
 def _sm_worker_main(conn, config: GPUConfig, streams, sm_ids,
-                    max_cycles: int) -> None:
+                    max_cycles: int, horizon: int, defer_cap) -> None:
     """Child process loop: drive one SMGroupShard from coordinator commands."""
     try:
-        shard = SMGroupShard(config, streams, sm_ids, max_cycles=max_cycles)
+        shard = SMGroupShard(config, streams, sm_ids, max_cycles=max_cycles,
+                             horizon=horizon, defer_cap=defer_cap)
 
         def state():
             return (shard.front(), shard.next_visit(), shard.retire_bound(),
-                    shard.cycle)
+                    shard.cycle, shard.committed_pos())
 
         while True:
             msg = conn.recv()
             cmd = msg[0]
             if cmd == "advance":
-                status = shard.advance(msg[1])
+                status = shard.advance(msg[1], msg[2])
                 conn.send(("ok", status) + state() + (shard.take_log(),))
             elif cmd == "patch":
                 shard.apply_patches(msg[1])
+                conn.send(("ok",) + state())
+            elif cmd == "rewind":
+                shard.rewind(msg[1])
                 conn.send(("ok",) + state())
             elif cmd == "begin":
                 retires, any_work = shard.begin_cycle(msg[1])
@@ -87,8 +104,12 @@ def _sm_worker_main(conn, config: GPUConfig, streams, sm_ids,
             elif cmd == "launches":
                 shard.apply_launches(msg[1], msg[2], msg[3])
                 conn.send(("ok",) + state())
+            elif cmd == "retire_next":
+                conn.send(("ok", shard.retire_next()))
             elif cmd == "occupancy":
                 conn.send(("ok", shard.occupancy_by_stream()))
+            elif cmd == "counters":
+                conn.send(("ok", _counters(shard)))
             elif cmd == "snapshot":
                 conn.send(("ok",) + shard.snapshot(msg[1]))
             elif cmd == "stop":
@@ -108,12 +129,15 @@ class ProcessShard:
     """Coordinator-side handle for one forked shard worker."""
 
     def __init__(self, config: GPUConfig, streams, policy,
-                 max_cycles: int) -> None:
+                 max_cycles: int, horizon: int = 0,
+                 defer_cap: Optional[int] = None,
+                 interruptible: bool = False) -> None:
         ctx = multiprocessing.get_context("fork")
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_worker_main,
-            args=(child, config, streams, policy, max_cycles),
+            args=(child, config, streams, policy, max_cycles, horizon,
+                  defer_cap, interruptible),
             daemon=True,
         )
         self._proc.start()
@@ -132,8 +156,8 @@ class ProcessShard:
         return reply
 
     def advance(self, limit: int):
-        _, status, front, nv, ops = self._rpc("advance", limit)
-        return status, front, nv, ops
+        _, status, front, nv, boundary, ops = self._rpc("advance", limit)
+        return status, front, nv, boundary, ops
 
     def apply_patches(self, patches):
         _, front, nv = self._rpc("patch", patches)
@@ -141,6 +165,9 @@ class ProcessShard:
 
     def occupancy(self) -> Dict[int, int]:
         return self._rpc("occupancy")[1]
+
+    def counters(self) -> Dict[str, int]:
+        return self._rpc("counters")[1]
 
     def finalize(self) -> Tuple[GPUStats, Optional[int]]:
         _, stats_dict, final_cycle = self._rpc("finalize")
@@ -163,17 +190,19 @@ class ProcessSMShard:
     """Coordinator-side handle for one forked SM-group shard worker.
 
     Mirrors ``engine._InlineSMShard``; every reply carries the shard's
-    ``(front, next_visit, retire_bound, cycle)`` state tuple so the
-    coordinator never needs a second round-trip per phase.
+    ``(front, next_visit, retire_bound, cycle, committed_pos)`` state
+    tuple so the coordinator never needs a second round-trip per phase.
     """
 
     def __init__(self, config: GPUConfig, streams, sm_ids,
-                 max_cycles: int) -> None:
+                 max_cycles: int, horizon: int = 0,
+                 defer_cap: Optional[int] = None) -> None:
         ctx = multiprocessing.get_context("fork")
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_sm_worker_main,
-            args=(child, config, streams, sm_ids, max_cycles),
+            args=(child, config, streams, sm_ids, max_cycles, horizon,
+                  defer_cap),
             daemon=True,
         )
         self._proc.start()
@@ -181,27 +210,37 @@ class ProcessSMShard:
 
     _rpc = ProcessShard._rpc
 
-    def advance(self, limit: int):
-        _, status, front, nv, bound, cycle, ops = self._rpc("advance", limit)
-        return status, front, nv, bound, cycle, ops
+    def advance(self, limit: int, floor: Optional[int] = None):
+        _, status, front, nv, bound, cycle, cpos, ops = self._rpc(
+            "advance", limit, floor)
+        return status, front, nv, bound, cycle, cpos, ops
 
     def apply_patches(self, patches):
         return self._rpc("patch", patches)[1:]
+
+    def rewind(self, below: Optional[int] = None):
+        return self._rpc("rewind", below)[1:]
 
     def begin_cycle(self, cycle: int):
         _, retires, any_work = self._rpc("begin", cycle)
         return retires, any_work
 
     def finish_cycle(self, cycle: int, launches):
-        _, front, nv, bound, shard_cycle, ops = self._rpc(
+        _, front, nv, bound, shard_cycle, cpos, ops = self._rpc(
             "finish", cycle, launches)
-        return front, nv, bound, shard_cycle, ops
+        return front, nv, bound, shard_cycle, cpos, ops
 
     def apply_launches(self, launches, cycle: int, resume: int):
         return self._rpc("launches", launches, cycle, resume)[1:]
 
+    def retire_next(self):
+        return self._rpc("retire_next")[1]
+
     def occupancy(self) -> Dict[int, int]:
         return self._rpc("occupancy")[1]
+
+    def counters(self) -> Dict[str, int]:
+        return self._rpc("counters")[1]
 
     def snapshot(self, cycle: int):
         from .engine import _SMView

@@ -41,7 +41,6 @@ The ready queue itself has two representations:
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Dict, List, Optional, Tuple
 
 from ..isa.instructions import IE_UNIT_IDX, IE_USES_LDST
@@ -77,7 +76,9 @@ class GTOScheduler:
         #: Lazy min-heap of (estimated issue cycle, seq, warp slot) — the
         #: LRR/shard representation (see module docstring).
         self._heap: List[Tuple[int, int, int]] = []
-        self._seq = itertools.count()
+        #: Monotone push sequence for the heap representation.  A plain int
+        #: (not itertools.count) so checkpoints can capture and restore it.
+        self._seq = 0
         #: GTO bucket-queue representation: estimate -> [cursor, slot, ...]
         #: (element 0 is the read cursor) plus a min-heap of live keys.
         #: The shard subclass forces heap mode even for GTO.
@@ -106,7 +107,9 @@ class GTOScheduler:
             else:
                 b.append(slot)
         else:
-            heapq.heappush(self._heap, (est, next(self._seq), slot))
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._heap, (est, seq, slot))
 
     # -- membership ----------------------------------------------------------
     def add_warp(self, warp) -> None:
@@ -203,7 +206,9 @@ class GTOScheduler:
             if t <= cycle:
                 ready.append(item)
             elif t != BLOCKED:
-                heapq.heappush(heap, (t, next(self._seq), s))
+                seq = self._seq
+                self._seq = seq + 1
+                heapq.heappush(heap, (t, seq, s))
         if not ready:
             return -1
         last = self._last_warp_id
@@ -218,6 +223,41 @@ class GTOScheduler:
                 heapq.heappush(heap, item)
         self._picked_from_heap = True
         return chosen[2]
+
+    # -- checkpoint / rollback ---------------------------------------------
+    def snapshot(self) -> tuple:
+        """Capture the ready queue, pipe state and selection bookkeeping.
+
+        ``next_event`` prunes dead queue heads lazily, so the queue contents
+        are part of observable state and are copied wholesale (entries are
+        immutable ints/tuples).  The pipe arrays live on ``units`` but are
+        owned by exactly one scheduler, so they snapshot here too.
+        """
+        return (
+            list(self._heap), self._seq,
+            {k: list(v) for k, v in self._buckets.items()},
+            list(self._bkeys),
+            self._greedy, self._last_warp_id, self._picked_from_heap,
+            self.issued, self.next_event_cache,
+            list(self._pnf), list(self._icnt),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        (heap, seq, buckets, bkeys, greedy, last_warp_id, picked,
+         issued, next_event_cache, pnf, icnt) = snap
+        self._heap[:] = heap
+        self._seq = seq
+        self._buckets.clear()
+        for k, v in buckets.items():
+            self._buckets[k] = list(v)
+        self._bkeys[:] = bkeys
+        self._greedy = greedy
+        self._last_warp_id = last_warp_id
+        self._picked_from_heap = picked
+        self.issued = issued
+        self.next_event_cache = next_event_cache
+        self._pnf[:] = pnf
+        self._icnt[:] = icnt
 
     # -- telemetry ---------------------------------------------------------
     def stall_reason(self, slot: int, cycle: int) -> str:

@@ -117,9 +117,28 @@ def canonical_run(out) -> dict:
 
 
 def run_case(case: FuzzCase, engine: str):
-    """Execute ``case`` on one engine; returns the RunResult."""
-    return simulate(case.request(execution=_ENGINE_PLANS[engine],
-                                 telemetry=case.make_telemetry()))
+    """Execute ``case`` on one engine; returns the RunResult.
+
+    A speculation-stress case overrides the sharded engines' horizon and
+    arms the forced-rollback injection hook for the duration of the run
+    (the serial engine always runs pristine — it is the reference).
+    """
+    from ..parallel import fabric as _fabric_mod
+
+    plan = _ENGINE_PLANS[engine]
+    stress = 0
+    spec = case.execution_spec
+    if spec and engine != "serial":
+        plan = ExecutionPlan(engine=plan.engine, workers=plan.workers,
+                             horizon=spec.get("horizon"))
+        stress = int(spec.get("force_rollback_every") or 0)
+    prior = _fabric_mod.FORCE_ROLLBACK_EVERY
+    _fabric_mod.FORCE_ROLLBACK_EVERY = stress
+    try:
+        return simulate(case.request(execution=plan,
+                                     telemetry=case.make_telemetry()))
+    finally:
+        _fabric_mod.FORCE_ROLLBACK_EVERY = prior
 
 
 @dataclass
@@ -134,6 +153,8 @@ class CaseResult:
     any_engaged: bool = False
     #: True when a shard bailed (EpochUnsafeError) and reran serially.
     any_restarted: bool = False
+    #: True when at least one sharded run rolled back speculation.
+    any_rolled_back: bool = False
 
     @property
     def ok(self) -> bool:
@@ -158,6 +179,8 @@ def check_case(case: FuzzCase, engines: Optional[Sequence[str]] = None,
         if report is not None:
             result.any_engaged |= bool(report.engaged)
             result.any_restarted |= bool(report.restarted)
+            result.any_rolled_back |= \
+                bool(getattr(report, "spec_rollbacks", 0))
         if engine == "serial":
             reference = tree
             continue
@@ -195,7 +218,8 @@ def _with_streams(case: FuzzCase, streams: Dict[int, List[KernelTrace]],
     descr["policy"] = spec
     return FuzzCase(seed=case.seed, config=case.config, streams=streams,
                     policy_spec=spec, descr=descr,
-                    telemetry_on=case.telemetry_on)
+                    telemetry_on=case.telemetry_on,
+                    execution_spec=case.execution_spec)
 
 
 def _candidates(case: FuzzCase):
@@ -281,6 +305,8 @@ class FuzzReport:
     failures: List[dict] = field(default_factory=list)
     cases_engaged: int = 0
     cases_restarted: int = 0
+    spec_stress_cases: int = 0
+    cases_rolled_back: int = 0
     invariant_runs: int = 0
     qos_probes: int = 0
 
@@ -294,6 +320,8 @@ class FuzzReport:
             "failures": len(self.failures),
             "cases_sharded": self.cases_engaged,
             "cases_epoch_restarted": self.cases_restarted,
+            "speculation_stress_cases": self.spec_stress_cases,
+            "cases_rolled_back": self.cases_rolled_back,
             "invariant_checked_runs": self.invariant_runs,
             "qos_probes": self.qos_probes,
         }
@@ -334,6 +362,7 @@ def _qos_probe(seed: int) -> Optional[dict]:
 def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
              corpus_dir: Optional[str] = None, allow_scenes: bool = True,
              include_process: bool = True, include_qos: bool = True,
+             spec_stress: Optional[bool] = None,
              progress: Optional[Callable[[str], None]] = None) -> FuzzReport:
     """Differential-test every seed; optionally re-run with invariants on.
 
@@ -346,6 +375,10 @@ def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
     short open-loop QoS scenario twice under the adaptive controller and
     requires bit-identical reports (failure kind ``qos-nondeterminism``).
 
+    ``spec_stress`` forces the speculation-stress arm on (or off) for
+    every seed instead of the per-seed roll — the nightly 500-seed
+    speculation sweep runs with it forced on.
+
     Failures (mismatch details plus the shrunk minimal case description)
     are appended to ``report.failures`` and, when ``corpus_dir`` is given,
     written there as one JSON file per failing seed.
@@ -357,12 +390,15 @@ def run_fuzz(seeds: Sequence[int], check_invariants: bool = False,
 
     report = FuzzReport()
     for seed in seeds:
-        case = build_case(seed, allow_scenes=allow_scenes)
+        case = build_case(seed, allow_scenes=allow_scenes,
+                          spec_stress=spec_stress)
         engines = engines_for(case, include_process=include_process)
         result = check_case(case, engines)
         report.seeds.append(seed)
         report.cases_engaged += 1 if result.any_engaged else 0
         report.cases_restarted += 1 if result.any_restarted else 0
+        report.spec_stress_cases += 1 if case.execution_spec else 0
+        report.cases_rolled_back += 1 if result.any_rolled_back else 0
         failure = None
         if not result.ok:
             def still_fails(c: FuzzCase) -> bool:

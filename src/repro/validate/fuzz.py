@@ -65,6 +65,12 @@ class FuzzCase:
     #: When True every engine run records full telemetry and the oracle
     #: compares the run logs and trace events too, not just the stats.
     telemetry_on: bool = False
+    #: Speculation-stress arm: ``{"horizon": 1..3,
+    #: "force_rollback_every": N}`` overrides the sharded engines'
+    #: speculation depth and arms the forced-rollback injection hook
+    #: (``repro.parallel.fabric.FORCE_ROLLBACK_EVERY``) for the duration
+    #: of each non-serial run; None = plain case.
+    execution_spec: Optional[dict] = None
 
     def make_policy(self):
         """Materialise a *fresh* policy instance (policies are stateful)."""
@@ -272,8 +278,14 @@ def _random_policy_spec(rng: random.Random, config: GPUConfig,
 
 # -- entry points -----------------------------------------------------------
 
-def build_case(seed: int, allow_scenes: bool = True) -> FuzzCase:
-    """Derive the fuzz case for ``seed`` (same seed -> same case)."""
+def build_case(seed: int, allow_scenes: bool = True,
+               spec_stress: Optional[bool] = None) -> FuzzCase:
+    """Derive the fuzz case for ``seed`` (same seed -> same case).
+
+    ``spec_stress`` forces the speculation-stress arm on (True) or off
+    (False) instead of rolling for it — the dedicated 500-seed CI sweep
+    runs every seed with the arm forced on.
+    """
     rng = random.Random(seed)
     config, roomy = _random_config(rng, seed)
     num_streams = 2 if rng.random() < 0.8 else 1
@@ -292,16 +304,30 @@ def build_case(seed: int, allow_scenes: bool = True) -> FuzzCase:
     # sharding, so a quarter of the corpus polices run-log/trace-event
     # identity across engines, not just the stats trees.
     telemetry_on = rng.random() < 0.25
+    # Speculation-stress arm: deepen the sharded engines' speculation
+    # window (horizon 1..3) and arm the forced-rollback injection hook,
+    # so the checkpoint/rollback machinery runs orders of magnitude more
+    # often than organic patch traffic would trigger it — under the same
+    # bit-identity oracle as every other case.
+    stressed = rng.random() < 0.25
+    if spec_stress is not None:
+        stressed = spec_stress
+    execution_spec = None
+    if stressed:
+        execution_spec = {"horizon": rng.randint(1, 3),
+                          "force_rollback_every": rng.choice((3, 5, 7))}
     descr = {
         "seed": seed,
         "config": config.canonical_dict(),
         "workload": workload_descr,
         "policy": policy_spec,
         "telemetry": telemetry_on,
+        "execution": execution_spec,
     }
     return FuzzCase(seed=seed, config=config, streams=streams,
                     policy_spec=policy_spec, descr=descr,
-                    telemetry_on=telemetry_on)
+                    telemetry_on=telemetry_on,
+                    execution_spec=execution_spec)
 
 
 def build_cases(seeds: Sequence[int],

@@ -148,6 +148,67 @@ def test_process_backend_sm_mode_bit_identical(reference_workload):
     assert _canonical(stats) == _golden("tap")
 
 
+def _batched_retirement_workload(fp: int = 64, loads: int = 0):
+    """Two streams of uniform compute kernels: every CTA in a wave runs
+    the same instruction stream, so whole waves retire on a single
+    coordinated cycle.  The speculative sm-mode coordinator chains those
+    batched retirements through one round instead of paying a full
+    advance/replay sweep per CTA."""
+    from repro.compute import DeviceMemory, KernelBuilder
+
+    config = get_preset("JetsonOrin-mini")
+    streams = {}
+    for sid in range(2):
+        mem = DeviceMemory(region=8 + sid)
+        kb = KernelBuilder("batch%d" % sid, grid=16, block=32,
+                           regs_per_thread=16)
+        if loads:
+            buf = mem.buffer("a", 64 * 1024)
+            for _ in range(loads):
+                kb.load(buf, pattern="coalesced", words=4)
+        kb.fp(fp)
+        streams[sid] = [kb.build()]
+    return config, streams
+
+
+@pytest.mark.parametrize("policy", SM_SHARDED[:2] + ("mps",))
+def test_batched_retirements_amortize_rounds(policy):
+    """Speculation acceptance gate: on a batched-retirement workload the
+    sm-mode coordinator must spend fewer than one round per two CTA
+    retirements (rpr < 0.5) — retire-per-round coordination would score
+    rpr >= 1 — while staying bit-identical to serial."""
+    config, streams = _batched_retirement_workload()
+    serial = simulate(config=config, streams=streams, policy=policy)
+    sharded = simulate(config=config, streams=streams, policy=policy,
+                       execution=_sharded(2, shard_by="sm"))
+    assert _canonical(sharded.stats) == _canonical(serial.stats)
+    report = sharded.execution
+    assert report.engaged and report.mode == "sm"
+    assert report.retirements > 0
+    rpr = report.rounds / report.retirements
+    assert rpr < 0.5, (
+        "rounds-per-retirement %.3f >= 0.5 (rounds=%d retirements=%d)"
+        % (rpr, report.rounds, report.retirements))
+
+
+@pytest.mark.parametrize("policy", ("fg-even", "mps"))
+def test_batched_retirements_with_memory_traffic(policy):
+    """The rpr < 0.5 bar must survive cross-shard memory traffic: the
+    loads force patch rounds, yet batched waves still amortize them."""
+    config, streams = _batched_retirement_workload(fp=48, loads=2)
+    serial = simulate(config=config, streams=streams, policy=policy)
+    sharded = simulate(config=config, streams=streams, policy=policy,
+                       execution=_sharded(2, shard_by="sm"))
+    assert _canonical(sharded.stats) == _canonical(serial.stats)
+    report = sharded.execution
+    assert report.engaged and report.mode == "sm"
+    assert report.replayed_ops > 0, "workload generated no shard traffic"
+    rpr = report.rounds / report.retirements
+    assert rpr < 0.5, (
+        "rounds-per-retirement %.3f >= 0.5 (rounds=%d retirements=%d)"
+        % (rpr, report.rounds, report.retirements))
+
+
 def _telemetry_capture(monkeypatch, config, streams, policy, execution):
     """Run with a fresh recorder under a frozen clock; return the record
     trees (the run-log header stamps wall-clock time)."""

@@ -25,12 +25,17 @@ from repro.parallel import (
 )
 from repro.parallel.fabric import ShardFabric
 from repro.parallel.plan import (
+    DEFAULT_HORIZON,
     REFUSAL_ARRIVALS,
     REFUSAL_SERIAL_REQUESTED,
     REFUSAL_SINGLE_SM,
     REFUSAL_SINGLE_STREAM,
     REFUSAL_TELEMETRY_STREAM_MODE,
     REFUSAL_WORKERS,
+    _stream_weights,
+    mshr_defer_cap,
+    mshr_tiny,
+    resolve_horizon,
     shard_policy,
 )
 from repro.telemetry import Telemetry
@@ -177,6 +182,32 @@ def test_plan_shards_balances_by_instruction_count():
     assert sorted(sid for g in plan.groups for sid in g) == [0, 1, 2]
 
 
+def test_stream_weights_survive_malformed_kernel():
+    """Regression: one kernel without ``num_instructions`` used to
+    collapse its whole stream's weight to 1, putting a heavy stream on
+    the same shard as everything else."""
+    class K:
+        def __init__(self, n):
+            self.num_instructions = n
+
+    class Junk:
+        pass
+
+    streams = {0: [K(500), Junk(), K(500)], 1: [K(10)], 2: [K(20)]}
+    weights = _stream_weights(streams)
+    # The malformed kernel falls back to 1 instruction, per kernel.
+    assert weights == {0: 1001, 1: 10, 2: 20}
+    # And LPT still isolates the heavy stream.
+    policy = MPSPolicy.even(CONFIG.num_sms, [0, 1, 2])
+    plan, _ = _plan(policy, streams)
+    assert [0] in plan.groups
+
+
+def test_stream_weights_empty_and_id_only():
+    assert _stream_weights({0: [], 1: None}) == {0: 1, 1: 1}
+    assert _stream_weights((3, 5)) == {3: 1, 5: 1}
+
+
 def test_split_sms_contiguous_even():
     assert split_sms(8, 2) == [[0, 1, 2, 3], [4, 5, 6, 7]]
     assert split_sms(5, 2) == [[0, 1, 2], [3, 4]]
@@ -205,6 +236,69 @@ def test_execution_plan_backend_mapping():
 def test_execution_plan_coerce_rejects_junk():
     with pytest.raises(TypeError):
         ExecutionPlan.coerce("fast")
+
+
+def test_execution_plan_validates_speculation_knobs():
+    with pytest.raises(ValueError):
+        ExecutionPlan(horizon=0)
+    with pytest.raises(ValueError):
+        ExecutionPlan(speculation="maybe")
+    plan = ExecutionPlan(horizon=3, speculation="on")
+    assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+
+# -- speculation planning ----------------------------------------------------
+
+def _tiny_mshr_config(entries=8):
+    import dataclasses
+    return CONFIG.replace(name="tiny-mshr",
+                          l1=dataclasses.replace(CONFIG.l1,
+                                                 mshr_entries=entries))
+
+
+def test_resolve_horizon_per_mode_defaults():
+    auto = ExecutionPlan()
+    assert resolve_horizon(auto, "stream") == DEFAULT_HORIZON["stream"]
+    assert resolve_horizon(auto, "sm") == DEFAULT_HORIZON["sm"]
+    assert resolve_horizon(ExecutionPlan(speculation="off"), "sm") == 0
+    assert resolve_horizon(ExecutionPlan(horizon=5), "stream") == 5
+
+
+def test_planned_horizon_and_defer_cap():
+    plan, _ = _plan(_mps(), STREAMS)
+    assert plan.horizon == DEFAULT_HORIZON["stream"]
+    assert plan.defer_cap == CONFIG.l1.mshr_entries // 2
+    assert not plan.mshr_shallow
+    off, _ = _plan(_mps(), STREAMS,
+                   execution=ExecutionPlan(workers=2, speculation="off"),
+                   workers=None)
+    assert off.horizon == 0
+
+
+def test_mshr_tiny_threshold_is_two_warp_instructions():
+    assert mshr_tiny(_tiny_mshr_config(8))
+    assert mshr_tiny(_tiny_mshr_config(63))
+    assert not mshr_tiny(_tiny_mshr_config(64))
+    assert not mshr_tiny(CONFIG)
+    assert mshr_defer_cap(_tiny_mshr_config(8)) == 4
+    assert mshr_defer_cap(CONFIG) == CONFIG.l1.mshr_entries // 2
+
+
+def test_tiny_mshr_plans_shallow_interruptible_window():
+    tiny = _tiny_mshr_config()
+    policy = MPSPolicy.even(tiny.num_sms, list(STREAMS))
+    plan, refusal = plan_shards(policy, STREAMS, config=tiny, workers=2)
+    assert refusal is None
+    assert plan.mshr_shallow and plan.horizon == 0
+    # An explicit horizon= still wins: the knob is an override.
+    deep, _ = plan_shards(policy, STREAMS, config=tiny,
+                          execution=ExecutionPlan(workers=2, horizon=2))
+    assert deep.mshr_shallow and deep.horizon == 2
+    # Speculation off keeps the conservative path entirely.
+    off, _ = plan_shards(policy, STREAMS, config=tiny,
+                         execution=ExecutionPlan(workers=2,
+                                                 speculation="off"))
+    assert not off.mshr_shallow and off.horizon == 0
 
 
 # -- fabric arithmetic -------------------------------------------------------

@@ -1,0 +1,253 @@
+"""Property tests for speculative epoch state management.
+
+Speculation's whole contract is that checkpoint/rollback is *observably
+invisible*: a shard that speculates, rolls back and re-executes must
+land bit-identically on the serial timeline.  These tests police the
+state-capture machinery directly (fabric snapshot/restore round-trips,
+id-counter rewind, the prepatched stash) and then the full engines under
+the forced-rollback injection hook
+(``repro.parallel.fabric.FORCE_ROLLBACK_EVERY``), which fires the
+rollback path orders of magnitude more often than organic patch traffic
+would — including on telemetry-on runs, where the recorded run log and
+trace events must also stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import simulate
+from repro.compute import DeviceMemory, KernelBuilder
+from repro.config import get_preset
+from repro.parallel import ExecutionPlan
+from repro.parallel import fabric as fabric_mod
+from repro.parallel.fabric import AUX_ID_OFFSET, ShardFabric
+from repro.parallel.worker import fork_available
+
+
+@pytest.fixture(autouse=True)
+def _disarm_hook():
+    """Every test leaves the injection hook the way it found it."""
+    prior = fabric_mod.FORCE_ROLLBACK_EVERY
+    yield
+    fabric_mod.FORCE_ROLLBACK_EVERY = prior
+
+
+def _armed(n: int) -> None:
+    fabric_mod.FORCE_ROLLBACK_EVERY = n
+
+
+def _canonical(stats) -> dict:
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+# -- fabric snapshot/restore -------------------------------------------------
+
+def _fresh_fabric() -> ShardFabric:
+    fab = ShardFabric(get_preset("JetsonOrin-mini"))
+    fab.cycle = 10
+    fab.sm_id = 0
+    return fab
+
+
+def _defer(fab: ShardFabric, line: int):
+    return fab.defer_load(None, "load", line, fab.cycle + fab.icnt,
+                          None, 0, 0, None)
+
+
+def _observable(fab: ShardFabric) -> tuple:
+    return (fab._next_id, fab._next_aux, len(fab.log),
+            sorted(fab.unresolved), sorted(fab.issue_records),
+            {s: (r.remaining, r.local_done)
+             for s, r in fab.issue_records.items()})
+
+
+class TestFabricRoundTrip:
+    def test_snapshot_restore_is_identity(self):
+        fab = _fresh_fabric()
+        a = _defer(fab, 1)
+        b = _defer(fab, 2)
+        fab.make_issue([a, b], local_done=12)
+        fab.record_store(3, fab.cycle + fab.icnt, None, 0)
+        before = _observable(fab)
+        snap = fab.snapshot()
+
+        # Speculative progress: more ops, a merge child, an issue record.
+        fab.cycle = 20
+        c = _defer(fab, 4)
+        fab.merge_load(a, probe_done=21)
+        fab.make_issue([c], local_done=22)
+        fab.record_store(5, fab.cycle + fab.icnt, None, 1)
+        assert _observable(fab) != before
+
+        fab.restore(snap)
+        assert _observable(fab) == before
+        # The merge child attached during speculation is truncated too.
+        assert a.mergers == []
+
+    def test_id_counters_rewind_for_reexecution(self):
+        """After a rollback, re-executing the same op sequence must
+        re-allocate the same ids — the probe-replay prefix match and the
+        patch routing both key on them."""
+        fab = _fresh_fabric()
+        _defer(fab, 1)
+        snap = fab.snapshot()
+        first = _defer(fab, 2)
+        fab.merge_load(first, probe_done=11)
+        fab.restore(snap)
+        again = _defer(fab, 2)
+        assert again.op_id == first.op_id
+        assert again.sentinel == first.sentinel
+
+    def test_aux_ids_stay_off_the_logged_counter(self):
+        """Merge/issue ids live in their own range: interleaving them
+        must not shift the ids of logged ops (id determinism across an
+        interrupted tick's re-execution with pre-resolved accesses)."""
+        plain = _fresh_fabric()
+        p1, p2 = _defer(plain, 1), _defer(plain, 2)
+
+        mixed = _fresh_fabric()
+        m1 = _defer(mixed, 1)
+        mixed.merge_load(m1, probe_done=11)     # aux, not logged
+        mixed.make_issue([m1], local_done=12)   # aux, not logged
+        m2 = _defer(mixed, 2)
+        assert (m1.op_id, m2.op_id) == (p1.op_id, p2.op_id)
+        assert mixed._next_aux == 2 and plain._next_aux == 0
+        assert m2.op_id < AUX_ID_OFFSET
+
+    def test_prepatched_stash_survives_restore(self):
+        """A patch for an op that rolled back with its interrupted tick
+        is stashed, and the stash must survive the restore that follows
+        — the re-executed tick resolves from it."""
+        fab = _fresh_fabric()
+        snap = fab.snapshot()
+        fab.apply_patches([(999_999, 700)])
+        assert fab.prepatched[999_999] == 700
+        fab.restore(snap)
+        assert fab.prepatched[999_999] == 700
+
+
+# -- engine-level forced-rollback properties ---------------------------------
+
+def _workload(grid: int = 6, fp: int = 8, words: int = 2,
+              pattern: str = "coalesced"):
+    config = get_preset("JetsonOrin-mini")
+    streams = {}
+    for sid in range(2):
+        mem = DeviceMemory(region=8 + sid)
+        kb = KernelBuilder("spec%d" % sid, grid=grid, block=32,
+                           regs_per_thread=16)
+        buf = mem.buffer("a", 32 * 1024)
+        for _ in range(3):
+            kb.load(buf, pattern=pattern, words=words)
+            kb.fp(fp)
+        streams[sid] = [kb.build()]
+    return config, streams
+
+
+def _mixed_workload(fp_heavy: int = 400, nloads: int = 3, grid: int = 4):
+    """Two memory-bound streams plus two compute-bound streams.
+
+    Stream-mode speculation engages only when a shard still has runnable
+    compute past the memory horizon while another of its streams is
+    parked on unresolved loads — a single-stream-per-shard workload just
+    blocks on patches instead, so the stream-mode tests need this shape.
+    """
+    config = get_preset("JetsonOrin-mini")
+    streams = {}
+    for sid in range(2):
+        mem = DeviceMemory(region=8 + sid)
+        kb = KernelBuilder("mem%d" % sid, grid=grid, block=32,
+                           regs_per_thread=16)
+        buf = mem.buffer("a", 32 * 1024)
+        for _ in range(nloads):
+            kb.load(buf, pattern="coalesced", words=2)
+            kb.fp(4)
+        streams[sid] = [kb.build()]
+    for sid in range(2, 4):
+        mem = DeviceMemory(region=8 + sid)
+        kb = KernelBuilder("fp%d" % sid, grid=grid, block=32,
+                           regs_per_thread=16)
+        kb.fp(fp_heavy)
+        streams[sid] = [kb.build()]
+    return config, streams
+
+
+class TestForcedRollbackBitIdentity:
+    @pytest.mark.parametrize("engine", ["sharded", "process"])
+    def test_stream_mode(self, engine):
+        if engine == "process" and not fork_available():
+            pytest.skip("fork start method unavailable")
+        config, streams = _mixed_workload()
+        serial = simulate(config=config, streams=streams, policy="mps")
+        _armed(3)
+        stressed = simulate(config=config, streams=streams, policy="mps",
+                            execution=ExecutionPlan(engine=engine,
+                                                    workers=2, horizon=2))
+        report = stressed.execution
+        assert report.engaged and report.mode == "stream"
+        assert report.spec_rollbacks > 0, (
+            "injection hook never fired: %r" % report)
+        assert _canonical(stressed.stats) == _canonical(serial.stats)
+
+    def test_sm_mode(self):
+        config, streams = _workload()
+        serial = simulate(config=config, streams=streams, policy="fg-even")
+        _armed(4)
+        stressed = simulate(
+            config=config, streams=streams, policy="fg-even",
+            execution=ExecutionPlan(engine="sharded", workers=2,
+                                    shard_by="sm", horizon=2))
+        report = stressed.execution
+        assert report.engaged and report.mode == "sm"
+        assert report.spec_rollbacks > 0
+        assert _canonical(stressed.stats) == _canonical(serial.stats)
+
+    def test_sm_mode_telemetry_rewinds_cleanly(self, monkeypatch):
+        """Rollbacks must not leak into the recorded run log or trace
+        events: the telemetry cursors rewind with the shard state."""
+        import time as _time
+        monkeypatch.setattr(_time, "time", lambda: 1700000000.0)
+        from repro.telemetry import Telemetry
+
+        config, streams = _workload()
+        logs = []
+        for stress in (0, 5):
+            _armed(stress)
+            tel = Telemetry(sample_interval=200)
+            result = simulate(
+                config=config, streams=streams, policy="mps", telemetry=tel,
+                execution=ExecutionPlan(engine="serial") if not stress
+                else ExecutionPlan(engine="sharded", workers=2,
+                                   shard_by="sm", horizon=2))
+            logs.append((json.dumps(tel.runlog.records, sort_keys=True,
+                                    default=str),
+                         json.dumps(tel.sink.events, sort_keys=True,
+                                    default=str),
+                         _canonical(result.stats)))
+            if stress:
+                assert result.execution.engaged
+        assert logs[0] == logs[1]
+
+    @settings(max_examples=10, deadline=None)
+    @given(grid=st.integers(2, 8), fp=st.integers(1, 10),
+           words=st.integers(1, 2),
+           pattern=st.sampled_from(("coalesced", "strided", "broadcast")),
+           horizon=st.integers(1, 3), every=st.integers(2, 7))
+    def test_any_rollback_cadence_is_invisible(self, grid, fp, words,
+                                               pattern, horizon, every):
+        """Property: for any small workload, speculation depth and
+        injection cadence, the stressed sharded run is bit-identical."""
+        config, streams = _workload(grid, fp, words, pattern)
+        _armed(0)
+        serial = simulate(config=config, streams=streams, policy="mps")
+        _armed(every)
+        stressed = simulate(config=config, streams=streams, policy="mps",
+                            execution=ExecutionPlan(engine="sharded",
+                                                    workers=2,
+                                                    horizon=horizon))
+        assert _canonical(stressed.stats) == _canonical(serial.stats)

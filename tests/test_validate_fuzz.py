@@ -108,6 +108,20 @@ class TestOracleSmoke:
                           include_process=False, include_qos=False)
         assert report.ok and report.qos_probes == 0
 
+    def test_spec_stress_arm_forces_rollbacks(self):
+        """Tier-1 canary for the nightly 500-seed spec-stress sweep: the
+        forced-arm must actually exercise the rollback path (a hook that
+        silently stopped firing would leave the sweep vacuously green)."""
+        report = run_fuzz(range(8), allow_scenes=False,
+                          include_process=False, include_qos=False,
+                          spec_stress=True)
+        assert report.ok, report.failures
+        assert report.spec_stress_cases == 8
+        assert report.cases_rolled_back > 0
+        summary = report.summary()
+        assert summary["speculation_stress_cases"] == 8
+        assert summary["cases_rolled_back"] == report.cases_rolled_back
+
     def test_invariant_mode_counts_runs(self):
         report = run_fuzz(range(2), check_invariants=True,
                           allow_scenes=False, include_process=False)
@@ -215,14 +229,18 @@ def _mshr_bomb_workload():
 class TestEpochUnsafeFallback:
     def test_restart_matches_pristine_serial(self):
         """A mid-flight shard bailout reruns serially and the rerun is
-        bit-identical to a run that never attempted sharding."""
+        bit-identical to a run that never attempted sharding.
+
+        ``speculation="off"`` disables the interruptible-tick rescue so
+        the bomb still exercises the EpochUnsafeError restart path."""
         from repro.parallel import ExecutionPlan
 
         config, streams = _mshr_bomb_workload()
         pristine = simulate(config=config, streams=streams, policy="mps")
         sharded = simulate(config=config, streams=streams, policy="mps",
                            execution=ExecutionPlan(engine="sharded",
-                                                   workers=2))
+                                                   workers=2,
+                                                   speculation="off"))
         report = sharded.execution
         assert report.restarted, (
             "workload no longer trips EpochUnsafeError; fallback untested "
@@ -232,6 +250,34 @@ class TestEpochUnsafeFallback:
         diff = first_difference(canonical(pristine.stats),
                                 canonical(sharded.stats))
         assert diff is None, "serial rerun diverged from pristine: %s" % diff
+
+    @pytest.mark.parametrize("engine", ["sharded", "process"])
+    def test_mshr_bomb_interrupts_instead_of_restarting(self, engine):
+        """Tiny-MSHR planning: the bomb shape plans a shallow horizon with
+        interruptible ticks, so the MSHR-full bailout interrupts the tick
+        (shipping its partial log as probes) instead of restarting the
+        whole run serially — and stays bit-identical."""
+        from repro.parallel import ExecutionPlan, plan_shards
+        from repro.core.partition import MPSPolicy
+
+        config, streams = _mshr_bomb_workload()
+        plan, refusal = plan_shards(
+            MPSPolicy({0: [0], 1: [1]}), streams, config=config,
+            execution=ExecutionPlan(engine=engine, workers=2))
+        assert refusal is None
+        assert plan.mshr_shallow
+        assert plan.horizon == 0
+
+        pristine = simulate(config=config, streams=streams, policy="mps")
+        sharded = simulate(config=config, streams=streams, policy="mps",
+                           execution=ExecutionPlan(engine=engine, workers=2))
+        report = sharded.execution
+        assert report.engaged and not report.restarted, report
+        assert report.refusal is None
+        assert report.spec_interrupts > 0
+        diff = first_difference(canonical(pristine.stats),
+                                canonical(sharded.stats))
+        assert diff is None, "interrupted run diverged from serial: %s" % diff
 
     def test_fuzz_corpus_covers_both_parallel_paths(self):
         """The tuned fuzzer must keep exercising BOTH the engaged sharded
